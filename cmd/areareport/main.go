@@ -1,0 +1,65 @@
+// Command areareport regenerates the paper's Table I (FPGA synthesis
+// results) from the parametric area model, and can report the bill of
+// materials of any platform configuration or sweep the firewall rule
+// count (experiment E2).
+//
+// Examples:
+//
+//	areareport                          # Table I, paper configuration
+//	areareport -platform centralized    # BoM of the centralized baseline
+//	areareport -sweep                   # LF area vs rule count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+	"repro/internal/soc"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "", "report an actual platform: unprotected | distributed | centralized")
+		sweep    = flag.Bool("sweep", false, "sweep Local Firewall rule count (experiment E2)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table (sweep only)")
+	)
+	flag.Parse()
+
+	switch {
+	case *sweep:
+		tb := trace.NewTable("E2 — Local Firewall area vs number of security rules",
+			"rules", "slice regs", "slice LUTs", "LUT-FF pairs")
+		for rules := 1; rules <= 64; rules *= 2 {
+			lf := area.LocalFirewall(rules)
+			tb.AddRow(fmt.Sprintf("%d", rules),
+				trace.Comma(lf.Regs), trace.Comma(lf.LUTs), trace.Comma(lf.Pairs))
+		}
+		if *csv {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Print(tb.String())
+		}
+
+	case *platform != "":
+		var prot soc.Protection
+		switch *platform {
+		case "unprotected":
+			prot = soc.Unprotected
+		case "distributed":
+			prot = soc.Distributed
+		case "centralized":
+			prot = soc.Centralized
+		default:
+			fmt.Fprintf(os.Stderr, "areareport: unknown platform %q\n", *platform)
+			os.Exit(1)
+		}
+		s := soc.MustNew(soc.Config{Protection: prot})
+		fmt.Print(area.RenderReport(area.FromSystem(s)))
+
+	default:
+		fmt.Print(area.RenderTable1())
+	}
+}

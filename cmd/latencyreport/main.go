@@ -1,0 +1,85 @@
+// Command latencyreport regenerates the paper's Table II (firewall module
+// latencies) and prints the measured end-to-end cost of bus accesses to
+// every external-memory zone, which is how the module latencies compose in
+// practice.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/hashtree"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/soc"
+	"repro/internal/trace"
+)
+
+func main() {
+	endToEnd := flag.Bool("end-to-end", true, "also print measured per-zone access costs")
+	flag.Parse()
+
+	fmt.Print(table2())
+	if *endToEnd {
+		fmt.Println()
+		fmt.Print(zoneCosts())
+	}
+}
+
+// table2 renders Table II with the SB latency measured on a live firewall.
+func table2() string {
+	freq := sim.DefaultFrequency
+	eng := sim.NewEngine(freq)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	lf := core.NewLocalFirewall(eng, "lf", b.NewMaster("m"),
+		core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1000},
+			RWA: core.ReadOnly, ADF: core.AnyWidth}), core.NewAlertLog())
+	tx := &bus.Transaction{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 1, Data: []uint32{1}}
+	done := false
+	lf.Submit(tx, func(*bus.Transaction) { done = true })
+	eng.RunUntil(func() bool { return done }, 1000)
+	sb := tx.Completed - tx.Issued
+
+	cc, ic := aes.DefaultTiming, hashtree.DefaultTiming
+	tb := trace.NewTable("Table II — latency results of the firewalls",
+		"module", "nb. of clk cycles", "throughput (Mb/s)")
+	tb.AddRow("SB (LF/LCF)", fmt.Sprintf("%d", sb), "-")
+	tb.AddRow("CC", fmt.Sprintf("%d", cc.Latency), fmt.Sprintf("%.0f", cc.ThroughputMbps(uint64(freq))))
+	tb.AddRow("IC", fmt.Sprintf("%d", ic.Latency), fmt.Sprintf("%.0f", ic.ThroughputMbps(uint64(freq))))
+	return tb.String()
+}
+
+// zoneCosts measures a single word read and write to each DDR zone and to
+// the internal BRAM on the protected platform.
+func zoneCosts() string {
+	tb := trace.NewTable("measured end-to-end access cost (distributed platform, probe master)",
+		"target", "read (cycles)", "write (cycles)")
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores()
+	m := s.Bus.NewMaster("probe")
+	measure := func(op bus.Op, addr uint32) uint64 {
+		tx := &bus.Transaction{Op: op, Addr: addr, Size: 4, Burst: 1, Data: []uint32{0xDA7A}}
+		done := false
+		m.Submit(tx, func(*bus.Transaction) { done = true })
+		s.Eng.RunUntil(func() bool { return done }, 1_000_000)
+		return tx.Completed - tx.Issued
+	}
+	for _, z := range []struct {
+		name string
+		addr uint32
+	}{
+		{"bram (internal)", soc.BRAMBase},
+		{"ddr plain", soc.PlainBase},
+		{"ddr cipher (CM)", soc.CipherBase},
+		{"ddr secure (CM+IM)", soc.SecureBase},
+	} {
+		rd := measure(bus.Read, z.addr)
+		wr := measure(bus.Write, z.addr)
+		tb.AddRow(z.name, fmt.Sprintf("%d", rd), fmt.Sprintf("%d", wr))
+	}
+	return tb.String()
+}

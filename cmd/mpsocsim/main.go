@@ -1,0 +1,201 @@
+// Command mpsocsim builds and runs the paper's multiprocessor platform.
+//
+// Examples:
+//
+//	mpsocsim -topology                         # print Figure 1
+//	mpsocsim -workload matmul                  # compute-bound kernel on cpu0
+//	mpsocsim -workload mix -compute 16 -target external -protection distributed
+//	mpsocsim -workload producer-consumer -protection centralized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/soc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		protFlag = flag.String("protection", "distributed", "unprotected | distributed | centralized")
+		topology = flag.Bool("topology", false, "print the platform topology (Figure 1) and exit")
+		wl       = flag.String("workload", "matmul", "matmul | memcopy | stream | mix | producer-consumer")
+		compute  = flag.Int("compute", 16, "mix: compute iterations per access")
+		accesses = flag.Int("accesses", 200, "mix/stream: number of accesses")
+		target   = flag.String("target", "internal", "mix/stream target: internal | external | cipher | plain")
+		cores    = flag.Int("cores", 3, "number of processor cores")
+		maxCyc   = flag.Uint64("max", 100_000_000, "cycle budget")
+		rules    = flag.Int("extra-rules", 0, "pad every firewall with N extra rules")
+		policy   = flag.String("core-policy", "", "JSON file replacing the per-core master policy (distributed only)")
+		dumpPol  = flag.Bool("dump-policies", false, "print the platform's security policies as JSON and exit")
+	)
+	flag.Parse()
+
+	prot, err := parseProtection(*protFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var corePolicies []core.Policy
+	if *policy != "" {
+		data, err := os.ReadFile(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		if corePolicies, err = core.PoliciesFromJSON(data); err != nil {
+			fatal(err)
+		}
+	}
+	s, err := soc.New(soc.Config{
+		Protection:      prot,
+		NumCores:        *cores,
+		ExtraRulesPerLF: *rules,
+		CorePolicies:    corePolicies,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *topology {
+		fmt.Print(s.Topology())
+		return
+	}
+	if *dumpPol {
+		dumpPolicies(s)
+		return
+	}
+
+	tgt, span, err := parseTarget(*target)
+	if err != nil {
+		fatal(err)
+	}
+	if err := loadWorkload(s, *wl, tgt, span, *compute, *accesses); err != nil {
+		fatal(err)
+	}
+
+	cycles, ok := s.Run(*maxCyc)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "warning: cycle budget exhausted before all cores halted\n")
+	}
+	printSummary(s, cycles)
+}
+
+func parseProtection(s string) (soc.Protection, error) {
+	switch s {
+	case "unprotected":
+		return soc.Unprotected, nil
+	case "distributed":
+		return soc.Distributed, nil
+	case "centralized":
+		return soc.Centralized, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q", s)
+	}
+}
+
+func parseTarget(s string) (uint32, uint32, error) {
+	switch s {
+	case "internal":
+		return soc.BRAMBase, 0x1000, nil
+	case "external":
+		return soc.SecureBase, 0x1000, nil
+	case "cipher":
+		return soc.CipherBase, 0x1000, nil
+	case "plain":
+		return soc.PlainBase, 0x1000, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown target %q", s)
+	}
+}
+
+func loadWorkload(s *soc.System, name string, tgt, span uint32, compute, accesses int) error {
+	switch name {
+	case "matmul":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.MatMulLocal(12, soc.BRAMBase+0x40))
+	case "memcopy":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.MemCopy(tgt, tgt+span/2, accesses))
+	case "stream":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.Stream(tgt, accesses, 4, 0))
+	case "mix":
+		for i := range s.Cores {
+			s.MustLoad(i, workload.Mix(tgt+uint32(i)*span, span, 4, accesses, compute))
+		}
+	case "producer-consumer":
+		s.HaltIdleCores(0, 1)
+		s.MustLoad(0, workload.Producer(soc.MboxBase, accesses))
+		s.MustLoad(1, workload.Consumer(soc.MboxBase, accesses, soc.BRAMBase+0x80))
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	return nil
+}
+
+func printSummary(s *soc.System, cycles uint64) {
+	fmt.Printf("protection=%s cycles=%s (%.3f ms simulated at %s)\n",
+		s.Cfg.Protection, trace.Comma(cycles), s.Eng.Elapsed()*1e3, s.Eng.Frequency())
+
+	tb := trace.NewTable("cores", "core", "instructions", "CPI", "bus ops", "stall cycles", "bus errors", "halt")
+	for _, c := range s.Cores {
+		st := c.Stats()
+		_, cause := c.Halted()
+		tb.AddRow(c.Name(), trace.Comma(st.Instructions), fmt.Sprintf("%.2f", st.CPI()),
+			trace.Comma(st.BusOps), trace.Comma(st.StallCycles), trace.Comma(st.BusErrors),
+			cause.String())
+	}
+	fmt.Print(tb.String())
+
+	bst := s.Bus.Stats()
+	fmt.Printf("bus: %s transactions, utilization %.1f%%, wait %s cycles, %s bits moved\n",
+		trace.Comma(bst.Completed), bst.Utilization(s.Eng.Now())*100,
+		trace.Comma(bst.WaitCycles), trace.Comma(bst.BitsMoved))
+
+	if s.LCF != nil {
+		cs := s.LCF.Crypto()
+		fmt.Printf("lcf: %d enc / %d dec blocks, %d leaf verifies (%d failures), CC %s cycles, IC %s cycles\n",
+			cs.BlocksEnciphered, cs.BlocksDeciphered, cs.LeafVerifies, cs.IntegrityFailures,
+			trace.Comma(cs.CCCycles), trace.Comma(cs.ICCycles))
+	}
+	if s.SEM != nil {
+		st := s.SEM.Stats()
+		fmt.Printf("sem: %d checks, %d denied, max queue %d, stall %s cycles\n",
+			st.Checks, st.Denied, st.MaxQueue, trace.Comma(st.StallCycles))
+	}
+	if s.Alerts.Len() > 0 {
+		fmt.Printf("alerts (%d):\n", s.Alerts.Len())
+		for _, a := range s.Alerts.All() {
+			fmt.Printf("  %s\n", a)
+		}
+	} else {
+		fmt.Println("alerts: none")
+	}
+}
+
+// dumpPolicies prints every firewall's rule set as JSON.
+func dumpPolicies(s *soc.System) {
+	emit := func(name string, rules []core.Policy) {
+		data, err := core.PoliciesToJSON(rules)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("// %s\n%s\n", name, data)
+	}
+	switch s.Cfg.Protection {
+	case soc.Distributed:
+		emit("core master policy (lf-cpu*)", s.CoreFWs[0].Config().Policies())
+		emit("external memory policy (lcf-ddr)", s.LCF.Config().Policies())
+	case soc.Centralized:
+		emit("global SEM policy", s.SEM.Config().Policies())
+	default:
+		fmt.Println("// unprotected platform: no policies")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpsocsim:", err)
+	os.Exit(1)
+}

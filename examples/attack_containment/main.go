@@ -1,0 +1,52 @@
+// Attack containment: the paper's §III-C requirement that an attack "must
+// not reach the communication architecture but be stopped in the interface
+// associated with the infected IP".
+//
+// The demo hijacks core 2 with a store flood (denial of service) while
+// core 0 runs a legitimate workload, on the unprotected, centralized and
+// distributed platforms, and then runs the full threat-model campaign.
+//
+//	go run ./examples/attack_containment
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/soc"
+	"repro/internal/trace"
+)
+
+func main() {
+	fmt.Println("DoS flood: hijacked core 2 hammers a forbidden address while core 0 works")
+	fmt.Println()
+	tb := trace.NewTable("", "protection", "victim slowdown", "flood on bus", "detected", "contained")
+	for _, p := range []soc.Protection{soc.Unprotected, soc.Centralized, soc.Distributed} {
+		d := attack.DoS(p)
+		tb.AddRow(p.String(), fmt.Sprintf("%.2fx", d.Slowdown()),
+			fmt.Sprintf("%.0f%%", d.FloodBusShare*100),
+			fmt.Sprintf("%v", d.Detected), fmt.Sprintf("%v", d.Contained))
+	}
+	fmt.Print(tb.String())
+
+	fmt.Println()
+	fmt.Println("Full threat model (distributed firewalls):")
+	for _, o := range attack.All(soc.Distributed) {
+		status := "STOPPED"
+		if !o.Detected || !o.Contained {
+			status = "MISSED"
+		}
+		fmt.Printf("  %-14s %-9s violation=%-9s reaction=%d cycles  (%s)\n",
+			o.Scenario, status, o.Violation, o.DetectLatency, o.Notes)
+	}
+
+	fmt.Println()
+	fmt.Println("Same campaign without protection (attacks succeed — threat model is real):")
+	for _, o := range attack.All(soc.Unprotected) {
+		status := "SUCCEEDED"
+		if o.Contained {
+			status = "failed"
+		}
+		fmt.Printf("  %-14s attack %-10s (%s)\n", o.Scenario, status, o.Notes)
+	}
+}

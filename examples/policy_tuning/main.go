@@ -1,0 +1,113 @@
+// Policy tuning: the cost side of the paper's trade-off. Security
+// policies are data, not gateware — this demo reconfigures a firewall at
+// run time (the paper's "reconfiguration of security services"
+// perspective), then quantifies how policy aggressiveness (rule count)
+// buys area, and how the traffic mix drives the latency overhead.
+//
+//	go run ./examples/policy_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/area"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/soc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	reconfigureLive()
+	ruleAreaSweep()
+	trafficMixSweep()
+}
+
+// reconfigureLive revokes and restores a core's write access to a BRAM
+// window while the platform is running.
+func reconfigureLive() {
+	fmt.Println("-- live policy reconfiguration --")
+	s, err := soc.New(soc.Config{Protection: soc.Distributed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.HaltIdleCores()
+	// The probe issues traffic under cpu0's identity: the BRAM firewall's
+	// origin rules only admit the platform's own IPs (on the FPGA the
+	// master ID is wired, not claimed).
+	m := s.Bus.NewMaster("probe")
+	probe := func() bus.Resp {
+		tx := &bus.Transaction{Master: soc.CoreName(0), Op: bus.Write, Addr: soc.BRAMBase + 0xF000, Size: 4, Burst: 1, Data: []uint32{1}}
+		done := false
+		m.Submit(tx, func(*bus.Transaction) { done = true })
+		s.Eng.RunUntil(func() bool { return done }, 100000)
+		return tx.Resp
+	}
+
+	fmt.Printf("write to bram window: %v\n", probe())
+
+	// Carve a read-only window out of the BRAM policy on the slave-side
+	// firewall. Most-specific-zone matching makes it take precedence.
+	cfg := s.BRAMFW.Config()
+	if err := cfg.Add(core.Policy{SPI: 999, Zone: core.Zone{Base: soc.BRAMBase + 0xF000, Size: 0x1000},
+		RWA: core.ReadOnly, ADF: core.AnyWidth}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after adding RO rule:  %v\n", probe())
+
+	cfg.Remove(999)
+	fmt.Printf("after removing it:     %v\n\n", probe())
+}
+
+// ruleAreaSweep prints the E2 area curve.
+func ruleAreaSweep() {
+	fmt.Println("-- firewall area vs policy aggressiveness (rules monitored) --")
+	tb := trace.NewTable("", "rules", "LF slice LUTs", "5-LF platform LUTs")
+	for _, rules := range []int{1, 4, 6, 16, 64} {
+		lf := area.LocalFirewall(rules)
+		platform := area.BaseSystem(3).Total().
+			Add(lf.Scale(5)).
+			Add(area.InterfaceAdapter().Scale(5)).
+			Add(area.LCF(area.CalibSBRules, area.CalibICBits)).
+			Add(area.SecurityController())
+		tb.AddRow(fmt.Sprintf("%d", rules), trace.Comma(lf.LUTs), trace.Comma(platform.LUTs))
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+}
+
+// trafficMixSweep shows the paper's latency guidance: promote internal
+// communication and computation to absorb the protection overhead.
+func trafficMixSweep() {
+	fmt.Println("-- protection overhead vs traffic profile (100 accesses) --")
+	run := func(p soc.Protection, target uint32, iters int) uint64 {
+		s := soc.MustNew(soc.Config{Protection: p})
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.Mix(target, 0x1000, 4, 100, iters))
+		c, ok := s.Run(100_000_000)
+		if !ok {
+			log.Fatal("workload stuck")
+		}
+		return c
+	}
+	tb := trace.NewTable("", "traffic", "compute:comm", "unprotected", "protected", "overhead")
+	for _, row := range []struct {
+		name  string
+		base  uint32
+		iters int
+	}{
+		{"internal (bram)", soc.BRAMBase, 0},
+		{"internal (bram)", soc.BRAMBase, 64},
+		{"external (secure)", soc.SecureBase, 0},
+		{"external (secure)", soc.SecureBase, 64},
+	} {
+		plain := run(soc.Unprotected, row.base, row.iters)
+		prot := run(soc.Distributed, row.base, row.iters)
+		tb.AddRow(row.name, fmt.Sprintf("%d:1", row.iters),
+			trace.Comma(plain), trace.Comma(prot),
+			trace.Pct(float64(prot), float64(plain)))
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,53 @@
+// Quickstart: build the paper's protected 3-core platform, run a
+// multi-core workload through the distributed firewalls, and read the
+// performance counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Build the platform of Figure 1 with the paper's protection:
+	//    Local Firewalls on every IP, Local Ciphering Firewall on the
+	//    external memory.
+	system, err := soc.New(soc.Config{Protection: soc.Distributed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(system.Topology())
+
+	// 2. Load one MB32 program per core: cpu0 multiplies matrices in its
+	//    local memory, cpu1/cpu2 exchange words through the mailbox.
+	system.MustLoad(0, workload.MatMulLocal(8, soc.BRAMBase+0x40))
+	system.MustLoad(1, workload.Producer(soc.MboxBase, 32))
+	system.MustLoad(2, workload.Consumer(soc.MboxBase, 32, soc.BRAMBase+0x80))
+
+	// 3. Run until every core halts.
+	cycles, ok := system.Run(10_000_000)
+	if !ok {
+		log.Fatal("cycle budget exhausted")
+	}
+	fmt.Printf("\nfinished in %d cycles (%.2f ms at %s)\n",
+		cycles, system.Eng.Elapsed()*1e3, system.Eng.Frequency())
+
+	// 4. Results were published to the shared BRAM over the bus — through
+	//    the firewalls, without raising a single alert.
+	matmul := system.BRAM.Store().ReadWord(soc.BRAMBase + 0x40)
+	mbox := system.BRAM.Store().ReadWord(soc.BRAMBase + 0x80)
+	fmt.Printf("matmul checksum: %#x (want %#x)\n", matmul, workload.MatMulChecksum(8))
+	fmt.Printf("mailbox sum:     %d (want %d)\n", mbox, workload.ProducerChecksum(32))
+	fmt.Printf("alerts:          %d\n", system.Alerts.Len())
+
+	for _, c := range system.Cores {
+		st := c.Stats()
+		fmt.Printf("%s: %d instructions, CPI %.2f, %d bus ops\n",
+			c.Name(), st.Instructions, st.CPI(), st.BusOps)
+	}
+}

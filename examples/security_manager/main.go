@@ -1,0 +1,95 @@
+// Security manager: the paper's future-work features working together.
+//
+// cpu0 runs a software security manager polling the AlertPort; cpu1 is
+// hijacked and misbehaves. The hardware Reactor quarantines cpu1 after
+// three violations (reconfiguration of security services), the manager
+// observes the incident through the memory-mapped alert queue, and a
+// thread-restricted window demonstrates per-thread security levels.
+//
+//	go run ./examples/security_manager
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/soc"
+)
+
+func main() {
+	system, err := soc.New(soc.Config{
+		Protection:          soc.Distributed,
+		QuarantineThreshold: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	system.HaltIdleCores(0, 1)
+
+	// Thread-specific policy: a BRAM window only thread 7 may touch.
+	if err := system.CoreFWs[1].Config().Add(core.Policy{
+		SPI:     800,
+		Zone:    core.Zone{Base: soc.BRAMBase + 0xE000, Size: 0x100},
+		RWA:     core.ReadWrite,
+		ADF:     core.AnyWidth,
+		Threads: []uint32{7},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// cpu1: touches the thread window under the wrong context (1 alert),
+	// escapes its zones twice (2 more alerts -> quarantine), then tries
+	// to exfiltrate through a normally-legal BRAM write.
+	system.MustLoad(1, fmt.Sprintf(`
+		li r1, %#x            ; thread-restricted window
+		sw r0, 0(r1)          ; wrong thread -> violation 1
+		li r1, 0x70000000
+		sw r0, 0(r1)          ; violation 2
+		sw r0, 4(r1)          ; violation 3 -> quarantined
+		li r2, %#x
+		li r3, 0x5EC4E7
+		sw r3, 0(r2)          ; exfiltration attempt
+		csrr r10, 4           ; observed error count
+		halt
+	`, soc.BRAMBase+0xE000, soc.BRAMBase))
+
+	// cpu0: drain three alerts from the port, recording each kind.
+	system.MustLoad(0, fmt.Sprintf(`
+		li r1, %#x            ; alert port
+		li r6, %#x            ; result area
+		li r7, 3              ; alerts to collect
+	poll:
+		lw r2, 0(r1)          ; count
+		beqz r2, poll
+		lw r3, 4(r1)          ; kind
+		sw r3, 0(r6)
+		addi r6, r6, 4
+		li r5, 1
+		sw r5, 16(r1)         ; pop
+		addi r7, r7, -1
+		bnez r7, poll
+		halt
+	`, soc.AlertBase, soc.BRAMBase+0x400))
+
+	if _, ok := system.Run(10_000_000); !ok {
+		log.Fatal("platform did not finish")
+	}
+
+	fmt.Println("manager observed violations:")
+	for i := uint32(0); i < 3; i++ {
+		kind := core.Violation(system.BRAM.Store().ReadWord(soc.BRAMBase + 0x400 + 4*i))
+		fmt.Printf("  alert %d: %s\n", i+1, kind)
+	}
+	fmt.Printf("cpu1 quarantined: %v (after %d violations)\n",
+		system.Reactor.Quarantined(soc.CoreName(1)), system.Reactor.Quarantines*3)
+	fmt.Printf("exfiltration result: bram[0] = %#x (0 = contained)\n",
+		system.BRAM.Store().ReadWord(soc.BRAMBase))
+	fmt.Printf("cpu1 saw %d discarded transfers\n", system.Cores[1].Stats().BusErrors)
+
+	// Supervisor clears the incident.
+	if err := system.Reactor.Release(soc.CoreName(1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after release: quarantined = %v\n", system.Reactor.Quarantined(soc.CoreName(1)))
+}

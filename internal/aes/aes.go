@@ -1,0 +1,312 @@
+// Package aes is a from-scratch AES-128 implementation modeling the
+// Confidentiality Core (CC) of the paper's Local Ciphering Firewall.
+//
+// The Go standard library ships crypto/aes, but the point of this package
+// is to model a *hardware* core: the cipher itself is implemented from the
+// FIPS-197 specification (S-box, key schedule, round function), and a
+// Timing descriptor mirrors the paper's measured hardware characteristics
+// (11-cycle block latency, ≈450 Mb/s sustained throughput at 100 MHz,
+// Table II). The functional and timing halves are deliberately separate:
+// the LCF consumes both.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// rounds for AES-128.
+const rounds = 10
+
+// sbox is the FIPS-197 substitution table, generated from the finite-field
+// inverse at init time (no hard-coded table to transcribe wrongly).
+var sbox [256]byte
+var invSbox [256]byte
+
+func init() {
+	// Multiplicative inverse in GF(2^8) via 3 being a generator:
+	// build log/antilog tables.
+	var logT, expT [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expT[i] = x
+		logT[x] = byte(i)
+		// multiply x by 3 = x + 2x.
+		x ^= xtime(x)
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return expT[(255-int(logT[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		q := inv(byte(i))
+		// Affine transform.
+		s := q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+		mul9[i] = gmul(byte(i), 9)
+		mul11[i] = gmul(byte(i), 11)
+		mul13[i] = gmul(byte(i), 13)
+		mul14[i] = gmul(byte(i), 14)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// xtime multiplies by x (i.e. 2) in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func xtime(b byte) byte {
+	v := b << 1
+	if b&0x80 != 0 {
+		v ^= 0x1b
+	}
+	return v
+}
+
+// gmul multiplies two field elements.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded AES-128 key. It is immutable after New.
+type Cipher struct {
+	rk [4 * (rounds + 1)]uint32 // round keys, big-endian words as in FIPS-197
+}
+
+// New expands a 16-byte key. It returns an error for any other length.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: key length %d, want %d", len(key), KeySize)
+	}
+	c := &Cipher{}
+	for i := 0; i < 4; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := 4; i < len(c.rk); i++ {
+		t := c.rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon
+			rcon = uint32(xtime(byte(rcon>>24))) << 24
+		}
+		c.rk[i] = c.rk[i-4] ^ t
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good keys; it panics on error.
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+// state is the 4x4 byte state in column-major order (FIPS-197 layout):
+// s[r][c] = in[r + 4c].
+type state [4][4]byte
+
+func load(dst *state, src []byte) {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			dst[r][c] = src[4*c+r]
+		}
+	}
+}
+
+func store(dst []byte, s *state) {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			dst[4*c+r] = s[r][c]
+		}
+	}
+}
+
+func (c *Cipher) addRoundKey(s *state, round int) {
+	for col := 0; col < 4; col++ {
+		w := c.rk[4*round+col]
+		s[0][col] ^= byte(w >> 24)
+		s[1][col] ^= byte(w >> 16)
+		s[2][col] ^= byte(w >> 8)
+		s[3][col] ^= byte(w)
+	}
+}
+
+func subBytes(s *state) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func invSubBytes(s *state) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func shiftRows(s *state) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func invShiftRows(s *state) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func mixColumns(s *state) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		// 2·a = xtime(a), 3·a = xtime(a) ^ a: no general multiply needed.
+		x0, x1, x2, x3 := xtime(a0), xtime(a1), xtime(a2), xtime(a3)
+		s[0][c] = x0 ^ x1 ^ a1 ^ a2 ^ a3
+		s[1][c] = a0 ^ x1 ^ x2 ^ a2 ^ a3
+		s[2][c] = a0 ^ a1 ^ x2 ^ x3 ^ a3
+		s[3][c] = x0 ^ a0 ^ a1 ^ a2 ^ x3
+	}
+}
+
+// Inverse MixColumns coefficient tables (9, 11, 13, 14), filled by init.
+var mul9, mul11, mul13, mul14 [256]byte
+
+func invMixColumns(s *state) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
+		s[1][c] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
+		s[2][c] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
+		s[3][c] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+	}
+}
+
+// Encrypt enciphers one 16-byte block; dst and src may overlap. It panics
+// on short slices (programming error, not data error).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	var s state
+	load(&s, src)
+	c.addRoundKey(&s, 0)
+	for round := 1; round < rounds; round++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		c.addRoundKey(&s, round)
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	c.addRoundKey(&s, rounds)
+	store(dst, &s)
+}
+
+// Decrypt deciphers one 16-byte block; dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	var s state
+	load(&s, src)
+	c.addRoundKey(&s, rounds)
+	invShiftRows(&s)
+	invSubBytes(&s)
+	for round := rounds - 1; round >= 1; round-- {
+		c.addRoundKey(&s, round)
+		invMixColumns(&s)
+		invShiftRows(&s)
+		invSubBytes(&s)
+	}
+	c.addRoundKey(&s, 0)
+	store(dst, &s)
+}
+
+// EncryptBlock is a convenience returning a fresh ciphertext slice.
+func (c *Cipher) EncryptBlock(src []byte) []byte {
+	out := make([]byte, BlockSize)
+	c.Encrypt(out, src)
+	return out
+}
+
+// DecryptBlock is a convenience returning a fresh plaintext slice.
+func (c *Cipher) DecryptBlock(src []byte) []byte {
+	out := make([]byte, BlockSize)
+	c.Decrypt(out, src)
+	return out
+}
+
+// Timing describes the hardware Confidentiality Core implementation
+// measured in the paper: a block enters the core and emerges Latency
+// cycles later; a new block may enter every Interval cycles (the core's
+// 32-bit datapath makes it non-fully-pipelined).
+type Timing struct {
+	// Latency is the cycles from block-in to block-out (paper: 11).
+	Latency uint64
+	// Interval is the initiation interval between consecutive blocks
+	// (calibrated to 28 so that 128 bits / 28 cycles at 100 MHz ≈ the
+	// paper's 450 Mb/s).
+	Interval uint64
+}
+
+// DefaultTiming is the Table II calibration for the CC (DESIGN.md §5).
+var DefaultTiming = Timing{Latency: 11, Interval: 28}
+
+// BlockCycles returns the cycles to process n consecutive blocks:
+// the first block costs Latency, each further block Interval.
+func (t Timing) BlockCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	iv := t.Interval
+	if iv < t.Latency {
+		iv = t.Latency
+	}
+	return t.Latency + uint64(n-1)*iv
+}
+
+// ThroughputMbps returns the steady-state throughput at freqHz.
+func (t Timing) ThroughputMbps(freqHz uint64) float64 {
+	iv := t.Interval
+	if iv == 0 {
+		iv = t.Latency
+	}
+	if iv == 0 {
+		return 0
+	}
+	bitsPerSec := float64(BlockSize*8) * float64(freqHz) / float64(iv)
+	return bitsPerSec / 1e6
+}

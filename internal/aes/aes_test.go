@@ -1,0 +1,195 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestFIPS197AppendixB is the worked example from the standard.
+func TestFIPS197AppendixB(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c := MustNew(key)
+	got := c.EncryptBlock(pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+	back := c.DecryptBlock(got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("Decrypt = %x, want %x", back, pt)
+	}
+}
+
+// TestFIPS197AppendixC1 is the AES-128 known-answer vector.
+func TestFIPS197AppendixC1(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := unhex(t, "00112233445566778899aabbccddeeff")
+	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c := MustNew(key)
+	if got := c.EncryptBlock(pt); !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+}
+
+// TestNISTSP800_38A_ECB checks the first two ECB-AES128 blocks from
+// SP 800-38A F.1.1.
+func TestNISTSP800_38A_ECB(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c := MustNew(key)
+	vectors := []struct{ pt, ct string }{
+		{"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+		{"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+		{"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+		{"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+	}
+	for i, v := range vectors {
+		if got := c.EncryptBlock(unhex(t, v.pt)); !bytes.Equal(got, unhex(t, v.ct)) {
+			t.Errorf("vector %d: got %x, want %s", i, got, v.ct)
+		}
+	}
+}
+
+func TestKeySizeValidation(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestSboxIsPermutationAndMatchesKnownEntries(t *testing.T) {
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatalf("sbox not a permutation: duplicate %#x", sbox[i])
+		}
+		seen[sbox[i]] = true
+	}
+	// Spot-check published entries.
+	known := map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x9a: 0xb8}
+	for in, want := range known {
+		if sbox[in] != want {
+			t.Errorf("sbox[%#x] = %#x, want %#x", in, sbox[in], want)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox not inverse at %#x", i)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	prop := func(key, pt [16]byte) bool {
+		c := MustNew(key[:])
+		ct := c.EncryptBlock(pt[:])
+		back := c.DecryptBlock(ct)
+		return bytes.Equal(back, pt[:]) && !bytes.Equal(ct, pt[:])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvalancheOnPlaintextBitFlip(t *testing.T) {
+	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
+	c := MustNew(key)
+	pt := make([]byte, 16)
+	base := c.EncryptBlock(pt)
+	pt[0] ^= 1
+	flipped := c.EncryptBlock(pt)
+	diff := 0
+	for i := range base {
+		diff += popcount(base[i] ^ flipped[i])
+	}
+	// A single input bit must flip roughly half the output bits.
+	if diff < 40 || diff > 88 {
+		t.Fatalf("avalanche: %d/128 bits flipped", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	key := unhex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	c := MustNew(key)
+	buf := unhex(t, "3243f6a8885a308d313198a2e0370734")
+	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
+	c.Encrypt(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place encrypt = %x, want %x", buf, want)
+	}
+	c.Decrypt(buf, buf)
+	if !bytes.Equal(buf, unhex(t, "3243f6a8885a308d313198a2e0370734")) {
+		t.Fatal("in-place decrypt failed")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	c := MustNew(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short block did not panic")
+		}
+	}()
+	c.Encrypt(make([]byte, 16), make([]byte, 15))
+}
+
+func TestTimingBlockCycles(t *testing.T) {
+	tm := DefaultTiming
+	if got := tm.BlockCycles(0); got != 0 {
+		t.Fatalf("BlockCycles(0) = %d", got)
+	}
+	if got := tm.BlockCycles(1); got != 11 {
+		t.Fatalf("BlockCycles(1) = %d, want 11 (Table II)", got)
+	}
+	if got := tm.BlockCycles(4); got != 11+3*28 {
+		t.Fatalf("BlockCycles(4) = %d, want %d", got, 11+3*28)
+	}
+}
+
+func TestTimingThroughputMatchesPaper(t *testing.T) {
+	// Table II: CC throughput 450 Mb/s at the 100 MHz platform clock.
+	got := DefaultTiming.ThroughputMbps(100_000_000)
+	if got < 440 || got > 470 {
+		t.Fatalf("CC throughput = %.1f Mb/s, want ≈450 (Table II)", got)
+	}
+}
+
+func TestTimingDegenerate(t *testing.T) {
+	if (Timing{}).ThroughputMbps(1e8) != 0 {
+		t.Fatal("zero Timing should yield zero throughput")
+	}
+	// Interval shorter than latency clamps to latency.
+	tm := Timing{Latency: 10, Interval: 2}
+	if got := tm.BlockCycles(3); got != 30 {
+		t.Fatalf("clamped BlockCycles = %d, want 30", got)
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	c := MustNew(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

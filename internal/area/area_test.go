@@ -1,0 +1,188 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soc"
+)
+
+// TestTableIGenericWithoutFirewalls pins the paper's exact baseline row.
+func TestTableIGenericWithoutFirewalls(t *testing.T) {
+	got := BaseSystem(3).Total()
+	want := Resources{Regs: 12895, LUTs: 11474, Pairs: 15473, BRAM: 53}
+	if got != want {
+		t.Fatalf("w/o firewalls = %v, want %v (Table I)", got, want)
+	}
+}
+
+// TestTableIGenericWithFirewalls pins the paper's exact protected row.
+func TestTableIGenericWithFirewalls(t *testing.T) {
+	got := PaperProtected().Total()
+	want := Resources{Regs: 15833, LUTs: 19554, Pairs: 21530, BRAM: 63}
+	if got != want {
+		t.Fatalf("w/ firewalls = %v, want %v (Table I)", got, want)
+	}
+}
+
+// TestTableIModuleRows pins the four per-module rows.
+func TestTableIModuleRows(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Resources
+		want Resources
+	}{
+		{"SB", SecurityBuilder(CalibSBRules), Resources{0, 393, 393, 0}},
+		{"CC", ConfidentialityCore(), Resources{436, 986, 344, 10}},
+		{"IC", IntegrityCore(CalibICBits), Resources{1224, 1404, 1704, 0}},
+		{"LF", LocalFirewall(CalibLFRules), Resources{8, 403, 403, 0}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v (Table I)", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestBRAMOverheadMatchesPaperPercentage: the only percentage in the
+// paper's Table I that is consistent with its absolute numbers.
+func TestBRAMOverheadMatchesPaperPercentage(t *testing.T) {
+	w := PaperProtected().Total().BRAM
+	wo := BaseSystem(3).Total().BRAM
+	pct := float64(w-wo) / float64(wo) * 100
+	if pct < 18.8 || pct > 18.9 {
+		t.Fatalf("BRAM overhead = %.2f%%, paper prints +18.87%%", pct)
+	}
+}
+
+// TestCryptoDominatesLCF checks the paper's observation that the CC and IC
+// account for about 90% of the Local Ciphering Firewall's area.
+func TestCryptoDominatesLCF(t *testing.T) {
+	lcf := LCF(CalibSBRules, CalibICBits)
+	crypto := ConfidentialityCore().Add(IntegrityCore(CalibICBits))
+	share := float64(crypto.LUTs+crypto.Regs) / float64(lcf.LUTs+lcf.Regs)
+	if share < 0.70 {
+		t.Fatalf("crypto share of LCF = %.0f%%, paper says ~90%%", share*100)
+	}
+}
+
+// TestLFCostIsLimited checks the paper's headline qualitative claim: a
+// Local Firewall is small next to the system and tiny next to the LCF.
+func TestLFCostIsLimited(t *testing.T) {
+	lf := LocalFirewall(CalibLFRules)
+	sys := BaseSystem(3).Total()
+	if float64(lf.LUTs) > 0.05*float64(sys.LUTs) {
+		t.Fatalf("LF = %d LUTs, more than 5%% of the %d-LUT system", lf.LUTs, sys.LUTs)
+	}
+	lcf := LCF(CalibSBRules, CalibICBits)
+	if lf.LUTs*4 > lcf.LUTs {
+		t.Fatalf("LF (%d LUTs) not clearly smaller than LCF (%d LUTs)", lf.LUTs, lcf.LUTs)
+	}
+}
+
+// TestRuleSweepMonotoneLinear is the E2 structure: firewall area grows
+// linearly with the number of monitored rules.
+func TestRuleSweepMonotoneLinear(t *testing.T) {
+	prev := LocalFirewall(0).LUTs
+	delta := uint64(0)
+	for rules := 1; rules <= 64; rules++ {
+		cur := LocalFirewall(rules).LUTs
+		if cur <= prev {
+			t.Fatalf("LF area not monotone at %d rules", rules)
+		}
+		d := cur - prev
+		if delta == 0 {
+			delta = d
+		} else if d != delta {
+			t.Fatalf("LF area not linear at %d rules: step %d vs %d", rules, d, delta)
+		}
+		prev = cur
+	}
+	if SecurityBuilder(10).LUTs <= SecurityBuilder(3).LUTs {
+		t.Fatal("SB area not monotone in rules")
+	}
+}
+
+func TestIntegrityCoreGrowsWithTagState(t *testing.T) {
+	base := IntegrityCore(CalibICBits)
+	bigger := IntegrityCore(CalibICBits * 4)
+	if bigger.LUTs <= base.LUTs {
+		t.Fatal("IC area ignores on-chip tag state")
+	}
+	smaller := IntegrityCore(0)
+	if smaller != base {
+		t.Fatal("IC below calibration point should clamp to the paper row")
+	}
+}
+
+func TestNegativeRulesClamped(t *testing.T) {
+	if LocalFirewall(-5) != LocalFirewall(0) {
+		t.Fatal("negative rules not clamped")
+	}
+	if SecurityBuilder(-5) != SecurityBuilder(0) {
+		t.Fatal("negative rules not clamped")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	if a.Add(b) != (Resources{11, 22, 33, 44}) {
+		t.Fatal("Add wrong")
+	}
+	if a.Scale(3) != (Resources{3, 6, 9, 12}) {
+		t.Fatal("Scale wrong")
+	}
+	if !strings.Contains(a.String(), "regs:1") {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestFromSystemDistributedExceedsUnprotected(t *testing.T) {
+	un := FromSystem(soc.MustNew(soc.Config{Protection: soc.Unprotected})).Total()
+	di := FromSystem(soc.MustNew(soc.Config{Protection: soc.Distributed})).Total()
+	ce := FromSystem(soc.MustNew(soc.Config{Protection: soc.Centralized})).Total()
+	if di.LUTs <= un.LUTs || di.Regs <= un.Regs || di.BRAM <= un.BRAM {
+		t.Fatalf("distributed (%v) not larger than unprotected (%v)", di, un)
+	}
+	if ce.LUTs <= un.LUTs {
+		t.Fatalf("centralized (%v) not larger than unprotected (%v)", ce, un)
+	}
+	// The distributed scheme pays more area than the centralized rule
+	// checker because it alone carries the crypto cores — the paper's
+	// trade-off.
+	if di.LUTs <= ce.LUTs {
+		t.Fatalf("distributed (%v) should out-size centralized (%v): it adds CC+IC", di, ce)
+	}
+}
+
+func TestFromSystemTracksRulePadding(t *testing.T) {
+	base := FromSystem(soc.MustNew(soc.Config{Protection: soc.Distributed})).Total()
+	padded := FromSystem(soc.MustNew(soc.Config{Protection: soc.Distributed, ExtraRulesPerLF: 32})).Total()
+	if padded.LUTs <= base.LUTs {
+		t.Fatal("rule padding invisible to the area model")
+	}
+}
+
+func TestRenderTable1Shape(t *testing.T) {
+	out := RenderTable1()
+	for _, want := range []string{
+		"12,895", "11,474", "15,473", "53",
+		"15,833", "19,554", "21,530", "63",
+		"393", "986", "1,404", "403",
+		"+18.87%", "Slice Regs", "BRAMs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderReportShape(t *testing.T) {
+	out := RenderReport(FromSystem(soc.MustNew(soc.Config{Protection: soc.Distributed})))
+	for _, want := range []string{"lf-cpu0", "lcf", "total", "microblaze"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package attack_test
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/soc"
+)
+
+// TestExternalAttacksSucceedUnprotected keeps the threat model honest: on
+// the generic platform every external-memory attack reaches its goal and
+// nothing notices.
+func TestExternalAttacksSucceedUnprotected(t *testing.T) {
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.Tamper, attack.Replay, attack.Relocation, attack.Spoof,
+	} {
+		o := run(soc.Unprotected)
+		if o.Detected {
+			t.Errorf("%s: detected on unprotected platform?!", o.Scenario)
+		}
+		if o.Contained {
+			t.Errorf("%s: attack failed even without protection — scenario broken (%s)", o.Scenario, o.Notes)
+		}
+	}
+}
+
+// TestExternalAttacksDetectedAndContainedDistributed is the paper's core
+// security claim for the LCF.
+func TestExternalAttacksDetectedAndContainedDistributed(t *testing.T) {
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.Tamper, attack.Replay, attack.Relocation, attack.Spoof,
+	} {
+		o := run(soc.Distributed)
+		if !o.Detected {
+			t.Errorf("%s: not detected (%s)", o.Scenario, o.Notes)
+		}
+		if !o.Contained {
+			t.Errorf("%s: not contained (%s)", o.Scenario, o.Notes)
+		}
+	}
+}
+
+func TestReplayClassifiedAsReplay(t *testing.T) {
+	o := attack.Replay(soc.Distributed)
+	if o.Violation != core.VReplay {
+		t.Errorf("replay classified as %v", o.Violation)
+	}
+}
+
+func TestTamperClassifiedAsIntegrity(t *testing.T) {
+	o := attack.Tamper(soc.Distributed)
+	if o.Violation != core.VIntegrity && o.Violation != core.VReplay {
+		t.Errorf("tamper classified as %v", o.Violation)
+	}
+}
+
+// TestCentralizedMissesExternalAttacks: the SECA-style baseline checks bus
+// rules only — it has no external-memory protection, so all four attacks
+// succeed silently. This is the architectural gap the LCF fills.
+func TestCentralizedMissesExternalAttacks(t *testing.T) {
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.Tamper, attack.Replay, attack.Relocation, attack.Spoof,
+	} {
+		o := run(soc.Centralized)
+		if o.Detected || o.Contained {
+			t.Errorf("%s: centralized baseline unexpectedly handled it (%s)", o.Scenario, o.Notes)
+		}
+	}
+}
+
+func TestHijackAttacksContainedDistributed(t *testing.T) {
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.ZoneEscape, attack.DMAHijack, attack.FormatAbuse,
+	} {
+		o := run(soc.Distributed)
+		if !o.Detected || !o.Contained {
+			t.Errorf("%s: detected=%v contained=%v (%s)", o.Scenario, o.Detected, o.Contained, o.Notes)
+		}
+	}
+}
+
+func TestHijackAttacksSucceedUnprotected(t *testing.T) {
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.ZoneEscape, attack.DMAHijack,
+	} {
+		o := run(soc.Unprotected)
+		if o.Detected {
+			t.Errorf("%s: phantom detection on unprotected platform", o.Scenario)
+		}
+		if o.Contained {
+			t.Errorf("%s: hijack failed without protection — scenario broken (%s)", o.Scenario, o.Notes)
+		}
+	}
+}
+
+func TestHijackAttacksDetectedCentralized(t *testing.T) {
+	// Bus-rule attacks ARE the centralized baseline's home turf: it must
+	// catch them too (at higher cost — see the benches).
+	for _, run := range []func(soc.Protection) attack.Outcome{
+		attack.ZoneEscape, attack.DMAHijack,
+	} {
+		o := run(soc.Centralized)
+		if !o.Detected || !o.Contained {
+			t.Errorf("%s: centralized missed a bus-rule attack: detected=%v contained=%v (%s)",
+				o.Scenario, o.Detected, o.Contained, o.Notes)
+		}
+	}
+}
+
+func TestDetectionLatencyIsBounded(t *testing.T) {
+	// §III-C: "the system must react as fast as possible". A hijacked-IP
+	// violation must be flagged within the SB check window plus a couple
+	// of pipeline cycles, not after the transfer completed.
+	o := attack.ZoneEscape(soc.Distributed)
+	if !o.Detected {
+		t.Fatal("not detected")
+	}
+	if o.DetectLatency > 200 {
+		t.Errorf("detection took %d cycles", o.DetectLatency)
+	}
+}
+
+func TestDoSContainmentDistributed(t *testing.T) {
+	d := attack.DoS(soc.Distributed)
+	if !d.Detected {
+		t.Error("flood not detected")
+	}
+	if !d.Contained {
+		t.Errorf("victim slowed %.2fx by a flood the firewall should absorb (%s)", d.Slowdown(), d.Notes)
+	}
+	if d.FloodBusShare > 0.01 {
+		t.Errorf("flood reached the bus: %.1f%% of transactions", d.FloodBusShare*100)
+	}
+}
+
+func TestDoSHurtsUnprotected(t *testing.T) {
+	d := attack.DoS(soc.Unprotected)
+	if d.Slowdown() < 1.5 {
+		t.Errorf("flood barely hurt the unprotected victim (%.2fx) — scenario broken", d.Slowdown())
+	}
+	if d.FloodBusShare < 0.3 {
+		t.Errorf("flood bus share only %.1f%%", d.FloodBusShare*100)
+	}
+}
+
+func TestDoSHurtsCentralizedMore(t *testing.T) {
+	// The SEM serializes every check, so a flood congests *everyone*.
+	cent := attack.DoS(soc.Centralized)
+	dist := attack.DoS(soc.Distributed)
+	if cent.Slowdown() <= dist.Slowdown() {
+		t.Errorf("centralized slowdown %.2fx not worse than distributed %.2fx",
+			cent.Slowdown(), dist.Slowdown())
+	}
+}
+
+func TestAllRunsEveryScenario(t *testing.T) {
+	outs := attack.All(soc.Distributed)
+	if len(outs) != 7 {
+		t.Fatalf("All returned %d scenarios, want 7", len(outs))
+	}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		if seen[o.Scenario] {
+			t.Errorf("duplicate scenario %s", o.Scenario)
+		}
+		seen[o.Scenario] = true
+		if o.Scenario == "" || o.String() == "" {
+			t.Error("empty scenario metadata")
+		}
+	}
+}
+
+// TestCipherOnlyZoneVulnerableByDesign pins the paper's §III-B analysis:
+// a ciphered-but-unauthenticated zone resists disclosure but not
+// corruption-DoS — on every architecture, including the distributed one.
+func TestCipherOnlyZoneVulnerableByDesign(t *testing.T) {
+	for _, p := range []soc.Protection{soc.Unprotected, soc.Distributed} {
+		o := attack.CipherOnlyTamper(p)
+		if o.Detected {
+			t.Errorf("%v: cipher-only tamper detected?! (%s)", p, o.Notes)
+		}
+		if o.Contained {
+			t.Errorf("%v: cipher-only tamper contained?! (%s)", p, o.Notes)
+		}
+	}
+	// Confidentiality still holds on the distributed platform: the
+	// stored bytes are ciphertext.
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores()
+	if got := s.DDR.Store().ReadWord(soc.CipherBase); got == 0 {
+		// Sealed zone: even all-zero plaintext encrypts to nonzero.
+		t.Error("cipher zone stored plaintext zeros")
+	}
+}

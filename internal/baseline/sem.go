@@ -1,0 +1,266 @@
+// Package baseline implements the *centralized* security architecture the
+// paper positions itself against (Coburn et al.'s SECA: per-IP Security
+// Enforcement Interfaces forwarding to one global Security Enforcement
+// Module). The paper argues distribution wins because checks stay local —
+// this package makes that comparison executable instead of rhetorical.
+//
+// Protocol modeled: before an IP's transfer may proceed, its SEI sends a
+// check request to the SEM over the shared system bus (one write), then
+// fetches the verdict (one read that stalls until the SEM has processed
+// the request through its serial check queue). Only then does the actual
+// transfer go out. Every checked access therefore costs two extra bus
+// transactions plus SEM queueing — the contention and single-point-of-
+// failure the distributed scheme avoids.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SEM register offsets.
+const (
+	SEMRegAddr    = 0x00 // check request: address
+	SEMRegMeta    = 0x04 // check request: op|size|burst packed
+	SEMRegVerdict = 0x10 // read: 1 = allow, 0 = deny (stalls until ready)
+	semRegSpan    = 0x20
+)
+
+// packMeta encodes op/size/burst for the request write.
+func packMeta(isWrite bool, size, burst int) uint32 {
+	v := uint32(size)<<8 | uint32(burst)<<16
+	if isWrite {
+		v |= 1
+	}
+	return v
+}
+
+func unpackMeta(v uint32) (isWrite bool, size, burst int) {
+	return v&1 != 0, int(v >> 8 & 0xFF), int(v >> 16 & 0xFFFF)
+}
+
+type pendingCheck struct {
+	addr    uint32
+	meta    uint32
+	readyAt uint64
+	verdict bool
+	spi     uint32
+	viol    core.Violation
+}
+
+// SEMStats counts the central module's activity.
+type SEMStats struct {
+	Checks   uint64
+	Denied   uint64
+	MaxQueue int
+	// StallCycles sums the cycles verdict reads waited on the serial
+	// checker — the centralized bottleneck measure.
+	StallCycles uint64
+}
+
+// SEM is the central Security Enforcement Module: a bus slave owning the
+// *global* policy table (every IP's rules in one place, versus one small
+// Configuration Memory per interface in the distributed scheme).
+type SEM struct {
+	name string
+	base uint32
+	eng  *sim.Engine
+	cm   *core.ConfigMemory
+	log  *core.AlertLog
+
+	// CheckCycles is the serial per-check processing time (same 12-cycle
+	// Security Builder as the distributed firewalls, for a fair
+	// comparison).
+	CheckCycles uint64
+
+	freeAt  uint64
+	pending map[string][]*pendingCheck
+
+	stats SEMStats
+}
+
+// NewSEM creates the module at base with the global rule table cm.
+func NewSEM(eng *sim.Engine, name string, base uint32, cm *core.ConfigMemory, log *core.AlertLog) *SEM {
+	return &SEM{
+		name:        name,
+		base:        base,
+		eng:         eng,
+		cm:          cm,
+		log:         log,
+		CheckCycles: core.DefaultCheckCycles,
+		pending:     make(map[string][]*pendingCheck),
+	}
+}
+
+// Name implements bus.Slave.
+func (s *SEM) Name() string { return s.name }
+
+// Base implements bus.Slave.
+func (s *SEM) Base() uint32 { return s.base }
+
+// Size implements bus.Slave.
+func (s *SEM) Size() uint32 { return semRegSpan }
+
+// Config exposes the global policy table.
+func (s *SEM) Config() *core.ConfigMemory { return s.cm }
+
+// Stats returns the SEM counters.
+func (s *SEM) Stats() SEMStats { return s.stats }
+
+// QueueLen returns the number of checks awaiting verdict pickup.
+func (s *SEM) QueueLen() int {
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// Access implements bus.Slave.
+func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
+	off := tx.Addr - s.base
+	if tx.Op == bus.Write && off == SEMRegAddr && tx.Burst == 2 && tx.Size == 4 {
+		// Check request: enqueue behind everything the serial checker
+		// already owes.
+		start := now
+		if s.freeAt > start {
+			start = s.freeAt
+		}
+		p := &pendingCheck{addr: tx.Data[0], meta: tx.Data[1], readyAt: start + s.CheckCycles}
+		s.freeAt = p.readyAt
+		isWrite, size, burst := unpackMeta(p.meta)
+		pol, viol := s.cm.Check(tx.Master, isWrite, p.addr, size, burst)
+		p.verdict = viol == core.VNone
+		p.spi = pol.SPI
+		p.viol = viol
+		s.pending[tx.Master] = append(s.pending[tx.Master], p)
+		s.stats.Checks++
+		if q := s.QueueLen(); q > s.stats.MaxQueue {
+			s.stats.MaxQueue = q
+		}
+		return 1 + 1, bus.RespOK // register write: 2 cycles
+	}
+	if tx.Op == bus.Read && off == SEMRegVerdict && tx.Burst == 1 && tx.Size == 4 {
+		q := s.pending[tx.Master]
+		if len(q) == 0 {
+			tx.Data[0] = 0
+			return 1, bus.RespSlaveErr
+		}
+		p := q[0]
+		s.pending[tx.Master] = q[1:]
+		wait := uint64(1)
+		if p.readyAt > now {
+			wait += p.readyAt - now
+			s.stats.StallCycles += p.readyAt - now
+		}
+		if p.verdict {
+			tx.Data[0] = 1
+		} else {
+			tx.Data[0] = 0
+			s.stats.Denied++
+			isWrite, size, _ := unpackMeta(p.meta)
+			op := bus.Read
+			if isWrite {
+				op = bus.Write
+			}
+			s.log.Record(core.Alert{
+				Cycle:      now,
+				FirewallID: s.name,
+				Master:     tx.Master,
+				SPI:        p.spi,
+				Violation:  p.viol,
+				Op:         op,
+				Addr:       p.addr,
+				Size:       size,
+			})
+		}
+		return wait, bus.RespOK
+	}
+	return 1, bus.RespSlaveErr
+}
+
+// SEIStats counts one interface's decisions.
+type SEIStats struct {
+	Checked uint64
+	Allowed uint64
+	Blocked uint64
+	// ProtocolTxns counts extra bus transactions spent on the check
+	// protocol (two per access).
+	ProtocolTxns uint64
+}
+
+// SEI is the per-IP Security Enforcement Interface of the centralized
+// scheme. It implements bus.Conn like a Local Firewall, but instead of
+// deciding locally it runs the two-transaction check protocol against the
+// SEM — over the same shared bus the data uses.
+type SEI struct {
+	name    string
+	inner   bus.Conn
+	semBase uint32
+	stats   SEIStats
+}
+
+// NewSEI wraps conn; semBase is the SEM's bus address.
+func NewSEI(name string, conn bus.Conn, semBase uint32) *SEI {
+	return &SEI{name: name, inner: conn, semBase: semBase}
+}
+
+// Name returns the interface identifier.
+func (i *SEI) Name() string { return i.name }
+
+// Stats returns the decision counters.
+func (i *SEI) Stats() SEIStats { return i.stats }
+
+// Submit implements bus.Conn: request-verdict-forward.
+func (i *SEI) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
+	i.stats.Checked++
+	if tx.Master == "" {
+		tx.Master = i.name
+	}
+	req := &bus.Transaction{
+		Master: tx.Master, Op: bus.Write, Addr: i.semBase + SEMRegAddr,
+		Size: 4, Burst: 2,
+		Data: []uint32{tx.Addr, packMeta(tx.Op == bus.Write, tx.Size, tx.Burst)},
+	}
+	i.stats.ProtocolTxns++
+	i.inner.Submit(req, func(reqDone *bus.Transaction) {
+		if !reqDone.Resp.OK() {
+			tx.Resp = bus.RespSlaveErr
+			finish(tx, reqDone.Completed, done)
+			return
+		}
+		verdict := &bus.Transaction{
+			Master: tx.Master, Op: bus.Read, Addr: i.semBase + SEMRegVerdict,
+			Size: 4, Burst: 1,
+		}
+		i.stats.ProtocolTxns++
+		i.inner.Submit(verdict, func(vDone *bus.Transaction) {
+			if !vDone.Resp.OK() || vDone.Data[0] == 0 {
+				i.stats.Blocked++
+				tx.Resp = bus.RespSecurityErr
+				for j := range tx.Data {
+					tx.Data[j] = 0
+				}
+				finish(tx, vDone.Completed, done)
+				return
+			}
+			i.stats.Allowed++
+			i.inner.Submit(tx, done)
+		})
+	})
+}
+
+func finish(tx *bus.Transaction, cycle uint64, done func(*bus.Transaction)) {
+	tx.Completed = cycle
+	if done != nil {
+		done(tx)
+	}
+}
+
+// String identifies the interface.
+func (i *SEI) String() string {
+	return fmt.Sprintf("sei(%s -> sem@%#x)", i.name, i.semBase)
+}

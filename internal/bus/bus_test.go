@@ -1,0 +1,322 @@
+package bus_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newSystem(t *testing.T) (*sim.Engine, *bus.Bus, *mem.BRAM) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ram := mem.NewBRAM("bram", 0x1000_0000, 0x1_0000)
+	b.AddSlave(ram)
+	return eng, b, ram
+}
+
+// submit issues tx and runs until completion, returning the completed tx.
+func submit(t *testing.T, eng *sim.Engine, c bus.Conn, tx *bus.Transaction) *bus.Transaction {
+	t.Helper()
+	done := false
+	c.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatalf("transaction %v @%#x never completed", tx.Op, tx.Addr)
+	}
+	return tx
+}
+
+func TestWriteThenReadWord(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	submit(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: 0x1000_0010, Size: 4, Burst: 1, Data: []uint32{0xdeadbeef}})
+	rd := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x1000_0010, Size: 4, Burst: 1})
+	if !rd.Resp.OK() {
+		t.Fatalf("read resp = %v", rd.Resp)
+	}
+	if rd.Data[0] != 0xdeadbeef {
+		t.Fatalf("read %#x, want 0xdeadbeef", rd.Data[0])
+	}
+}
+
+func TestNarrowAccessByteLanes(t *testing.T) {
+	eng, b, ram := newSystem(t)
+	m := b.NewMaster("cpu0")
+	submit(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 1, Data: []uint32{0x11223344}})
+	// Byte 1 of a little-endian word 0x11223344 is 0x33.
+	rd := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x1000_0001, Size: 1, Burst: 1})
+	if rd.Data[0] != 0x33 {
+		t.Fatalf("byte read = %#x, want 0x33", rd.Data[0])
+	}
+	// Halfword write into the upper lanes.
+	submit(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: 0x1000_0002, Size: 2, Burst: 1, Data: []uint32{0xaabb}})
+	if got := ram.Store().ReadWord(0x1000_0000); got != 0xaabb3344 {
+		t.Fatalf("word after halfword write = %#x, want 0xaabb3344", got)
+	}
+}
+
+func TestBurstIncrementsAddress(t *testing.T) {
+	eng, b, ram := newSystem(t)
+	m := b.NewMaster("cpu0")
+	wr := &bus.Transaction{Op: bus.Write, Addr: 0x1000_0100, Size: 4, Burst: 4,
+		Data: []uint32{1, 2, 3, 4}}
+	submit(t, eng, m, wr)
+	for i := uint32(0); i < 4; i++ {
+		if got := ram.Store().ReadWord(0x1000_0100 + 4*i); got != i+1 {
+			t.Fatalf("beat %d = %d, want %d", i, got, i+1)
+		}
+	}
+	rd := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x1000_0100, Size: 4, Burst: 4})
+	for i, v := range rd.Data {
+		if v != uint32(i+1) {
+			t.Fatalf("read beat %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestDecodeErrOnUnmappedAddress(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	tx := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x7000_0000, Size: 4, Burst: 1})
+	if tx.Resp != bus.RespDecodeErr {
+		t.Fatalf("resp = %v, want DECODE_ERR", tx.Resp)
+	}
+}
+
+func TestDecodeErrOnRangeOverrun(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	// Burst starting in range but running past the end of the slave.
+	tx := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x1000_FFFC, Size: 4, Burst: 4})
+	if tx.Resp != bus.RespDecodeErr {
+		t.Fatalf("resp = %v, want DECODE_ERR for overrun", tx.Resp)
+	}
+}
+
+func TestMalformedTransactionRejected(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	cases := []*bus.Transaction{
+		{Op: bus.Read, Addr: 0x1000_0001, Size: 4, Burst: 1},                     // misaligned
+		{Op: bus.Read, Addr: 0x1000_0000, Size: 3, Burst: 1},                     // bad width
+		{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 0},                     // no beats
+		{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 2, Data: []uint32{1}}, // short data
+	}
+	for i, tx := range cases {
+		got := submit(t, eng, m, tx)
+		if got.Resp != bus.RespSlaveErr {
+			t.Errorf("case %d: resp = %v, want SLAVE_ERR", i, got.Resp)
+		}
+	}
+}
+
+func TestTransactionValidateWrap(t *testing.T) {
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0xFFFF_FFFC, Size: 4, Burst: 2}
+	if err := tx.Validate(); err == nil {
+		t.Fatal("address-space wrap not rejected")
+	}
+}
+
+func TestBRAMTiming(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	tx := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1})
+	// arb(1) + addr(1) + wait(1) + 1 beat = 4 cycles of occupancy.
+	if got := tx.Completed - tx.Started; got != 4 {
+		t.Fatalf("single-beat BRAM read occupancy = %d, want 4", got)
+	}
+}
+
+func TestDDRTimingFirstAccessDominates(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", 0x4000_0000, 1<<20)
+	b.AddSlave(ddr)
+	m := b.NewMaster("cpu0")
+	one := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x4000_0000, Size: 4, Burst: 1})
+	// arb+addr+18 = 20
+	if got := one.Completed - one.Started; got != 20 {
+		t.Fatalf("1-beat DDR read = %d cycles, want 20", got)
+	}
+	four := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x4000_0000, Size: 4, Burst: 4})
+	// arb+addr+18+3*2 = 26
+	if got := four.Completed - four.Started; got != 26 {
+		t.Fatalf("4-beat DDR read = %d cycles, want 26", got)
+	}
+}
+
+func TestBusSerializesMasters(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m0 := b.NewMaster("cpu0")
+	m1 := b.NewMaster("cpu1")
+	var t0, t1 *bus.Transaction
+	done := 0
+	t0 = &bus.Transaction{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 1, Data: []uint32{1}}
+	t1 = &bus.Transaction{Op: bus.Write, Addr: 0x1000_0004, Size: 4, Burst: 1, Data: []uint32{2}}
+	m0.Submit(t0, func(*bus.Transaction) { done++ })
+	m1.Submit(t1, func(*bus.Transaction) { done++ })
+	eng.RunUntil(func() bool { return done == 2 }, 1000)
+	// Occupancies must not overlap.
+	if t0.Started < t1.Started {
+		if t1.Started < t0.Completed {
+			t.Fatalf("overlapping grants: t0 [%d,%d] t1 [%d,%d]", t0.Started, t0.Completed, t1.Started, t1.Completed)
+		}
+	} else if t0.Started < t1.Completed {
+		t.Fatalf("overlapping grants: t0 [%d,%d] t1 [%d,%d]", t0.Started, t0.Completed, t1.Started, t1.Completed)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	const n = 4
+	ports := make([]*bus.MasterPort, n)
+	for i := range ports {
+		ports[i] = b.NewMaster("m")
+	}
+	counts := make([]int, n)
+	// Keep every master's queue saturated; fair arbitration must grant
+	// each master an equal share.
+	for i := 0; i < n; i++ {
+		for j := 0; j < 32; j++ {
+			i := i
+			ports[i].Submit(&bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1},
+				func(*bus.Transaction) { counts[i]++ })
+		}
+	}
+	eng.Run(4 * 32 * 10)
+	for i := 1; i < n; i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("unfair round-robin: counts = %v", counts)
+		}
+	}
+	if counts[0] != 32 {
+		t.Fatalf("expected all 32 transactions per master, got %v", counts)
+	}
+}
+
+func TestFixedPriorityStarvation(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{Arbitration: bus.FixedPriority})
+	ram := mem.NewBRAM("bram", 0x1000_0000, 0x1000)
+	b.AddSlave(ram)
+	hi := b.NewMaster("hi")
+	lo := b.NewMaster("lo")
+	hiDone, loDone := 0, 0
+	// Saturate the high-priority master; the low one must wait for all
+	// of them under fixed priority.
+	for j := 0; j < 8; j++ {
+		hi.Submit(&bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1},
+			func(*bus.Transaction) { hiDone++ })
+	}
+	var loTx bus.Transaction
+	loTx = bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1}
+	lo.Submit(&loTx, func(*bus.Transaction) { loDone++ })
+	eng.RunUntil(func() bool { return loDone == 1 }, 10000)
+	if hiDone != 8 {
+		t.Fatalf("low-priority master granted before high-priority queue drained (hiDone=%d)", hiDone)
+	}
+}
+
+func TestExactlyOnceCompletion(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	calls := 0
+	m.Submit(&bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1},
+		func(*bus.Transaction) { calls++ })
+	eng.Run(1000)
+	if calls != 1 {
+		t.Fatalf("done callback ran %d times, want exactly once", calls)
+	}
+}
+
+func TestOverlappingSlavesPanic(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("a", 0x1000, 0x1000))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping slave ranges not rejected")
+		}
+	}()
+	b.AddSlave(mem.NewBRAM("b", 0x1800, 0x1000))
+}
+
+func TestDecodeFindsCorrectSlave(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	a := mem.NewBRAM("a", 0x1000, 0x1000)
+	c := mem.NewBRAM("c", 0x4000, 0x1000)
+	b.AddSlave(c)
+	b.AddSlave(a)
+	cases := []struct {
+		addr uint32
+		want string
+	}{
+		{0x1000, "a"}, {0x1FFF, "a"}, {0x4000, "c"}, {0x4FFF, "c"},
+	}
+	for _, cse := range cases {
+		s := b.Decode(cse.addr)
+		if s == nil || s.Name() != cse.want {
+			t.Errorf("Decode(%#x) = %v, want %s", cse.addr, s, cse.want)
+		}
+	}
+	for _, bad := range []uint32{0x0, 0xFFF, 0x2000, 0x3FFF, 0x5000} {
+		if s := b.Decode(bad); s != nil {
+			t.Errorf("Decode(%#x) = %s, want nil", bad, s.Name())
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	submit(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 2, Data: []uint32{1, 2}})
+	submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: 0x7000_0000, Size: 4, Burst: 1})
+	s := b.Stats()
+	if s.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", s.Completed)
+	}
+	if s.DecodeErrs != 1 {
+		t.Fatalf("DecodeErrs = %d, want 1", s.DecodeErrs)
+	}
+	if s.BitsMoved != 64 {
+		t.Fatalf("BitsMoved = %d, want 64", s.BitsMoved)
+	}
+	if s.BusyCycles == 0 {
+		t.Fatal("BusyCycles = 0")
+	}
+	if s.PerMaster[0] != 2 {
+		t.Fatalf("PerMaster[0] = %d, want 2", s.PerMaster[0])
+	}
+}
+
+func TestBusWriteReadRoundTripProperty(t *testing.T) {
+	eng, b, _ := newSystem(t)
+	m := b.NewMaster("cpu0")
+	prop := func(off uint16, v uint32) bool {
+		addr := 0x1000_0000 + uint32(off&^3)
+		submit(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: addr, Size: 4, Burst: 1, Data: []uint32{v}})
+		rd := submit(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: addr, Size: 4, Burst: 1})
+		return rd.Data[0] == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpAndRespStrings(t *testing.T) {
+	if bus.Read.String() != "read" || bus.Write.String() != "write" {
+		t.Fatal("Op.String mismatch")
+	}
+	for r, want := range map[bus.Resp]string{
+		bus.RespOK: "OK", bus.RespDecodeErr: "DECODE_ERR",
+		bus.RespSlaveErr: "SLAVE_ERR", bus.RespSecurityErr: "SECURITY_ERR",
+	} {
+		if r.String() != want {
+			t.Errorf("Resp(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package bus models the shared system bus of the paper's MPSoC platform
+// (a PLB-style bus on the ML605 case study): multiple masters, an arbiter,
+// an address decoder, and memory-mapped slaves.
+//
+// Timing model: every transaction occupies the bus exclusively for
+//
+//	arbitration (1 cycle) + address phase (1 cycle) + slave cycles
+//
+// where the slave reports its own occupancy (wait states plus one cycle per
+// data beat). Masters submit transactions through a Conn; completion is
+// delivered by callback at the completion cycle. Security interfaces (the
+// paper's Local Firewalls) wrap a Conn on the master side or a Slave on the
+// memory side, which is exactly where the paper places them: between the IP
+// and the communication architecture.
+package bus
+
+import "fmt"
+
+// Op is the direction of a transaction.
+type Op uint8
+
+const (
+	// Read transfers data from a slave to the master.
+	Read Op = iota
+	// Write transfers data from the master to a slave.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Resp is the completion status of a transaction.
+type Resp uint8
+
+const (
+	// RespOK indicates a successful transfer.
+	RespOK Resp = iota
+	// RespDecodeErr indicates no slave is mapped at the address.
+	RespDecodeErr
+	// RespSlaveErr indicates the slave failed the access (bad offset,
+	// unsupported width, internal error).
+	RespSlaveErr
+	// RespSecurityErr indicates a firewall discarded the transfer. For a
+	// master-side firewall the transaction never reached the bus.
+	RespSecurityErr
+)
+
+// String implements fmt.Stringer.
+func (r Resp) String() string {
+	switch r {
+	case RespOK:
+		return "OK"
+	case RespDecodeErr:
+		return "DECODE_ERR"
+	case RespSlaveErr:
+		return "SLAVE_ERR"
+	case RespSecurityErr:
+		return "SECURITY_ERR"
+	default:
+		return fmt.Sprintf("resp(%d)", uint8(r))
+	}
+}
+
+// OK reports whether the transaction succeeded.
+func (r Resp) OK() bool { return r == RespOK }
+
+// Transaction is one bus transfer: a single beat or an incrementing burst.
+// Data is carried as 32-bit words; for narrow accesses (Size < 4) the value
+// travels in the low bits of the word and the address selects the byte
+// lane, as on a real 32-bit bus.
+type Transaction struct {
+	// ID is a bus-assigned unique identifier (diagnostics only).
+	ID uint64
+	// Master names the issuing IP. Firewalls report it as firewall_id in
+	// alerts, mirroring Figure 1 of the paper.
+	Master string
+	// Thread is the software context the access runs under (the paper's
+	// future-work "thread-specific security": cores tag bus traffic with
+	// their THREADID CSR, and policies may restrict by it). Zero is the
+	// boot/default context.
+	Thread uint32
+	// Op is Read or Write.
+	Op Op
+	// Addr is the byte address of the first beat. It must be aligned to
+	// Size.
+	Addr uint32
+	// Size is the access width in bytes: 1, 2 or 4.
+	Size int
+	// Burst is the number of beats (>= 1). Beat i addresses
+	// Addr + i*Size.
+	Burst int
+	// Data holds one word per beat: write data on submission, read data
+	// on completion.
+	Data []uint32
+	// Resp is the completion status, valid once the done callback runs.
+	Resp Resp
+
+	// Issued, Started and Completed are cycle timestamps recorded by the
+	// bus (submission, grant, completion).
+	Issued    uint64
+	Started   uint64
+	Completed uint64
+
+	done func(*Transaction)
+}
+
+// Bits returns the number of payload bits the transaction moves.
+func (t *Transaction) Bits() uint64 {
+	return uint64(t.Size) * 8 * uint64(t.Burst)
+}
+
+// End returns the first byte address past the transfer.
+func (t *Transaction) End() uint32 {
+	return t.Addr + uint32(t.Size)*uint32(t.Burst)
+}
+
+// Validate checks structural invariants (width, alignment, beat count,
+// data length) and returns a descriptive error for malformed transactions.
+func (t *Transaction) Validate() error {
+	switch t.Size {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("bus: invalid size %d (want 1, 2 or 4)", t.Size)
+	}
+	if t.Addr%uint32(t.Size) != 0 {
+		return fmt.Errorf("bus: address %#x not aligned to size %d", t.Addr, t.Size)
+	}
+	if t.Burst < 1 {
+		return fmt.Errorf("bus: burst %d < 1", t.Burst)
+	}
+	if t.Op == Write && len(t.Data) < t.Burst {
+		return fmt.Errorf("bus: write with %d data words for %d beats", len(t.Data), t.Burst)
+	}
+	if uint64(t.Addr)+uint64(t.Size)*uint64(t.Burst) > 1<<32 {
+		return fmt.Errorf("bus: transfer wraps the 32-bit address space")
+	}
+	return nil
+}
+
+// Conn is anything a master can submit transactions to: a raw bus master
+// port, or a Local Firewall wrapping one. done fires exactly once, at the
+// completion cycle, with tx.Resp and (for reads) tx.Data filled in.
+type Conn interface {
+	Submit(tx *Transaction, done func(*Transaction))
+}
+
+// Slave is a memory-mapped bus target. Access performs the data transfer
+// functionally and returns the number of cycles the slave occupies the bus
+// (wait states plus data beats). The bus guarantees Access is called only
+// for addresses inside [Base, Base+Size).
+type Slave interface {
+	Name() string
+	Base() uint32
+	Size() uint32
+	Access(now uint64, tx *Transaction) (cycles uint64, resp Resp)
+}
+
+// Contains reports whether the address range of s covers [addr, addr+n).
+func Contains(s Slave, addr uint32, n uint32) bool {
+	return addr >= s.Base() && uint64(addr)+uint64(n) <= uint64(s.Base())+uint64(s.Size())
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+)
+
+// accessOf lifts a bus transaction into a policy-evaluation Access.
+func accessOf(tx *bus.Transaction) Access {
+	return Access{
+		Master: tx.Master,
+		Thread: tx.Thread,
+		Write:  tx.Op == bus.Write,
+		Addr:   tx.Addr,
+		Size:   tx.Size,
+		Burst:  tx.Burst,
+	}
+}
+
+// Alert is the structured form of the firewall_id / alert_signals /
+// check_results wiring of Figure 1: one record per discarded transfer.
+type Alert struct {
+	// Cycle is when the violation was detected.
+	Cycle uint64
+	// FirewallID names the interface that raised the alert.
+	FirewallID string
+	// Master is the IP whose transfer was discarded.
+	Master string
+	// Thread is the software context the transfer carried.
+	Thread uint32
+	// SPI identifies the matched policy (0 when no rule matched).
+	SPI uint32
+	// Violation classifies the check that failed.
+	Violation Violation
+	// Op, Addr, Size describe the offending transfer.
+	Op   bus.Op
+	Addr uint32
+	Size int
+	// Detail carries module-specific context (e.g. the Integrity Core's
+	// classification of a mismatch).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	s := fmt.Sprintf("cycle %d: %s blocked %s %s @%#x/%dB (%s",
+		a.Cycle, a.FirewallID, a.Master, a.Op, a.Addr, a.Size, a.Violation)
+	if a.Detail != "" {
+		s += ": " + a.Detail
+	}
+	return s + ")"
+}
+
+// AlertLog collects alerts from every firewall in a platform. The
+// simulation is single-threaded, so no locking is needed.
+type AlertLog struct {
+	alerts []Alert
+	subs   []func(Alert)
+}
+
+// NewAlertLog returns an empty log.
+func NewAlertLog() *AlertLog { return &AlertLog{} }
+
+// Record appends an alert and notifies subscribers (reaction logic such as
+// the quarantine Reactor).
+func (l *AlertLog) Record(a Alert) {
+	l.alerts = append(l.alerts, a)
+	for _, fn := range l.subs {
+		fn(a)
+	}
+}
+
+// Subscribe registers fn to run on every future alert, in subscription
+// order, synchronously at detection time.
+func (l *AlertLog) Subscribe(fn func(Alert)) {
+	if fn == nil {
+		panic("core: Subscribe(nil)")
+	}
+	l.subs = append(l.subs, fn)
+}
+
+// All returns the alerts in detection order.
+func (l *AlertLog) All() []Alert { return append([]Alert(nil), l.alerts...) }
+
+// Len returns the number of alerts.
+func (l *AlertLog) Len() int { return len(l.alerts) }
+
+// Reset clears the log.
+func (l *AlertLog) Reset() { l.alerts = l.alerts[:0] }
+
+// CountByViolation aggregates alert counts per violation class.
+func (l *AlertLog) CountByViolation() map[Violation]int {
+	m := make(map[Violation]int)
+	for _, a := range l.alerts {
+		m[a.Violation]++
+	}
+	return m
+}
+
+// CountByFirewall aggregates alert counts per raising interface.
+func (l *AlertLog) CountByFirewall() map[string]int {
+	m := make(map[string]int)
+	for _, a := range l.alerts {
+		m[a.FirewallID]++
+	}
+	return m
+}
+
+// First returns the earliest alert matching the filter (nil filter = any),
+// or nil.
+func (l *AlertLog) First(match func(Alert) bool) *Alert {
+	for i := range l.alerts {
+		if match == nil || match(l.alerts[i]) {
+			return &l.alerts[i]
+		}
+	}
+	return nil
+}
+
+// Since returns alerts detected at or after the given cycle.
+func (l *AlertLog) Since(cycle uint64) []Alert {
+	var out []Alert
+	for _, a := range l.alerts {
+		if a.Cycle >= cycle {
+			out = append(out, a)
+		}
+	}
+	return out
+}

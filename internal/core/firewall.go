@@ -1,0 +1,204 @@
+package core
+
+import (
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// DefaultCheckCycles is the Security Builder's rule-check latency
+// (Table II: 12 cycles).
+const DefaultCheckCycles = 12
+
+// Stats counts a firewall's decisions.
+type Stats struct {
+	// Checked is the number of transfers examined.
+	Checked uint64
+	// Allowed is the number of transfers forwarded.
+	Allowed uint64
+	// Blocked is the number of transfers discarded at the interface.
+	Blocked uint64
+	// CheckCyclesSpent accumulates Security Builder latency.
+	CheckCyclesSpent uint64
+}
+
+// LocalFirewall is the master-side Local Firewall of Figure 1: it wraps an
+// IP's bus connection (bus.Conn) and enforces the IP's security policy
+// before a transfer can reach the bus.
+//
+// Internally it mirrors the paper's three blocks. The LF Communication
+// Block (LFCB) is the Submit entry point, which "triggers secpol_req"; the
+// Security Builder (SB) is the policy lookup plus the checking modules,
+// taking CheckCycles cycles; the Firewall Interface (FI) either forwards
+// the transfer to the wrapped connection or discards it and completes the
+// transaction with a security error, so the bus never sees it.
+type LocalFirewall struct {
+	name  string
+	eng   *sim.Engine
+	inner bus.Conn
+	cm    *ConfigMemory
+	log   *AlertLog
+
+	// CheckCycles is the SB latency per transfer (default 12).
+	CheckCycles uint64
+	// Owner optionally names the IP behind this firewall. Transfers
+	// submitted without a Master are attributed to it, so alerts (and
+	// the quarantine Reactor) track the IP, not the interface. Defaults
+	// to the firewall_id.
+	Owner string
+
+	stats Stats
+}
+
+// NewLocalFirewall wraps conn with a firewall named name (the firewall_id
+// in alerts) enforcing the rules in cm, reporting to log.
+func NewLocalFirewall(eng *sim.Engine, name string, conn bus.Conn, cm *ConfigMemory, log *AlertLog) *LocalFirewall {
+	return &LocalFirewall{
+		name:        name,
+		eng:         eng,
+		inner:       conn,
+		cm:          cm,
+		log:         log,
+		CheckCycles: DefaultCheckCycles,
+	}
+}
+
+// Name returns the firewall_id.
+func (f *LocalFirewall) Name() string { return f.name }
+
+// Config exposes the on-chip Configuration Memory (run-time
+// reconfiguration of security services goes through it).
+func (f *LocalFirewall) Config() *ConfigMemory { return f.cm }
+
+// Stats returns the decision counters.
+func (f *LocalFirewall) Stats() Stats { return f.stats }
+
+// Submit implements bus.Conn. The transfer is held for CheckCycles while
+// the SB evaluates the policy, then either forwarded or discarded locally.
+func (f *LocalFirewall) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
+	f.stats.Checked++
+	f.stats.CheckCyclesSpent += f.CheckCycles
+	if tx.Master == "" {
+		if f.Owner != "" {
+			tx.Master = f.Owner
+		} else {
+			tx.Master = f.name
+		}
+	}
+	tx.Issued = f.eng.Now()
+	f.eng.Schedule(f.CheckCycles, func(now uint64) {
+		pol, v := f.cm.CheckAccess(accessOf(tx))
+		if v == VNone {
+			f.stats.Allowed++
+			f.inner.Submit(tx, done)
+			return
+		}
+		f.stats.Blocked++
+		f.log.Record(Alert{
+			Cycle:      now,
+			FirewallID: f.name,
+			Master:     tx.Master,
+			Thread:     tx.Thread,
+			SPI:        pol.SPI,
+			Violation:  v,
+			Op:         tx.Op,
+			Addr:       tx.Addr,
+			Size:       tx.Size,
+		})
+		// FI discards the transfer: zero any read data, flag the error
+		// and complete without touching the bus.
+		tx.Resp = bus.RespSecurityErr
+		for i := range tx.Data {
+			tx.Data[i] = 0
+		}
+		tx.Completed = now
+		if done != nil {
+			done(tx)
+		}
+	})
+}
+
+// SlaveFirewall is the slave-side Local Firewall: it guards a bus target
+// (the internal shared memory or a dedicated IP's registers) and checks
+// every transfer arriving from the bus before it can reach the IP. Unlike
+// the master-side form its policies typically constrain *origins* (which
+// masters may touch which zones).
+type SlaveFirewall struct {
+	inner bus.Slave
+	name  string
+	cm    *ConfigMemory
+	log   *AlertLog
+
+	// CheckCycles is the SB latency per transfer (default 12).
+	CheckCycles uint64
+
+	stats Stats
+}
+
+// NewSlaveFirewall wraps slave with a firewall named name enforcing cm.
+func NewSlaveFirewall(name string, slave bus.Slave, cm *ConfigMemory, log *AlertLog) *SlaveFirewall {
+	return &SlaveFirewall{
+		inner:       slave,
+		name:        name,
+		cm:          cm,
+		log:         log,
+		CheckCycles: DefaultCheckCycles,
+	}
+}
+
+// Name implements bus.Slave (the firewall is transparent: it reports the
+// protected IP's name for address decoding diagnostics).
+func (f *SlaveFirewall) Name() string { return f.inner.Name() }
+
+// FirewallID returns the firewall's own identifier used in alerts.
+func (f *SlaveFirewall) FirewallID() string { return f.name }
+
+// Base implements bus.Slave.
+func (f *SlaveFirewall) Base() uint32 { return f.inner.Base() }
+
+// Size implements bus.Slave.
+func (f *SlaveFirewall) Size() uint32 { return f.inner.Size() }
+
+// Config exposes the on-chip Configuration Memory.
+func (f *SlaveFirewall) Config() *ConfigMemory { return f.cm }
+
+// Stats returns the decision counters.
+func (f *SlaveFirewall) Stats() Stats { return f.stats }
+
+// Inner returns the protected slave.
+func (f *SlaveFirewall) Inner() bus.Slave { return f.inner }
+
+// Access implements bus.Slave: run the SB check and either forward to the
+// protected IP or discard. The check evaluates address, direction, format
+// and origin — all known at the address phase — so it proceeds *in
+// parallel* with the IP access, and the response is gated on whichever
+// finishes last (a discarded transfer still occupies the interface for the
+// full check latency, and the IP behind it is never touched).
+func (f *SlaveFirewall) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
+	f.stats.Checked++
+	f.stats.CheckCyclesSpent += f.CheckCycles
+	pol, v := f.cm.CheckAccess(accessOf(tx))
+	if v != VNone {
+		f.stats.Blocked++
+		f.log.Record(Alert{
+			Cycle:      now,
+			FirewallID: f.name,
+			Master:     tx.Master,
+			Thread:     tx.Thread,
+			SPI:        pol.SPI,
+			Violation:  v,
+			Op:         tx.Op,
+			Addr:       tx.Addr,
+			Size:       tx.Size,
+		})
+		for i := range tx.Data {
+			tx.Data[i] = 0
+		}
+		return f.CheckCycles, bus.RespSecurityErr
+	}
+	f.stats.Allowed++
+	cycles, resp := f.inner.Access(now, tx)
+	if f.CheckCycles > cycles {
+		cycles = f.CheckCycles
+	}
+	return cycles, resp
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// policyJSON is the on-disk form of a security policy. Numbers accept
+// JSON's native integers; addresses and keys are hex strings for
+// readability:
+//
+//	{
+//	  "spi": 300,
+//	  "zone": {"base": "0x40000000", "size": "0x8000"},
+//	  "rwa": "rw",
+//	  "adf": ["8", "16", "32"],
+//	  "origins": ["cpu0"],
+//	  "threads": [1, 2],
+//	  "cm": true,
+//	  "im": true,
+//	  "key": "00112233445566778899aabbccddeeff"
+//	}
+type policyJSON struct {
+	SPI     uint32   `json:"spi"`
+	Zone    zoneJSON `json:"zone"`
+	RWA     string   `json:"rwa"`
+	ADF     []string `json:"adf"`
+	Origins []string `json:"origins,omitempty"`
+	Threads []uint32 `json:"threads,omitempty"`
+	CM      bool     `json:"cm,omitempty"`
+	IM      bool     `json:"im,omitempty"`
+	Key     string   `json:"key,omitempty"`
+}
+
+type zoneJSON struct {
+	Base hexUint32 `json:"base"`
+	Size hexUint32 `json:"size"`
+}
+
+// hexUint32 marshals as "0x…" and accepts hex strings or plain numbers.
+type hexUint32 uint32
+
+// MarshalJSON implements json.Marshaler.
+func (h hexUint32) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", fmt.Sprintf("%#x", uint32(h)))), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *hexUint32) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		var v uint64
+		if _, err := fmt.Sscanf(strings.ToLower(s), "0x%x", &v); err != nil {
+			if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+				return fmt.Errorf("core: bad address %q", s)
+			}
+		}
+		if v > 0xFFFF_FFFF {
+			return fmt.Errorf("core: address %q exceeds 32 bits", s)
+		}
+		*h = hexUint32(v)
+		return nil
+	}
+	var v uint32
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*h = hexUint32(v)
+	return nil
+}
+
+func rwaToString(r RWA) string { return r.String() }
+
+func rwaFromString(s string) (RWA, error) {
+	switch strings.ToLower(s) {
+	case "deny":
+		return Deny, nil
+	case "ro", "r", "read-only":
+		return ReadOnly, nil
+	case "wo", "w", "write-only":
+		return WriteOnly, nil
+	case "rw", "read-write", "readwrite":
+		return ReadWrite, nil
+	default:
+		return 0, fmt.Errorf("core: unknown rwa %q", s)
+	}
+}
+
+func adfToStrings(m WidthMask) []string {
+	var out []string
+	if m&W8 != 0 {
+		out = append(out, "8")
+	}
+	if m&W16 != 0 {
+		out = append(out, "16")
+	}
+	if m&W32 != 0 {
+		out = append(out, "32")
+	}
+	return out
+}
+
+func adfFromStrings(ws []string) (WidthMask, error) {
+	var m WidthMask
+	for _, w := range ws {
+		switch w {
+		case "8":
+			m |= W8
+		case "16":
+			m |= W16
+		case "32":
+			m |= W32
+		default:
+			return 0, fmt.Errorf("core: unknown width %q (want 8/16/32)", w)
+		}
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("core: empty adf")
+	}
+	return m, nil
+}
+
+// PoliciesToJSON serializes a rule set (stable, human-editable form).
+func PoliciesToJSON(rules []Policy) ([]byte, error) {
+	out := make([]policyJSON, len(rules))
+	for i, p := range rules {
+		out[i] = policyJSON{
+			SPI:     p.SPI,
+			Zone:    zoneJSON{hexUint32(p.Zone.Base), hexUint32(p.Zone.Size)},
+			RWA:     rwaToString(p.RWA),
+			ADF:     adfToStrings(p.ADF),
+			Origins: p.Origins,
+			Threads: p.Threads,
+			CM:      p.CM,
+			IM:      p.IM,
+		}
+		if p.CM {
+			out[i].Key = hex.EncodeToString(p.Key[:])
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// PoliciesFromJSON parses a rule set produced by PoliciesToJSON (or
+// written by hand).
+func PoliciesFromJSON(data []byte) ([]Policy, error) {
+	var in []policyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	out := make([]Policy, len(in))
+	for i, p := range in {
+		rwa, err := rwaFromString(p.RWA)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d: %v", i, err)
+		}
+		adf, err := adfFromStrings(p.ADF)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d: %v", i, err)
+		}
+		pol := Policy{
+			SPI:     p.SPI,
+			Zone:    Zone{Base: uint32(p.Zone.Base), Size: uint32(p.Zone.Size)},
+			RWA:     rwa,
+			ADF:     adf,
+			Origins: p.Origins,
+			Threads: p.Threads,
+			CM:      p.CM,
+			IM:      p.IM,
+		}
+		if p.Key != "" {
+			kb, err := hex.DecodeString(p.Key)
+			if err != nil || len(kb) != 16 {
+				return nil, fmt.Errorf("core: rule %d: bad key (want 32 hex chars)", i)
+			}
+			copy(pol.Key[:], kb)
+		}
+		if pol.CM && p.Key == "" {
+			return nil, fmt.Errorf("core: rule %d: cm set without a key", i)
+		}
+		out[i] = pol
+	}
+	return out, nil
+}

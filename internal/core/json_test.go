@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePolicies() []Policy {
+	return []Policy{
+		{SPI: 300, Zone: Zone{Base: 0x4000_0000, Size: 0x8000}, RWA: ReadWrite,
+			ADF: AnyWidth, CM: true, IM: true,
+			Key: [16]byte{0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}},
+		{SPI: 200, Zone: Zone{Base: 0x1000_0000, Size: 0x1_0000}, RWA: ReadOnly,
+			ADF: W32, Origins: []string{"cpu0", "dma"}, Threads: []uint32{1, 2}},
+	}
+}
+
+func TestPoliciesJSONRoundTrip(t *testing.T) {
+	in := samplePolicies()
+	data, err := PoliciesToJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := PoliciesFromJSON(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d rules out, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.SPI != b.SPI || a.Zone != b.Zone || a.RWA != b.RWA || a.ADF != b.ADF ||
+			a.CM != b.CM || a.IM != b.IM || a.Key != b.Key {
+			t.Fatalf("rule %d: %+v != %+v", i, a, b)
+		}
+		if len(a.Origins) != len(b.Origins) || len(a.Threads) != len(b.Threads) {
+			t.Fatalf("rule %d: lists differ", i)
+		}
+	}
+}
+
+func TestPoliciesJSONHumanForm(t *testing.T) {
+	data, _ := PoliciesToJSON(samplePolicies())
+	s := string(data)
+	for _, want := range []string{`"0x40000000"`, `"rw"`, `"ro"`, `"cpu0"`, `"00112233445566778899aabbccddeeff"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized form missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestPoliciesFromJSONHandWritten(t *testing.T) {
+	rules, err := PoliciesFromJSON([]byte(`[
+	  {"spi": 1, "zone": {"base": "0x1000", "size": 256},
+	   "rwa": "read-only", "adf": ["32"]}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rules[0]
+	if p.Zone.Base != 0x1000 || p.Zone.Size != 256 || p.RWA != ReadOnly || p.ADF != W32 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestPoliciesFromJSONErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"spi":1,"zone":{"base":"0x0","size":"0x10"},"rwa":"sideways","adf":["32"]}]`,
+		`[{"spi":1,"zone":{"base":"0x0","size":"0x10"},"rwa":"rw","adf":["64"]}]`,
+		`[{"spi":1,"zone":{"base":"0x0","size":"0x10"},"rwa":"rw","adf":[]}]`,
+		`[{"spi":1,"zone":{"base":"0x0","size":"0x10"},"rwa":"rw","adf":["32"],"cm":true}]`,
+		`[{"spi":1,"zone":{"base":"0x0","size":"0x10"},"rwa":"rw","adf":["32"],"cm":true,"key":"zz"}]`,
+		`[{"spi":1,"zone":{"base":"0x123456789","size":"0x10"},"rwa":"rw","adf":["32"]}]`,
+	}
+	for i, src := range bad {
+		if _, err := PoliciesFromJSON([]byte(src)); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestPoliciesJSONFeedsConfigMemory(t *testing.T) {
+	data, _ := PoliciesToJSON(samplePolicies())
+	rules, err := PoliciesFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewConfigMemory(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := cm.Check("cpu0", false, 0x1000_0000, 4, 1); v != VThread {
+		// Origins admit cpu0 but the rule is thread {1,2}: thread 0 denied.
+		t.Fatalf("round-tripped rules misbehave: %v", v)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "cpu0", Thread: 1, Addr: 0x1000_0000, Size: 4, Burst: 1}); v != VNone {
+		t.Fatalf("round-tripped rules misbehave for thread 1: %v", v)
+	}
+}

@@ -1,0 +1,393 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/hashtree"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const (
+	ddrBase   = 0x4000_0000
+	secBase   = ddrBase // secure (CM+IM) zone: 8 KiB
+	secSize   = 0x2000
+	plainBase = ddrBase + 0x10000 // pass-through zone
+	plainSize = 0x1000
+	nodeBase  = ddrBase + 0x20000 // tree nodes (outside all policy zones)
+	ddrSize   = 0x40000
+)
+
+var testKey = [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+// lcfRig wires: master port -> bus -> LCF -> DDR.
+func lcfRig(t *testing.T) (*sim.Engine, *bus.MasterPort, *core.CipherFirewall, *mem.DDR, *core.AlertLog) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	log := core.NewAlertLog()
+	cm := core.MustConfig(
+		core.Policy{SPI: 1, Zone: core.Zone{secBase, secSize}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth, CM: true, IM: true, Key: testKey},
+		core.Policy{SPI: 2, Zone: core.Zone{plainBase, plainSize}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth},
+	)
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{secBase, secSize},
+		NodeBase:      nodeBase,
+	}, ddr, ddr.Store(), cm, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	b.AddSlave(lcf)
+	return eng, b.NewMaster("cpu0"), lcf, ddr, log
+}
+
+func TestLCFWriteReadRoundTrip(t *testing.T) {
+	eng, m, _, _, log := lcfRig(t)
+	wr := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x100, Size: 4, Burst: 1, Data: []uint32{0xFEEDC0DE}})
+	if !wr.Resp.OK() {
+		t.Fatalf("write resp = %v", wr.Resp)
+	}
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x100, Size: 4, Burst: 1})
+	if !rd.Resp.OK() || rd.Data[0] != 0xFEEDC0DE {
+		t.Fatalf("read = %v %#x", rd.Resp, rd.Data[0])
+	}
+	if log.Len() != 0 {
+		t.Fatalf("alerts: %v", log.All())
+	}
+}
+
+func TestLCFCiphertextActuallyStored(t *testing.T) {
+	eng, m, _, ddr, _ := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase, Size: 4, Burst: 4,
+		Data: []uint32{0x11111111, 0x22222222, 0x33333333, 0x44444444}})
+	// The attacker reading raw external memory must not see plaintext.
+	raw := ddr.Store().Peek(secBase, 16)
+	plain := []byte{0x11, 0x11, 0x11, 0x11, 0x22, 0x22, 0x22, 0x22, 0x33, 0x33, 0x33, 0x33, 0x44, 0x44, 0x44, 0x44}
+	if bytes.Equal(raw, plain) {
+		t.Fatal("external memory holds plaintext: confidentiality broken")
+	}
+}
+
+func TestLCFIdenticalPlaintextDiffersAcrossBlocks(t *testing.T) {
+	eng, m, _, ddr, _ := lcfRig(t)
+	same := []uint32{0xABABABAB, 0xABABABAB, 0xABABABAB, 0xABABABAB}
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x00, Size: 4, Burst: 4, Data: same})
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x10, Size: 4, Burst: 4, Data: same})
+	c0 := ddr.Store().Peek(secBase+0x00, 16)
+	c1 := ddr.Store().Peek(secBase+0x10, 16)
+	if bytes.Equal(c0, c1) {
+		t.Fatal("address tweak missing: identical blocks encrypt identically")
+	}
+}
+
+func TestLCFSubWordWriteRMW(t *testing.T) {
+	eng, m, _, _, _ := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x40, Size: 4, Burst: 1, Data: []uint32{0xAABBCCDD}})
+	// Byte write into the middle of the encrypted word.
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x41, Size: 1, Burst: 1, Data: []uint32{0x99}})
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x40, Size: 4, Burst: 1})
+	if rd.Data[0] != 0xAABB99DD {
+		t.Fatalf("RMW result = %#x, want 0xAABB99DD", rd.Data[0])
+	}
+}
+
+func TestLCFPassThroughZoneIsPlain(t *testing.T) {
+	eng, m, _, ddr, _ := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: plainBase, Size: 4, Burst: 1, Data: []uint32{0x12345678}})
+	if got := ddr.Store().ReadWord(plainBase); got != 0x12345678 {
+		t.Fatalf("pass-through zone stored %#x", got)
+	}
+}
+
+func TestLCFBlocksUnmappedZone(t *testing.T) {
+	eng, m, _, _, log := lcfRig(t)
+	// The tree-node region is not covered by any policy: software cannot
+	// touch it.
+	tx := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: nodeBase, Size: 4, Burst: 1})
+	if tx.Resp != bus.RespSecurityErr {
+		t.Fatalf("node region readable by software: %v", tx.Resp)
+	}
+	if a := log.All()[0]; a.Violation != core.VZone {
+		t.Fatalf("violation = %v", a.Violation)
+	}
+}
+
+func TestLCFDetectsExternalTamper(t *testing.T) {
+	eng, m, _, ddr, log := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x80, Size: 4, Burst: 1, Data: []uint32{7}})
+	// Attacker flips a ciphertext bit directly in external memory.
+	raw := ddr.Store().Peek(secBase+0x80, 1)
+	ddr.Store().Poke(secBase+0x80, []byte{raw[0] ^ 1})
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x80, Size: 4, Burst: 1})
+	if rd.Resp != bus.RespSecurityErr {
+		t.Fatalf("tampered read returned %v", rd.Resp)
+	}
+	if rd.Data[0] != 0 {
+		t.Fatalf("tampered read leaked data %#x", rd.Data[0])
+	}
+	a := log.First(func(a core.Alert) bool { return a.Violation == core.VIntegrity })
+	if a == nil {
+		t.Fatalf("no integrity alert; log = %v", log.All())
+	}
+}
+
+func TestLCFDetectsReplay(t *testing.T) {
+	eng, m, lcf, ddr, log := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase, Size: 4, Burst: 1, Data: []uint32{1}})
+	snap := ddr.Store().Snapshot()
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase, Size: 4, Burst: 1, Data: []uint32{2}})
+	// Attacker replays the earlier external-memory image (data + tree
+	// nodes, fully consistent).
+	ddr.Store().Restore(snap)
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase, Size: 4, Burst: 1})
+	if rd.Resp != bus.RespSecurityErr {
+		t.Fatalf("replayed read returned %v (data %#x)", rd.Resp, rd.Data[0])
+	}
+	a := log.First(func(a core.Alert) bool { return a.Violation == core.VReplay })
+	if a == nil {
+		t.Fatalf("replay not classified; log = %v", log.All())
+	}
+	if lcf.Crypto().IntegrityFailures == 0 {
+		t.Fatal("IntegrityFailures not counted")
+	}
+}
+
+func TestLCFDetectsRelocation(t *testing.T) {
+	eng, m, _, ddr, _ := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x000, Size: 4, Burst: 1, Data: []uint32{0x5EC2E7}})
+	// Attacker copies the valid ciphertext block to a different address.
+	blk := ddr.Store().Peek(secBase+0x000, 16)
+	ddr.Store().Poke(secBase+0x200, blk)
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x200, Size: 4, Burst: 1})
+	if rd.Resp != bus.RespSecurityErr {
+		t.Fatalf("relocated block accepted: %v %#x", rd.Resp, rd.Data[0])
+	}
+}
+
+func TestLCFDetectsSpoofing(t *testing.T) {
+	eng, m, _, ddr, _ := lcfRig(t)
+	// Attacker fabricates ciphertext out of thin air.
+	fake := make([]byte, 32)
+	for i := range fake {
+		fake[i] = byte(0xC0 + i)
+	}
+	ddr.Store().Poke(secBase+0x300, fake)
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x300, Size: 4, Burst: 1})
+	if rd.Resp != bus.RespSecurityErr {
+		t.Fatalf("spoofed block accepted: %v", rd.Resp)
+	}
+}
+
+func TestLCFSealPreservesPreloadedImage(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	log := core.NewAlertLog()
+	// A boot loader places a plaintext image in external memory...
+	for i := uint32(0); i < 64; i += 4 {
+		ddr.Store().WriteWord(secBase+i, 0xB007_0000|i)
+	}
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{secBase, secSize},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{secBase, secSize}, NodeBase: nodeBase,
+	}, ddr, ddr.Store(), cm, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...Seal encrypts it in place and builds the tree.
+	lcf.Seal()
+	if ddr.Store().ReadWord(secBase) == 0xB007_0000 {
+		t.Fatal("Seal left plaintext in external memory")
+	}
+	b.AddSlave(lcf)
+	m := b.NewMaster("cpu0")
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 8, Size: 4, Burst: 1})
+	if !rd.Resp.OK() || rd.Data[0] != 0xB007_0008 {
+		t.Fatalf("sealed image read back %v %#x", rd.Resp, rd.Data[0])
+	}
+	// PeekPlaintext agrees.
+	if got := lcf.PeekPlaintext(secBase+8, 4); got[0] != 0x08 || got[3] != 0xB0 {
+		t.Fatalf("PeekPlaintext = %x", got)
+	}
+}
+
+func TestLCFTimingIncludesCCAndIC(t *testing.T) {
+	eng, m, lcf, _, _ := lcfRig(t)
+	before := lcf.Crypto()
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x500, Size: 4, Burst: 1})
+	after := lcf.Crypto()
+	if !rd.Resp.OK() {
+		t.Fatalf("read failed: %v", rd.Resp)
+	}
+	if after.BlocksDeciphered == before.BlocksDeciphered {
+		t.Fatal("CC not exercised")
+	}
+	if after.NodeOps == before.NodeOps {
+		t.Fatal("IC not exercised")
+	}
+	// Latency must include SB (12) + DDR + CC (>=11) + IC (>=20).
+	if got := rd.Completed - rd.Started; got < 12+20+11+20 {
+		t.Fatalf("secured external read took only %d cycles", got)
+	}
+}
+
+func TestLCFBurstAcrossBlocks(t *testing.T) {
+	eng, m, _, _, _ := lcfRig(t)
+	data := make([]uint32, 16) // 64 bytes: 4 cipher blocks, 2 leaves
+	for i := range data {
+		data[i] = uint32(0x1000 + i)
+	}
+	wr := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x600, Size: 4, Burst: 16, Data: data})
+	if !wr.Resp.OK() {
+		t.Fatalf("burst write: %v", wr.Resp)
+	}
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x600, Size: 4, Burst: 16})
+	for i, v := range rd.Data {
+		if v != uint32(0x1000+i) {
+			t.Fatalf("beat %d = %#x", i, v)
+		}
+	}
+}
+
+func TestLCFRejectsIMOutsideIntegrityZone(t *testing.T) {
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{ddrBase + 0x30000, 0x1000},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, IM: true})
+	_, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{secBase, secSize}, NodeBase: nodeBase,
+	}, ddr, ddr.Store(), cm, core.NewAlertLog())
+	if err == nil {
+		t.Fatal("IM zone outside IntegrityZone accepted")
+	}
+}
+
+func TestLCFRejectsMisalignedCMZone(t *testing.T) {
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{ddrBase + 8, 0x100},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true})
+	_, err := core.NewCipherFirewall(core.LCFConfig{}, ddr, ddr.Store(), cm, core.NewAlertLog())
+	if err == nil {
+		t.Fatal("misaligned CM zone accepted")
+	}
+}
+
+func TestLCFWriteAfterTamperRefused(t *testing.T) {
+	// Cache disabled: with the verified-node cache on, the LCF would keep
+	// serving the authentic sibling digest from trusted on-chip state and
+	// the corruption would stay latent (see TestLCFCacheMasksNodeTamper).
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	log := core.NewAlertLog()
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{secBase, secSize},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{secBase, secSize}, NodeBase: nodeBase, CacheSize: -1,
+	}, ddr, ddr.Store(), cm, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	b.AddSlave(lcf)
+	m := b.NewMaster("cpu0")
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x700, Size: 4, Burst: 1, Data: []uint32{1}})
+	// Attacker corrupts the *sibling leaf's stored digest* in external
+	// memory; a subsequent legitimate write must not launder it.
+	leafIdx := uint32((0x700)/hashtree.LeafSize) ^ 1
+	leaves := uint32(secSize / hashtree.LeafSize)
+	sibNodeAddr := nodeBase + (leaves+leafIdx-1)*hashtree.DigestSize
+	ddr.Store().Poke(sibNodeAddr, []byte{0xEE})
+	wr := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x700, Size: 4, Burst: 1, Data: []uint32{2}})
+	if wr.Resp != bus.RespSecurityErr {
+		t.Fatalf("write over corrupt path accepted: %v", wr.Resp)
+	}
+	// A corrupt sibling with a self-consistent leaf is indistinguishable
+	// from replayed internal nodes, so either classification is correct —
+	// what matters is that an IC alert was raised and the write refused.
+	alert := log.First(func(a core.Alert) bool {
+		return a.Violation == core.VIntegrity || a.Violation == core.VReplay
+	})
+	if alert == nil {
+		t.Fatalf("no integrity-class alert for refused update; log = %v", log.All())
+	}
+}
+
+func TestLCFFullBlockWriteRepairsTamper(t *testing.T) {
+	// After a detected corruption, partial writes stay refused (they
+	// would RMW poisoned data) but a write covering the whole integrity
+	// block is the recovery path: it consumes no stale state.
+	eng, m, _, ddr, _ := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x800, Size: 4, Burst: 1, Data: []uint32{1}})
+	raw := ddr.Store().Peek(secBase+0x800, 1)
+	ddr.Store().Poke(secBase+0x800, []byte{raw[0] ^ 0x10})
+	partial := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x800, Size: 4, Burst: 1, Data: []uint32{2}})
+	if partial.Resp != bus.RespSecurityErr {
+		t.Fatalf("partial write to corrupt block accepted: %v", partial.Resp)
+	}
+	full := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x800, Size: 4, Burst: 8,
+		Data: []uint32{42, 0, 0, 0, 0, 0, 0, 0}})
+	if !full.Resp.OK() {
+		t.Fatalf("full-block repair refused: %v", full.Resp)
+	}
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x800, Size: 4, Burst: 1})
+	if !rd.Resp.OK() || rd.Data[0] != 42 {
+		t.Fatalf("after repair: %v %d", rd.Resp, rd.Data[0])
+	}
+}
+
+func TestLCFCacheMasksNodeTamper(t *testing.T) {
+	// With the verified-node cache enabled (the default), corrupting an
+	// external tree node that is currently cached is harmless: the LCF
+	// keeps using the authentic on-chip digest and legitimate traffic
+	// proceeds. This pins the intended cache semantics.
+	eng, m, _, ddr, log := lcfRig(t)
+	run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x700, Size: 4, Burst: 1, Data: []uint32{1}})
+	leafIdx := uint32((0x700)/hashtree.LeafSize) ^ 1
+	leaves := uint32(secSize / hashtree.LeafSize)
+	sibNodeAddr := nodeBase + (leaves+leafIdx-1)*hashtree.DigestSize
+	ddr.Store().Poke(sibNodeAddr, []byte{0xEE})
+	wr := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase + 0x700, Size: 4, Burst: 1, Data: []uint32{2}})
+	if !wr.Resp.OK() {
+		t.Fatalf("cached path should have served the write: %v", wr.Resp)
+	}
+	rd := run(t, eng, m, &bus.Transaction{Op: bus.Read, Addr: secBase + 0x700, Size: 4, Burst: 1})
+	if !rd.Resp.OK() || rd.Data[0] != 2 {
+		t.Fatalf("read-back = %v %#x", rd.Resp, rd.Data[0])
+	}
+	if log.Len() != 0 {
+		t.Fatalf("unexpected alerts: %v", log.All())
+	}
+}
+
+func TestLCFReadOnlyZoneBlocksWrites(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	log := core.NewAlertLog()
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{secBase, secSize},
+		RWA: core.ReadOnly, ADF: core.AnyWidth, CM: true, IM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{secBase, secSize}, NodeBase: nodeBase,
+	}, ddr, ddr.Store(), cm, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	b.AddSlave(lcf)
+	m := b.NewMaster("cpu0")
+	wr := run(t, eng, m, &bus.Transaction{Op: bus.Write, Addr: secBase, Size: 4, Burst: 1, Data: []uint32{9}})
+	if wr.Resp != bus.RespSecurityErr {
+		t.Fatalf("write to RO cipher zone: %v", wr.Resp)
+	}
+	if a := log.All()[0]; a.Violation != core.VAccess {
+		t.Fatalf("violation = %v", a.Violation)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// Reactor implements the paper's stated future work: "reconfiguration of
+// security services (i.e. modification of security policies) to counter
+// some attacks". It watches the alert stream and, when one IP accumulates
+// violations faster than a budget allows, rewrites that IP's security
+// policy to deny everything — quarantining the compromised IP inside its
+// own interface, including zones it was previously allowed to touch (a
+// hijacked IP's *legal* traffic is exfiltration surface too).
+//
+// Quarantine is reversible: Release restores the saved policy, modeling a
+// supervisor clearing the incident.
+type Reactor struct {
+	// Threshold is the number of violations within Window that triggers
+	// quarantine.
+	Threshold int
+	// Window is the sliding time window in cycles. Zero means "ever".
+	Window uint64
+
+	guarded map[string]*ConfigMemory
+	history map[string][]uint64 // violation cycles per master
+	saved   map[string][]Policy // policies stashed at quarantine time
+
+	// Quarantines counts trigger events (for reports).
+	Quarantines uint64
+}
+
+// NewReactor subscribes a reactor to the alert log. Call Guard to place
+// firewalls under its control.
+func NewReactor(log *AlertLog, threshold int, window uint64) *Reactor {
+	if threshold < 1 {
+		threshold = 1
+	}
+	r := &Reactor{
+		Threshold: threshold,
+		Window:    window,
+		guarded:   make(map[string]*ConfigMemory),
+		history:   make(map[string][]uint64),
+		saved:     make(map[string][]Policy),
+	}
+	log.Subscribe(r.onAlert)
+	return r
+}
+
+// Guard registers the configuration memory enforcing policy for the given
+// master (its master-side Local Firewall). Alerts raised *about* that
+// master anywhere in the system count toward its violation budget; the
+// quarantine is applied at the source interface.
+func (r *Reactor) Guard(master string, cm *ConfigMemory) {
+	r.guarded[master] = cm
+}
+
+// Quarantined reports whether the master is currently locked out.
+func (r *Reactor) Quarantined(master string) bool {
+	_, q := r.saved[master]
+	return q
+}
+
+// Release restores the master's pre-quarantine policy. It returns an error
+// if the master is not quarantined.
+func (r *Reactor) Release(master string) error {
+	rules, ok := r.saved[master]
+	if !ok {
+		return fmt.Errorf("core: %q is not quarantined", master)
+	}
+	cm := r.guarded[master]
+	for _, p := range cm.Policies() {
+		cm.Remove(p.SPI)
+	}
+	for _, p := range rules {
+		if err := cm.Add(p); err != nil {
+			return err
+		}
+	}
+	delete(r.saved, master)
+	r.history[master] = nil
+	return nil
+}
+
+func (r *Reactor) onAlert(a Alert) {
+	cm, guarded := r.guarded[a.Master]
+	if !guarded || r.Quarantined(a.Master) {
+		return
+	}
+	h := append(r.history[a.Master], a.Cycle)
+	// Slide the window.
+	if r.Window > 0 {
+		cut := 0
+		for cut < len(h) && h[cut]+r.Window < a.Cycle {
+			cut++
+		}
+		h = h[cut:]
+	}
+	r.history[a.Master] = h
+	if len(h) < r.Threshold {
+		return
+	}
+	// Quarantine: stash the policy and deny everything (the Configuration
+	// Memory default-denies whatever no rule allows).
+	r.saved[a.Master] = cm.Policies()
+	for _, p := range cm.Policies() {
+		cm.Remove(p.SPI)
+	}
+	r.Quarantines++
+}

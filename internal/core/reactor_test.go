@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// reactorRig wires one firewalled master with an allow-BRAM policy and a
+// reactor with the given budget.
+func reactorRig(t *testing.T, threshold int, window uint64) (*sim.Engine, *core.LocalFirewall, *core.Reactor) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1_0000))
+	log := core.NewAlertLog()
+	lf := core.NewLocalFirewall(eng, "lf-cpu0", b.NewMaster("cpu0"), core.MustConfig(
+		core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+	), log)
+	lf.Owner = "cpu0"
+	r := core.NewReactor(log, threshold, window)
+	r.Guard("cpu0", lf.Config())
+	return eng, lf, r
+}
+
+func probe(t *testing.T, eng *sim.Engine, lf *core.LocalFirewall, addr uint32) bus.Resp {
+	t.Helper()
+	tx := &bus.Transaction{Op: bus.Write, Addr: addr, Size: 4, Burst: 1, Data: []uint32{1}}
+	done := false
+	lf.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("stuck")
+	}
+	return tx.Resp
+}
+
+func TestReactorQuarantinesAfterThreshold(t *testing.T) {
+	eng, lf, r := reactorRig(t, 3, 0)
+	// Two violations: still under budget, legal traffic flows.
+	for i := 0; i < 2; i++ {
+		if got := probe(t, eng, lf, 0x7000_0000); got != bus.RespSecurityErr {
+			t.Fatalf("violation %d: %v", i, got)
+		}
+	}
+	if r.Quarantined("cpu0") {
+		t.Fatal("quarantined below threshold")
+	}
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespOK {
+		t.Fatalf("legal access blocked pre-quarantine: %v", got)
+	}
+	// Third violation trips the reactor.
+	probe(t, eng, lf, 0x7000_0000)
+	if !r.Quarantined("cpu0") {
+		t.Fatal("not quarantined at threshold")
+	}
+	if r.Quarantines != 1 {
+		t.Fatalf("Quarantines = %d", r.Quarantines)
+	}
+	// Now even the previously legal zone is cut off — the hijacked IP's
+	// exfiltration path through allowed zones is closed.
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespSecurityErr {
+		t.Fatalf("legal zone still open after quarantine: %v", got)
+	}
+}
+
+func TestReactorReleaseRestoresPolicy(t *testing.T) {
+	eng, lf, r := reactorRig(t, 1, 0)
+	probe(t, eng, lf, 0x7000_0000) // single violation quarantines
+	if !r.Quarantined("cpu0") {
+		t.Fatal("not quarantined")
+	}
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Quarantined("cpu0") {
+		t.Fatal("still quarantined after Release")
+	}
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespOK {
+		t.Fatalf("policy not restored: %v", got)
+	}
+	if err := r.Release("cpu0"); err == nil {
+		t.Fatal("double Release accepted")
+	}
+}
+
+func TestReactorWindowExpiry(t *testing.T) {
+	eng, lf, r := reactorRig(t, 2, 50)
+	probe(t, eng, lf, 0x7000_0000)
+	// Let the window slide past the first violation.
+	eng.Run(100)
+	probe(t, eng, lf, 0x7000_0000)
+	if r.Quarantined("cpu0") {
+		t.Fatal("stale violations counted against the window")
+	}
+	// Two violations in quick succession do trip it.
+	probe(t, eng, lf, 0x7000_0000)
+	if !r.Quarantined("cpu0") {
+		t.Fatal("burst not quarantined")
+	}
+}
+
+func TestReactorIgnoresUnguardedMasters(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	log := core.NewAlertLog()
+	lf := core.NewLocalFirewall(eng, "lf-x", b.NewMaster("x"), core.MustConfig(), log)
+	r := core.NewReactor(log, 1, 0)
+	// No Guard call for "x": alerts must not panic or quarantine.
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1}
+	done := false
+	lf.Submit(tx, func(*bus.Transaction) { done = true })
+	eng.RunUntil(func() bool { return done }, 1000)
+	if r.Quarantines != 0 {
+		t.Fatal("unguarded master quarantined")
+	}
+	if r.Quarantined("x") {
+		t.Fatal("phantom quarantine")
+	}
+}
+
+func TestReactorThresholdClamped(t *testing.T) {
+	eng, lf, r := reactorRig(t, 0, 0) // clamps to 1
+	probe(t, eng, lf, 0x7000_0000)
+	if !r.Quarantined("cpu0") {
+		t.Fatal("threshold 0 should behave as 1")
+	}
+}
+
+func TestReactorCountsAlertsFromAnyFirewall(t *testing.T) {
+	// Violations detected at a *slave* firewall count against the master
+	// and quarantine it at its own (master-side) interface.
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	log := core.NewAlertLog()
+	ram := mem.NewBRAM("bram", 0x1000_0000, 0x1_0000)
+	b.AddSlave(core.NewSlaveFirewall("lf-bram", ram, core.MustConfig(
+		core.Policy{SPI: 2, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth, Origins: []string{"nobody"}},
+	), log))
+	lf := core.NewLocalFirewall(eng, "lf-cpu0", b.NewMaster("cpu0"), core.MustConfig(
+		core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+	), log)
+	lf.Owner = "cpu0"
+	r := core.NewReactor(log, 1, 0)
+	r.Guard("cpu0", lf.Config())
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespSecurityErr {
+		t.Fatalf("origin-restricted access: %v", got)
+	}
+	if !r.Quarantined("cpu0") {
+		t.Fatal("slave-side alert did not quarantine the master")
+	}
+}

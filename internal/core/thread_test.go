@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+// Thread-specific security: the paper's future-work extension where "each
+// thread has its own security level" (§VI).
+
+func threadConfig() *ConfigMemory {
+	return MustConfig(
+		// Zone open to thread 1 only (any master).
+		Policy{SPI: 1, Zone: Zone{Base: 0x1000, Size: 0x100}, RWA: ReadWrite, ADF: AnyWidth,
+			Threads: []uint32{1}},
+		// Zone open to any thread.
+		Policy{SPI: 2, Zone: Zone{Base: 0x2000, Size: 0x100}, RWA: ReadWrite, ADF: AnyWidth},
+	)
+}
+
+func TestThreadRestrictedZone(t *testing.T) {
+	cm := threadConfig()
+	if _, v := cm.CheckAccess(Access{Master: "m", Thread: 1, Write: true, Addr: 0x1000, Size: 4, Burst: 1}); v != VNone {
+		t.Fatalf("thread 1: %v", v)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "m", Thread: 0, Write: true, Addr: 0x1000, Size: 4, Burst: 1}); v != VThread {
+		t.Fatalf("thread 0: %v, want thread violation", v)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "m", Thread: 7, Write: true, Addr: 0x1000, Size: 4, Burst: 1}); v != VThread {
+		t.Fatalf("thread 7: %v, want thread violation", v)
+	}
+}
+
+func TestThreadOpenZoneIgnoresContext(t *testing.T) {
+	cm := threadConfig()
+	for _, th := range []uint32{0, 1, 99} {
+		if _, v := cm.CheckAccess(Access{Master: "m", Thread: th, Write: false, Addr: 0x2000, Size: 4, Burst: 1}); v != VNone {
+			t.Fatalf("thread %d on open zone: %v", th, v)
+		}
+	}
+}
+
+func TestThreadRestrictionFailsClosed(t *testing.T) {
+	// A thread-1 rule over a sub-zone inside a broader any-thread zone:
+	// the restriction is decisive. Thread 0 is denied in the sub-zone
+	// (VThread, no fall-through to the broad allow) but untouched in the
+	// rest of the parent zone.
+	cm := MustConfig(
+		Policy{SPI: 1, Zone: Zone{Base: 0x1000, Size: 0x10}, RWA: ReadWrite, ADF: AnyWidth,
+			Threads: []uint32{1}},
+		Policy{SPI: 2, Zone: Zone{Base: 0x1000, Size: 0x100}, RWA: ReadWrite, ADF: AnyWidth},
+	)
+	if _, v := cm.CheckAccess(Access{Master: "m", Thread: 1, Write: true, Addr: 0x1000, Size: 4, Burst: 1}); v != VNone {
+		t.Fatalf("thread 1 write: %v", v)
+	}
+	if p, v := cm.CheckAccess(Access{Master: "m", Thread: 0, Write: false, Addr: 0x1000, Size: 4, Burst: 1}); v != VThread || p.SPI != 1 {
+		t.Fatalf("thread 0 in restricted window: %v SPI %d, want thread violation on SPI 1", v, p.SPI)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "m", Thread: 0, Write: true, Addr: 0x1080, Size: 4, Burst: 1}); v != VNone {
+		t.Fatalf("thread 0 outside window: %v", v)
+	}
+}
+
+func TestThreadAndOriginCompose(t *testing.T) {
+	cm := MustConfig(Policy{SPI: 1, Zone: Zone{Base: 0, Size: 0x100}, RWA: ReadWrite, ADF: AnyWidth,
+		Origins: []string{"cpu0"}, Threads: []uint32{2}})
+	if _, v := cm.CheckAccess(Access{Master: "cpu0", Thread: 2, Write: true, Addr: 0, Size: 4, Burst: 1}); v != VNone {
+		t.Fatalf("authorized pair: %v", v)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "cpu1", Thread: 2, Write: true, Addr: 0, Size: 4, Burst: 1}); v != VOrigin {
+		t.Fatalf("wrong master: %v", v)
+	}
+	if _, v := cm.CheckAccess(Access{Master: "cpu0", Thread: 3, Write: true, Addr: 0, Size: 4, Burst: 1}); v != VThread {
+		t.Fatalf("wrong thread: %v", v)
+	}
+}
+
+func TestCheckWrapperUsesThreadZero(t *testing.T) {
+	cm := threadConfig()
+	// The legacy wrapper evaluates under thread 0: restricted zone denied.
+	if _, v := cm.Check("m", true, 0x1000, 4, 1); v != VThread {
+		t.Fatalf("wrapper on restricted zone: %v", v)
+	}
+	if _, v := cm.Check("m", true, 0x2000, 4, 1); v != VNone {
+		t.Fatalf("wrapper on open zone: %v", v)
+	}
+}

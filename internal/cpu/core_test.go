@@ -1,0 +1,389 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// rig builds a single-core system with a shared BRAM at 0x1000_0000.
+func rig(t *testing.T) (*sim.Engine, *cpu.Core, *mem.BRAM) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ram := mem.NewBRAM("bram", 0x1000_0000, 0x1_0000)
+	b.AddSlave(ram)
+	core := cpu.New(eng, cpu.Config{Name: "cpu0", ID: 0, LocalBase: 0, LocalSize: 64 * 1024},
+		b.NewMaster("cpu0"))
+	return eng, core, ram
+}
+
+// runProgram assembles src, loads it, and runs until halt.
+func runProgram(t *testing.T, eng *sim.Engine, core *cpu.Core, src string) {
+	t.Helper()
+	core.Load(isa.MustAssemble(src, 0))
+	halted := func() bool { h, _ := core.Halted(); return h }
+	if _, ok := eng.RunUntil(halted, 1_000_000); !ok {
+		t.Fatalf("program did not halt (pc=%#x)", core.PC())
+	}
+}
+
+func TestArithmeticGolden(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		addi r1, r0, 10
+		addi r2, r0, 3
+		add  r3, r1, r2   ; 13
+		sub  r4, r1, r2   ; 7
+		mul  r5, r1, r2   ; 30
+		and  r6, r1, r2   ; 2
+		or   r7, r1, r2   ; 11
+		xor  r8, r1, r2   ; 9
+		slt  r9, r2, r1   ; 1
+		sltu r10, r1, r2  ; 0
+		halt
+	`)
+	want := map[int]uint32{3: 13, 4: 7, 5: 30, 6: 2, 7: 11, 8: 9, 9: 1, 10: 0}
+	for r, v := range want {
+		if got := core.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestShiftsAndSignedOps(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li   r1, -8
+		srai r2, r1, 1    ; -4
+		srli r3, r1, 28   ; 0xF
+		slli r4, r1, 1    ; -16
+		li   r5, -1
+		slt  r6, r5, r0   ; -1 < 0 => 1
+		sltu r7, r5, r0   ; 0xFFFFFFFF < 0 => 0
+		slti r8, r5, 0    ; 1
+		halt
+	`)
+	if got := int32(core.Reg(2)); got != -4 {
+		t.Errorf("srai: %d, want -4", got)
+	}
+	if got := core.Reg(3); got != 0xF {
+		t.Errorf("srli: %#x, want 0xF", got)
+	}
+	if got := int32(core.Reg(4)); got != -16 {
+		t.Errorf("slli: %d, want -16", got)
+	}
+	if core.Reg(6) != 1 || core.Reg(7) != 0 || core.Reg(8) != 1 {
+		t.Errorf("signed compares wrong: r6=%d r7=%d r8=%d", core.Reg(6), core.Reg(7), core.Reg(8))
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		addi r0, r0, 99
+		add  r1, r0, r0
+		halt
+	`)
+	if core.Reg(0) != 0 || core.Reg(1) != 0 {
+		t.Fatalf("r0 = %d, r1 = %d; r0 must stay zero", core.Reg(0), core.Reg(1))
+	}
+}
+
+func TestFibonacciLoop(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		addi r1, r0, 0    ; fib(0)
+		addi r2, r0, 1    ; fib(1)
+		addi r3, r0, 10   ; count
+	loop:
+		add  r4, r1, r2
+		mov  r1, r2
+		mov  r2, r4
+		addi r3, r3, -1
+		bnez r3, loop
+		halt
+	`)
+	// After 10 iterations: r1 = fib(10) = 55, r2 = fib(11) = 89.
+	if core.Reg(1) != 55 || core.Reg(2) != 89 {
+		t.Fatalf("fib: r1=%d r2=%d, want 55, 89", core.Reg(1), core.Reg(2))
+	}
+}
+
+func TestLocalLoadStoreAllWidths(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li  r1, 0x8000        ; local scratch (inside 64K window)
+		li  r2, 0x12345678
+		sw  r2, 0(r1)
+		lw  r3, 0(r1)
+		lh  r4, 0(r1)         ; 0x5678 sign-extended (positive)
+		lhu r5, 2(r1)         ; 0x1234
+		lb  r6, 3(r1)         ; 0x12
+		lbu r7, 0(r1)         ; 0x78
+		li  r8, 0xFFFF8080
+		sh  r8, 4(r1)         ; stores 0x8080
+		lh  r9, 4(r1)         ; sign-extends to 0xFFFF8080
+		lb  r10, 4(r1)        ; sign-extends 0x80
+		halt
+	`)
+	checks := map[int]uint32{
+		3: 0x12345678, 4: 0x5678, 5: 0x1234, 6: 0x12, 7: 0x78,
+		9: 0xFFFF8080, 10: 0xFFFFFF80,
+	}
+	for r, v := range checks {
+		if got := core.Reg(r); got != v {
+			t.Errorf("r%d = %#x, want %#x", r, got, v)
+		}
+	}
+}
+
+func TestBusLoadStore(t *testing.T) {
+	eng, core, ram := rig(t)
+	runProgram(t, eng, core, `
+		li r1, 0x10000000
+		li r2, 0xCAFEBABE
+		sw r2, 0x40(r1)
+		lw r3, 0x40(r1)
+		halt
+	`)
+	if core.Reg(3) != 0xCAFEBABE {
+		t.Fatalf("bus round trip r3 = %#x", core.Reg(3))
+	}
+	if got := ram.Store().ReadWord(0x1000_0040); got != 0xCAFEBABE {
+		t.Fatalf("BRAM contains %#x", got)
+	}
+	st := core.Stats()
+	if st.BusOps != 2 {
+		t.Fatalf("BusOps = %d, want 2", st.BusOps)
+	}
+	if st.StallCycles == 0 {
+		t.Fatal("bus ops recorded no stall cycles")
+	}
+}
+
+func TestBusErrorLoadsZeroAndCounts(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li r1, 0x70000000   ; unmapped
+		li r3, 7
+		lw r3, 0(r1)        ; decode error -> r3 = 0
+		sw r3, 4(r1)        ; decode error
+		csrr r4, 4          ; CsrBusErr
+		halt
+	`)
+	if core.Reg(3) != 0 {
+		t.Fatalf("failed load returned %#x, want 0", core.Reg(3))
+	}
+	if core.Reg(4) != 2 {
+		t.Fatalf("CsrBusErr = %d, want 2", core.Reg(4))
+	}
+}
+
+func TestTrapOnBusError(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	core := cpu.New(eng, cpu.Config{Name: "cpu0", LocalSize: 4096, TrapOnBusError: true},
+		b.NewMaster("cpu0"))
+	core.Load(isa.MustAssemble(`
+		li r1, 0x70000000
+		lw r2, 0(r1)
+		addi r3, r0, 1  ; must not execute
+		halt
+	`, 0))
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 100000)
+	if _, cause := core.Halted(); cause != cpu.HaltBusFault {
+		t.Fatalf("cause = %v, want bus-fault", cause)
+	}
+	if core.Reg(3) != 0 {
+		t.Fatal("instruction after faulting access executed")
+	}
+}
+
+func TestCSRs(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	core := cpu.New(eng, cpu.Config{Name: "cpu7", ID: 7, LocalSize: 4096}, b.NewMaster("cpu7"))
+	core.Load(isa.MustAssemble(`
+		csrr r1, 0        ; core id
+		li   r2, 1234
+		csrw 5, r2        ; scratch
+		csrr r3, 5
+		csrr r4, 1        ; cycle (nonzero by now)
+		csrr r5, 3        ; instret
+		csrw 0, r2        ; write to RO csr ignored
+		csrr r6, 0
+		halt
+	`, 0))
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 100000)
+	if core.Reg(1) != 7 || core.Reg(6) != 7 {
+		t.Fatalf("core id csr = %d/%d, want 7", core.Reg(1), core.Reg(6))
+	}
+	if core.Reg(3) != 1234 {
+		t.Fatalf("scratch = %d, want 1234", core.Reg(3))
+	}
+	if core.Reg(4) == 0 {
+		t.Fatal("cycle csr reads 0")
+	}
+	if core.Reg(5) == 0 {
+		t.Fatal("instret csr reads 0")
+	}
+}
+
+func TestCallRetAndJump(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li   r1, 0
+		call fn
+		addi r1, r1, 100   ; runs after return
+		halt
+	fn:
+		addi r1, r1, 5
+		ret
+	`)
+	if core.Reg(1) != 105 {
+		t.Fatalf("call/ret: r1 = %d, want 105", core.Reg(1))
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li r1, -1
+		li r2, 1
+		li r10, 0
+		bge r2, r1, a     ; taken (signed)
+		halt
+	a:	addi r10, r10, 1
+		bltu r2, r1, b    ; taken (unsigned: 1 < 0xFFFFFFFF)
+		halt
+	b:	addi r10, r10, 1
+		bgeu r1, r2, c    ; taken
+		halt
+	c:	addi r10, r10, 1
+		blt r1, r2, d     ; taken (signed)
+		halt
+	d:	addi r10, r10, 1
+		halt
+	`)
+	if core.Reg(10) != 4 {
+		t.Fatalf("branch chain reached %d/4 checkpoints", core.Reg(10))
+	}
+}
+
+func TestIllegalInstructionHalts(t *testing.T) {
+	eng, core, _ := rig(t)
+	core.Load(&isa.Program{Base: 0, Words: []uint32{0xFC00_0000}, Symbols: map[string]uint32{}})
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 1000)
+	if _, cause := core.Halted(); cause != cpu.HaltIllegal {
+		t.Fatalf("cause = %v, want illegal-instruction", cause)
+	}
+}
+
+func TestFetchFaultOutsideLocal(t *testing.T) {
+	eng, core, _ := rig(t)
+	// Jump beyond the local window.
+	runFault := isa.MustAssemble(`
+		li r1, 0x10000000
+		jal r0, 0(r1)
+	`, 0)
+	core.Load(runFault)
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 10000)
+	if _, cause := core.Halted(); cause != cpu.HaltFetchFault {
+		t.Fatalf("cause = %v, want fetch-fault", cause)
+	}
+}
+
+func TestMisalignedLocalAccessCounts(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li r1, 0x8001
+		lw r2, 0(r1)    ; misaligned local -> error, keeps running
+		csrr r3, 4
+		halt
+	`)
+	if core.Reg(3) != 1 {
+		t.Fatalf("CsrBusErr = %d, want 1", core.Reg(3))
+	}
+}
+
+func TestStatsAndCPI(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li r1, 0x8000
+		sw r0, 0(r1)      ; local op
+		li r2, 0x10000000
+		lw r3, 0(r2)      ; bus op
+		halt
+	`)
+	st := core.Stats()
+	if st.LocalOps != 1 || st.BusOps != 1 {
+		t.Fatalf("LocalOps=%d BusOps=%d, want 1/1", st.LocalOps, st.BusOps)
+	}
+	if st.Instructions == 0 || st.Cycles < st.Instructions {
+		t.Fatalf("implausible counters: %+v", st)
+	}
+	if st.CPI() < 1 {
+		t.Fatalf("CPI = %f < 1", st.CPI())
+	}
+}
+
+func TestResetPreservesMemoryClearsState(t *testing.T) {
+	eng, core, _ := rig(t)
+	runProgram(t, eng, core, `
+		li r1, 0x8000
+		li r2, 77
+		sw r2, 0(r1)
+		halt
+	`)
+	core.Reset()
+	if h, _ := core.Halted(); h {
+		t.Fatal("core still halted after Reset")
+	}
+	if core.Reg(2) != 0 {
+		t.Fatal("registers survived Reset")
+	}
+	if got := core.Local().ReadWord(0x8000); got != 77 {
+		t.Fatalf("local memory clobbered by Reset: %d", got)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (uint64, uint32) {
+		eng := sim.NewEngine(sim.DefaultFrequency)
+		b := bus.New(eng, bus.Config{})
+		b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1_0000))
+		core := cpu.New(eng, cpu.Config{Name: "cpu0", LocalSize: 64 * 1024}, b.NewMaster("cpu0"))
+		core.Load(isa.MustAssemble(`
+			li r1, 0x10000000
+			li r2, 0
+			li r3, 50
+		loop:
+			sw r2, 0(r1)
+			lw r4, 0(r1)
+			add r2, r2, r4
+			addi r2, r2, 1
+			addi r3, r3, -1
+			bnez r3, loop
+			halt
+		`, 0))
+		halted := func() bool { h, _ := core.Halted(); return h }
+		eng.RunUntil(halted, 1_000_000)
+		return eng.Now(), core.Reg(2)
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", c1, r1, c2, r2)
+	}
+}

@@ -1,0 +1,123 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestIRQEntryAndIRET(t *testing.T) {
+	eng, core, _ := rig(t)
+	core.Load(isa.MustAssemble(`
+		la   r1, handler
+		csrw 8, r1            ; install vector
+		li   r2, 0
+	loop:
+		addi r2, r2, 1        ; main loop counts
+		li   r3, 1000
+		bne  r2, r3, loop
+		halt
+	handler:
+		addi r9, r9, 1        ; count interrupts
+		iret
+	`, 0))
+	// Fire an interrupt mid-run.
+	eng.Run(50)
+	core.RaiseIRQ()
+	halted := func() bool { h, _ := core.Halted(); return h }
+	if _, ok := eng.RunUntil(halted, 1_000_000); !ok {
+		t.Fatal("program did not halt")
+	}
+	if core.Reg(9) != 1 {
+		t.Fatalf("handler ran %d times, want 1", core.Reg(9))
+	}
+	if core.Reg(2) != 1000 {
+		t.Fatalf("main loop corrupted by interrupt: r2=%d", core.Reg(2))
+	}
+	if core.InISR() {
+		t.Fatal("still in ISR after IRET")
+	}
+}
+
+func TestIRQIgnoredWithoutVector(t *testing.T) {
+	eng, core, _ := rig(t)
+	core.Load(isa.MustAssemble(`
+		li r2, 0
+	loop:
+		addi r2, r2, 1
+		li   r3, 100
+		bne  r2, r3, loop
+		halt
+	`, 0))
+	eng.Run(20)
+	core.RaiseIRQ() // no handler installed: stays pending, never delivered
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 100000)
+	if core.Reg(2) != 100 {
+		t.Fatalf("r2=%d", core.Reg(2))
+	}
+	if core.InISR() {
+		t.Fatal("entered ISR without a vector")
+	}
+}
+
+func TestIRQNotReentrant(t *testing.T) {
+	eng, core, _ := rig(t)
+	core.Load(isa.MustAssemble(`
+		la   r1, handler
+		csrw 8, r1
+		li   r2, 0
+	loop:
+		addi r2, r2, 1
+		li   r3, 2000
+		bne  r2, r3, loop
+		halt
+	handler:
+		addi r9, r9, 1
+		li   r4, 50           ; linger inside the handler
+	hloop:
+		addi r4, r4, -1
+		bnez r4, hloop
+		iret
+	`, 0))
+	eng.Run(30)
+	core.RaiseIRQ()
+	eng.Run(10) // handler is now running
+	if !core.InISR() {
+		t.Fatal("handler not entered")
+	}
+	core.RaiseIRQ() // second request while in ISR: deferred, not nested
+	eng.Run(5)
+	if core.Reg(9) != 1 {
+		t.Fatal("nested interrupt delivery")
+	}
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 1_000_000)
+	// The deferred request is delivered after IRET.
+	if core.Reg(9) != 2 {
+		t.Fatalf("handler ran %d times, want 2 (one deferred)", core.Reg(9))
+	}
+}
+
+func TestEPCReadableInHandler(t *testing.T) {
+	eng, core, _ := rig(t)
+	core.Load(isa.MustAssemble(`
+		la   r1, handler
+		csrw 8, r1
+	loop:
+		b loop
+	handler:
+		csrr r9, 7            ; EPC: must point into the loop
+		halt
+	`, 0))
+	eng.Run(20)
+	core.RaiseIRQ()
+	halted := func() bool { h, _ := core.Halted(); return h }
+	eng.RunUntil(halted, 100000)
+	// loop: is a single `beq` at the pc after the two-instruction
+	// prologue (la expands to 2 words, csrw is 1).
+	loopAddr := uint32(3 * 4)
+	if core.Reg(9) != loopAddr {
+		t.Fatalf("EPC = %#x, want %#x", core.Reg(9), loopAddr)
+	}
+}

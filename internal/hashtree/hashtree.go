@@ -1,0 +1,501 @@
+// Package hashtree implements the Integrity Core (IC) of the paper's Local
+// Ciphering Firewall: a binary Merkle hash tree over the protected external
+// memory region.
+//
+// Layout and trust model follow the paper's threat model:
+//
+//   - Protected data and all tree nodes live in *external* memory, which the
+//     attacker can read and rewrite at will (mem.Store.Peek/Poke).
+//   - Only the tree root and the per-leaf version counters (the paper's
+//     "time stamp tags") are on-chip, inside the LCF.
+//
+// A leaf digest binds data, address and version:
+//
+//	leaf_i = H(data_i || addr_i || version_i)
+//
+// so spoofing (fabricated data), relocation (block copied from another
+// address) and replay (stale data with its stale tree path) all fail the
+// root comparison, and the version binding lets the LCF attribute a replay
+// precisely.
+//
+// The compression function is Davies–Meyer over the AES-128 core
+// (H' = AES_H(M) xor M), which is also why the hardware Integrity Core
+// shares the CC's timing descriptor type: the paper's IC costs 20 cycles
+// per node check (Table II).
+package hashtree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/aes"
+	"repro/internal/mem"
+)
+
+// LeafSize is the number of data bytes covered by one leaf.
+const LeafSize = 32
+
+// DigestSize is the byte size of a tree node digest.
+const DigestSize = 16
+
+// Digest is a 128-bit hash value.
+type Digest [DigestSize]byte
+
+// DefaultTiming is the Table II calibration for the IC: 20-cycle node
+// check, initiation interval 98 cycles so the sustained 128-bit-block
+// throughput at 100 MHz is ≈131 Mb/s.
+var DefaultTiming = aes.Timing{Latency: 20, Interval: 98}
+
+// iv is the fixed initial chaining value of the Davies–Meyer construction.
+var iv = Digest{0x52, 0x45, 0x50, 0x52, 0x4f, 0x2d, 0x49, 0x43, 0x2d, 0x49, 0x56, 0x30, 0x30, 0x30, 0x31, 0x00}
+
+// Compress is one Davies–Meyer step: AES_chain(block) xor block.
+func Compress(chain Digest, block [16]byte) Digest {
+	c := aes.MustNew(chain[:])
+	var out Digest
+	c.Encrypt(out[:], block[:])
+	for i := range out {
+		out[i] ^= block[i]
+	}
+	return out
+}
+
+// Hash absorbs the concatenation of the given byte slices in 16-byte
+// blocks (zero-padded) and finishes with a length block, Merkle–Damgård
+// style.
+func Hash(parts ...[]byte) Digest {
+	h := iv
+	var block [16]byte
+	fill := 0
+	total := uint64(0)
+	for _, p := range parts {
+		total += uint64(len(p))
+		for len(p) > 0 {
+			n := copy(block[fill:], p)
+			fill += n
+			p = p[n:]
+			if fill == 16 {
+				h = Compress(h, block)
+				fill = 0
+				block = [16]byte{}
+			}
+		}
+	}
+	if fill > 0 {
+		h = Compress(h, block)
+		block = [16]byte{}
+	}
+	// Length block defeats trivial concatenation ambiguity.
+	for i := 0; i < 8; i++ {
+		block[i] = byte(total >> (8 * i))
+	}
+	return Compress(h, block)
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Store is the external memory holding both data and tree nodes.
+	Store *mem.Store
+	// DataBase/DataSize delimit the protected region. DataSize must be a
+	// multiple of LeafSize and DataSize/LeafSize a power of two.
+	DataBase, DataSize uint32
+	// NodeBase is where tree nodes are stored in external memory. The
+	// region must not overlap the data.
+	NodeBase uint32
+	// CacheSize bounds the on-chip verified-node cache (digest values of
+	// nodes already authenticated against the root). Zero disables
+	// caching, making every verification walk the full path.
+	CacheSize int
+}
+
+// NodesSize returns the external bytes needed for the node array of a
+// region of dataSize bytes.
+func NodesSize(dataSize uint32) uint32 {
+	leaves := dataSize / LeafSize
+	return (2*leaves - 1) * DigestSize
+}
+
+// Tree is the integrity engine state. The exported behaviour distinguishes
+// on-chip state (root, versions, cache — trusted) from external state
+// (node digests in Store — untrusted).
+type Tree struct {
+	cfg    Config
+	leaves int
+	depth  int // number of levels above the leaves
+	root   Digest
+	// versions are the paper's on-chip time stamp tags, one per leaf.
+	versions []uint32
+	// cache maps node index -> verified digest (on-chip).
+	cache     map[int]Digest
+	cacheFifo []int
+	// Stats.
+	NodeChecks  uint64 // hash computations during verification
+	NodeUpdates uint64 // hash computations during updates
+	CacheHits   uint64
+}
+
+// New validates the configuration and creates an unbuilt tree; call Build
+// before first use.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("hashtree: nil store")
+	}
+	if cfg.DataSize == 0 || cfg.DataSize%LeafSize != 0 {
+		return nil, fmt.Errorf("hashtree: data size %#x not a multiple of %d", cfg.DataSize, LeafSize)
+	}
+	leaves := cfg.DataSize / LeafSize
+	if leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("hashtree: leaf count %d not a power of two", leaves)
+	}
+	if !cfg.Store.InRange(cfg.DataBase, cfg.DataSize) {
+		return nil, fmt.Errorf("hashtree: data region outside store")
+	}
+	nodesBytes := NodesSize(cfg.DataSize)
+	if !cfg.Store.InRange(cfg.NodeBase, nodesBytes) {
+		return nil, fmt.Errorf("hashtree: node region outside store")
+	}
+	dLo, dHi := uint64(cfg.DataBase), uint64(cfg.DataBase)+uint64(cfg.DataSize)
+	nLo, nHi := uint64(cfg.NodeBase), uint64(cfg.NodeBase)+uint64(nodesBytes)
+	if dLo < nHi && nLo < dHi {
+		return nil, fmt.Errorf("hashtree: node region overlaps data region")
+	}
+	t := &Tree{
+		cfg:      cfg,
+		leaves:   int(leaves),
+		versions: make([]uint32, leaves),
+		cache:    make(map[int]Digest),
+	}
+	for l := t.leaves; l > 1; l >>= 1 {
+		t.depth++
+	}
+	return t, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return t.leaves }
+
+// Depth returns the number of levels above the leaves (0 for a single
+// leaf).
+func (t *Tree) Depth() int { return t.depth }
+
+// Root returns the on-chip root digest.
+func (t *Tree) Root() Digest { return t.root }
+
+// Version returns the on-chip version (time stamp tag) of leaf idx.
+func (t *Tree) Version(idx int) uint32 { return t.versions[idx] }
+
+// OnChipBits returns the trusted state size for the area model: root plus
+// version tags plus the verified-node cache.
+func (t *Tree) OnChipBits() uint64 {
+	return 128 + uint64(t.leaves)*32 + uint64(t.cfg.CacheSize)*(128+32)
+}
+
+// LeafIndex maps a protected address to its leaf index.
+func (t *Tree) LeafIndex(addr uint32) (int, error) {
+	if addr < t.cfg.DataBase || addr >= t.cfg.DataBase+t.cfg.DataSize {
+		return 0, fmt.Errorf("hashtree: address %#x outside protected region", addr)
+	}
+	return int((addr - t.cfg.DataBase) / LeafSize), nil
+}
+
+// Node index scheme: heap order with the root at 1, children of n at 2n
+// and 2n+1; leaves occupy [leaves, 2*leaves). Node n is stored at
+// NodeBase + (n-1)*DigestSize.
+func (t *Tree) nodeAddr(n int) uint32 {
+	return t.cfg.NodeBase + uint32(n-1)*DigestSize
+}
+
+func (t *Tree) readNode(n int) Digest {
+	var d Digest
+	copy(d[:], t.cfg.Store.Peek(t.nodeAddr(n), DigestSize))
+	return d
+}
+
+func (t *Tree) writeNode(n int, d Digest) {
+	t.cfg.Store.Poke(t.nodeAddr(n), d[:])
+}
+
+// leafDigest recomputes the digest of leaf idx from external data and the
+// on-chip address/version binding.
+func (t *Tree) leafDigest(idx int) Digest {
+	addr := t.cfg.DataBase + uint32(idx)*LeafSize
+	data := t.cfg.Store.Peek(addr, LeafSize)
+	var meta [8]byte
+	putU32(meta[0:], addr)
+	putU32(meta[4:], t.versions[idx])
+	return Hash(data, meta[:])
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// Build recomputes every node from the current data contents and installs
+// the resulting root. Called once at boot after the LCF initializes the
+// protected region.
+func (t *Tree) Build() {
+	t.cache = make(map[int]Digest)
+	t.cacheFifo = nil
+	for i := 0; i < t.leaves; i++ {
+		t.writeNode(t.leaves+i, t.leafDigest(i))
+	}
+	for n := t.leaves - 1; n >= 1; n-- {
+		t.writeNode(n, t.combine(2*n, 2*n+1))
+	}
+	if t.leaves == 1 {
+		t.root = t.readNode(1)
+	} else {
+		t.root = t.readNode(1)
+	}
+}
+
+func (t *Tree) combine(left, right int) Digest {
+	l, r := t.readNode(left), t.readNode(right)
+	return Hash(l[:], r[:])
+}
+
+// cachePut installs a verified digest, evicting FIFO beyond CacheSize.
+func (t *Tree) cachePut(n int, d Digest) {
+	if t.cfg.CacheSize <= 0 {
+		return
+	}
+	if _, ok := t.cache[n]; !ok {
+		t.cacheFifo = append(t.cacheFifo, n)
+		for len(t.cacheFifo) > t.cfg.CacheSize {
+			victim := t.cacheFifo[0]
+			t.cacheFifo = t.cacheFifo[1:]
+			delete(t.cache, victim)
+		}
+	}
+	t.cache[n] = d
+}
+
+// cacheGet returns the trusted digest for node n if present. The root is
+// always "cached": it lives on-chip.
+func (t *Tree) cacheGet(n int) (Digest, bool) {
+	if n == 1 {
+		return t.root, true
+	}
+	d, ok := t.cache[n]
+	return d, ok
+}
+
+// VerifyLeaf authenticates leaf idx against the on-chip root. It returns
+// whether the leaf (and the path walked) is authentic and how many node
+// hash computations were needed — the LCF converts that count into IC
+// cycles.
+func (t *Tree) VerifyLeaf(idx int) (ok bool, nodeChecks int) {
+	if idx < 0 || idx >= t.leaves {
+		return false, 0
+	}
+	d := t.leafDigest(idx)
+	nodeChecks = 1
+	t.NodeChecks++
+	n := t.leaves + idx
+	// Collect the siblings used so they can be cache-installed on success.
+	type step struct {
+		node int
+		dig  Digest
+	}
+	var verified []step
+	verified = append(verified, step{n, d})
+	for {
+		if trusted, hit := t.cacheGet(n); hit {
+			if trusted != d {
+				return false, nodeChecks
+			}
+			if n != 1 {
+				t.CacheHits++
+			}
+			for _, s := range verified {
+				t.cachePut(s.node, s.dig)
+			}
+			return true, nodeChecks
+		}
+		sib := n ^ 1
+		sd := t.readNode(sib) // untrusted external read
+		var parent Digest
+		if n < sib { // n is the left child
+			parent = Hash(d[:], sd[:])
+		} else {
+			parent = Hash(sd[:], d[:])
+		}
+		nodeChecks++
+		t.NodeChecks++
+		n >>= 1
+		d = parent
+		verified = append(verified, step{sib, sd}, step{n, d})
+	}
+}
+
+// UpdateLeaf re-authenticates the old contents of the path, bumps the
+// leaf's version tag, recomputes the path and installs the new root. It
+// must be called *after* the new data has been written to the store. It
+// returns false when the pre-update verification fails (an attacker
+// modified external state between accesses); the tree is left unchanged in
+// that case. nodeOps counts hash computations for timing.
+//
+// Note the order: the LCF performs read-verify before accepting a write to
+// a block it has not verified, so UpdateLeaf trusts the *sibling* path via
+// the same verification walk, not the leaf data (which just changed).
+func (t *Tree) UpdateLeaf(idx int) (ok bool, nodeOps int) {
+	if idx < 0 || idx >= t.leaves {
+		return false, 0
+	}
+	// Verify the sibling path using the stored leaf digest (pre-write
+	// value is irrelevant; what matters is that the *siblings* we are
+	// about to hash against are authentic). We walk with the stored leaf
+	// node value.
+	n := t.leaves + idx
+	d := t.readNode(n)
+	checks := 0
+	type step struct {
+		node int
+		dig  Digest
+	}
+	var path []step
+	path = append(path, step{n, d})
+	for {
+		if trusted, hit := t.cacheGet(n); hit {
+			if trusted != d {
+				return false, checks
+			}
+			break
+		}
+		sib := n ^ 1
+		sd := t.readNode(sib)
+		var parent Digest
+		if n < sib {
+			parent = Hash(d[:], sd[:])
+		} else {
+			parent = Hash(sd[:], d[:])
+		}
+		checks++
+		t.NodeChecks++
+		n >>= 1
+		d = parent
+		path = append(path, step{sib, sd}, step{n, d})
+	}
+	for _, s := range path {
+		t.cachePut(s.node, s.dig)
+	}
+
+	// Authentic: bump version, rewrite the path bottom-up.
+	t.versions[idx]++
+	n = t.leaves + idx
+	nd := t.leafDigest(idx)
+	t.writeNode(n, nd)
+	t.cachePut(n, nd)
+	ops := checks + 1
+	t.NodeUpdates++
+	for n > 1 {
+		sib := n ^ 1
+		var sd Digest
+		if trusted, hit := t.cacheGet(sib); hit {
+			sd = trusted
+		} else {
+			sd = t.readNode(sib)
+		}
+		var parent Digest
+		if n < sib {
+			parent = Hash(nd[:], sd[:])
+		} else {
+			parent = Hash(sd[:], nd[:])
+		}
+		ops++
+		t.NodeUpdates++
+		n >>= 1
+		nd = parent
+		t.writeNode(n, nd)
+		t.cachePut(n, nd)
+	}
+	t.root = nd
+	return true, ops
+}
+
+// Diagnosis classifies why a leaf failed verification, so the LCF can
+// attribute an alert to the right attack class.
+type Diagnosis uint8
+
+// Diagnosis values.
+const (
+	// DiagAuthentic: the leaf verifies; nothing to diagnose.
+	DiagAuthentic Diagnosis = iota
+	// DiagTamper: the external data no longer matches the stored leaf
+	// digest for any plausible version — spoofed, relocated or corrupted
+	// data.
+	DiagTamper
+	// DiagReplay: data and stored digest are internally consistent with a
+	// *previous* version tag (or with the current one while the path is
+	// stale) — a replayed memory image.
+	DiagReplay
+)
+
+// String implements fmt.Stringer.
+func (d Diagnosis) String() string {
+	switch d {
+	case DiagAuthentic:
+		return "authentic"
+	case DiagTamper:
+		return "tamper"
+	case DiagReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("diagnosis(%d)", uint8(d))
+	}
+}
+
+// diagnoseVersionWindow bounds how many historical version tags Diagnose
+// tries when attributing a mismatch to a replay.
+const diagnoseVersionWindow = 8
+
+// Diagnose classifies a failed verification of leaf idx. It is a modeling
+// aid for alert reporting (a hardware IC would simply flag the mismatch)
+// and does not affect detection itself.
+func (t *Tree) Diagnose(idx int) Diagnosis {
+	if ok, _ := t.VerifyLeaf(idx); ok {
+		return DiagAuthentic
+	}
+	stored := t.readNode(t.leaves + idx)
+	if t.leafDigest(idx) == stored {
+		// Data matches its stored digest at the current version, yet the
+		// path to the root fails: stale internal nodes were replayed.
+		return DiagReplay
+	}
+	// Try recent historical versions: a replayed image is consistent
+	// under the version tag it was captured with.
+	cur := t.versions[idx]
+	saved := cur
+	defer func() { t.versions[idx] = saved }()
+	for back := uint32(1); back <= diagnoseVersionWindow && back <= cur; back++ {
+		t.versions[idx] = cur - back
+		if t.leafDigest(idx) == stored {
+			return DiagReplay
+		}
+	}
+	return DiagTamper
+}
+
+// VerifyAll walks every leaf (diagnostics / tests); it returns the index
+// of the first corrupt leaf, or -1.
+func (t *Tree) VerifyAll() int {
+	for i := 0; i < t.leaves; i++ {
+		if ok, _ := t.VerifyLeaf(i); !ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two digests match (constant-time is irrelevant in
+// a simulator; bytes.Equal keeps intent clear).
+func Equal(a, b Digest) bool { return bytes.Equal(a[:], b[:]) }

@@ -1,0 +1,105 @@
+package ip_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const alertBase = 0x3800_0000
+
+func alertRig(t *testing.T) (*sim.Engine, *bus.MasterPort, *ip.AlertPort, *core.AlertLog) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", bramBase, 0x1000))
+	log := core.NewAlertLog()
+	ap := ip.NewAlertPort("alerts", alertBase, log)
+	b.AddSlave(ap)
+	return eng, b.NewMaster("cpu0"), ap, log
+}
+
+func TestAlertPortDeliversAlerts(t *testing.T) {
+	eng, cpu, ap, log := alertRig(t)
+	if got := read32(t, eng, cpu, alertBase+ip.AlertRegCount); got != 0 {
+		t.Fatalf("fresh count = %d", got)
+	}
+	log.Record(core.Alert{Cycle: 10, FirewallID: "lf-x", Master: "cpu1", Thread: 3,
+		Violation: core.VZone, Op: bus.Write, Addr: 0xDEAD0000, Size: 2})
+	if got := read32(t, eng, cpu, alertBase+ip.AlertRegCount); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := read32(t, eng, cpu, alertBase+ip.AlertRegKind); got != uint32(core.VZone) {
+		t.Fatalf("kind = %d", got)
+	}
+	if got := read32(t, eng, cpu, alertBase+ip.AlertRegAddr); got != 0xDEAD0000 {
+		t.Fatalf("addr = %#x", got)
+	}
+	meta := read32(t, eng, cpu, alertBase+ip.AlertRegMeta)
+	if meta&1 != 1 || meta>>8&0xFF != 2 || meta>>16 != 3 {
+		t.Fatalf("meta = %#x", meta)
+	}
+	write32(t, eng, cpu, alertBase+ip.AlertRegPop, 1)
+	if got := read32(t, eng, cpu, alertBase+ip.AlertRegCount); got != 0 {
+		t.Fatalf("count after pop = %d", got)
+	}
+	if ap.Delivered != 1 {
+		t.Fatalf("Delivered = %d", ap.Delivered)
+	}
+}
+
+func TestAlertPortEmptyReadsZero(t *testing.T) {
+	eng, cpu, _, _ := alertRig(t)
+	for _, off := range []uint32{ip.AlertRegKind, ip.AlertRegAddr, ip.AlertRegMeta} {
+		if got := read32(t, eng, cpu, alertBase+off); got != 0 {
+			t.Fatalf("empty register %#x = %#x", off, got)
+		}
+	}
+	// Popping an empty queue is harmless.
+	write32(t, eng, cpu, alertBase+ip.AlertRegPop, 1)
+}
+
+func TestAlertPortOverrun(t *testing.T) {
+	_, _, ap, log := alertRig(t)
+	for i := 0; i < ip.AlertQueueDepth+5; i++ {
+		log.Record(core.Alert{Cycle: uint64(i), Violation: core.VAccess})
+	}
+	if ap.Pending() != ip.AlertQueueDepth {
+		t.Fatalf("queue len = %d", ap.Pending())
+	}
+	if ap.Dropped != 5 {
+		t.Fatalf("Dropped = %d", ap.Dropped)
+	}
+}
+
+func TestAlertPortSoftwareReactionEndToEnd(t *testing.T) {
+	// A security-manager core polls the alert port and records the
+	// violation class of the first alert another IP triggers.
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", bramBase, 0x1000))
+	log := core.NewAlertLog()
+	ap := ip.NewAlertPort("alerts", alertBase, log)
+	b.AddSlave(ap)
+
+	// Offender: firewalled master that violates its policy.
+	fw := core.NewLocalFirewall(eng, "lf-cpu1", b.NewMaster("cpu1"),
+		core.MustConfig(), log) // empty policy: everything denied
+	fw.Owner = "cpu1"
+	offend := &bus.Transaction{Op: bus.Write, Addr: bramBase, Size: 4, Burst: 1, Data: []uint32{1}}
+	fw.Submit(offend, nil)
+
+	// Manager: poll count, then read kind.
+	eng.Run(200)
+	mgr := b.NewMaster("cpu0")
+	if got := read32(t, eng, mgr, alertBase+ip.AlertRegCount); got != 1 {
+		t.Fatalf("manager sees %d alerts", got)
+	}
+	if got := read32(t, eng, mgr, alertBase+ip.AlertRegKind); got != uint32(core.VZone) {
+		t.Fatalf("manager reads kind %d", got)
+	}
+}

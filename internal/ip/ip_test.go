@@ -1,0 +1,217 @@
+package ip_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/ip"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+const (
+	bramBase = 0x1000_0000
+	dmaBase  = 0x2000_0000
+	mboxBase = 0x3000_0000
+)
+
+func dmaRig(t *testing.T) (*sim.Engine, *bus.MasterPort, *ip.DMA, *mem.BRAM) {
+	t.Helper()
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ram := mem.NewBRAM("bram", bramBase, 0x1_0000)
+	b.AddSlave(ram)
+	dma := ip.NewDMA(eng, "dma", dmaBase, b.NewMaster("dma"))
+	b.AddSlave(dma)
+	return eng, b.NewMaster("cpu0"), dma, ram
+}
+
+func write32(t *testing.T, eng *sim.Engine, m *bus.MasterPort, addr, v uint32) {
+	t.Helper()
+	done := false
+	m.Submit(&bus.Transaction{Op: bus.Write, Addr: addr, Size: 4, Burst: 1, Data: []uint32{v}},
+		func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("write stuck")
+	}
+}
+
+func read32(t *testing.T, eng *sim.Engine, m *bus.MasterPort, addr uint32) uint32 {
+	t.Helper()
+	var v uint32
+	done := false
+	m.Submit(&bus.Transaction{Op: bus.Read, Addr: addr, Size: 4, Burst: 1},
+		func(tx *bus.Transaction) { v = tx.Data[0]; done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("read stuck")
+	}
+	return v
+}
+
+func TestDMACopiesMemory(t *testing.T) {
+	eng, cpu, dma, ram := dmaRig(t)
+	for i := uint32(0); i < 64; i += 4 {
+		ram.Store().WriteWord(bramBase+0x100+i, 0xD0000000|i)
+	}
+	write32(t, eng, cpu, dmaBase+ip.DMARegSrc, bramBase+0x100)
+	write32(t, eng, cpu, dmaBase+ip.DMARegDst, bramBase+0x800)
+	write32(t, eng, cpu, dmaBase+ip.DMARegLen, 64)
+	write32(t, eng, cpu, dmaBase+ip.DMARegCtrl, 1)
+	eng.RunUntil(func() bool { return !dma.Busy() }, 100000)
+	if st := read32(t, eng, cpu, dmaBase+ip.DMARegStatus); st&ip.DMADone == 0 {
+		t.Fatalf("status = %#x, want done", st)
+	}
+	for i := uint32(0); i < 64; i += 4 {
+		if got := ram.Store().ReadWord(bramBase + 0x800 + i); got != 0xD0000000|i {
+			t.Fatalf("dst word %d = %#x", i/4, got)
+		}
+	}
+	if dma.Copies != 1 {
+		t.Fatalf("Copies = %d", dma.Copies)
+	}
+}
+
+func TestDMARegistersReadBack(t *testing.T) {
+	eng, cpu, _, _ := dmaRig(t)
+	write32(t, eng, cpu, dmaBase+ip.DMARegSrc, 0x1234)
+	write32(t, eng, cpu, dmaBase+ip.DMARegDst, 0x5678)
+	write32(t, eng, cpu, dmaBase+ip.DMARegLen, 32)
+	if got := read32(t, eng, cpu, dmaBase+ip.DMARegSrc); got != 0x1234 {
+		t.Fatalf("src = %#x", got)
+	}
+	if got := read32(t, eng, cpu, dmaBase+ip.DMARegDst); got != 0x5678 {
+		t.Fatalf("dst = %#x", got)
+	}
+	if got := read32(t, eng, cpu, dmaBase+ip.DMARegLen); got != 32 {
+		t.Fatalf("len = %d", got)
+	}
+}
+
+func TestDMARejectsBadDescriptor(t *testing.T) {
+	eng, cpu, dma, _ := dmaRig(t)
+	write32(t, eng, cpu, dmaBase+ip.DMARegSrc, bramBase)
+	write32(t, eng, cpu, dmaBase+ip.DMARegDst, bramBase+0x100)
+	write32(t, eng, cpu, dmaBase+ip.DMARegLen, 6) // not a word multiple
+	write32(t, eng, cpu, dmaBase+ip.DMARegCtrl, 1)
+	if st := read32(t, eng, cpu, dmaBase+ip.DMARegStatus); st&ip.DMAError == 0 {
+		t.Fatalf("status = %#x, want error", st)
+	}
+	if dma.Errors != 1 {
+		t.Fatalf("Errors = %d", dma.Errors)
+	}
+	// Write-1-to-clear.
+	write32(t, eng, cpu, dmaBase+ip.DMARegStatus, ip.DMAError)
+	if st := read32(t, eng, cpu, dmaBase+ip.DMARegStatus); st != 0 {
+		t.Fatalf("status after clear = %#x", st)
+	}
+}
+
+func TestDMAErrorOnBusFault(t *testing.T) {
+	eng, cpu, dma, _ := dmaRig(t)
+	// Source outside any slave: the read gets a decode error.
+	write32(t, eng, cpu, dmaBase+ip.DMARegSrc, 0x7000_0000)
+	write32(t, eng, cpu, dmaBase+ip.DMARegDst, bramBase)
+	write32(t, eng, cpu, dmaBase+ip.DMARegLen, 16)
+	write32(t, eng, cpu, dmaBase+ip.DMARegCtrl, 1)
+	eng.RunUntil(func() bool { return !dma.Busy() }, 100000)
+	if st := read32(t, eng, cpu, dmaBase+ip.DMARegStatus); st&ip.DMAError == 0 {
+		t.Fatalf("status = %#x, want error", st)
+	}
+}
+
+func TestDMANarrowRegisterAccessRejected(t *testing.T) {
+	eng, cpu, _, _ := dmaRig(t)
+	done := false
+	var resp bus.Resp
+	cpu.Submit(&bus.Transaction{Op: bus.Write, Addr: dmaBase + ip.DMARegSrc, Size: 1, Burst: 1, Data: []uint32{1}},
+		func(tx *bus.Transaction) { resp = tx.Resp; done = true })
+	eng.RunUntil(func() bool { return done }, 10000)
+	if resp != bus.RespSlaveErr {
+		t.Fatalf("byte write to DMA reg: %v", resp)
+	}
+}
+
+// TestHijackedDMABlockedByFirewall is the confused-deputy scenario: the
+// DMA's master path runs through a Local Firewall that only allows BRAM
+// zone traffic, so a descriptor pointing somewhere else is discarded at
+// the interface.
+func TestHijackedDMABlockedByFirewall(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	ram := mem.NewBRAM("bram", bramBase, 0x1_0000)
+	secret := mem.NewBRAM("secret", 0x5000_0000, 0x1000)
+	secret.Store().WriteWord(0x5000_0000, 0x5EC4E7)
+	b.AddSlave(ram)
+	b.AddSlave(secret)
+	log := core.NewAlertLog()
+	fw := core.NewLocalFirewall(eng, "lf-dma", b.NewMaster("dma"), core.MustConfig(
+		core.Policy{SPI: 9, Zone: core.Zone{Base: bramBase, Size: 0x1_0000}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+	), log)
+	dma := ip.NewDMA(eng, "dma", dmaBase, fw)
+	b.AddSlave(dma)
+	cpu := b.NewMaster("cpu0")
+	// Hijacked descriptor: exfiltrate the secret into shared BRAM.
+	write32(t, eng, cpu, dmaBase+ip.DMARegSrc, 0x5000_0000)
+	write32(t, eng, cpu, dmaBase+ip.DMARegDst, bramBase)
+	write32(t, eng, cpu, dmaBase+ip.DMARegLen, 16)
+	write32(t, eng, cpu, dmaBase+ip.DMARegCtrl, 1)
+	eng.RunUntil(func() bool { return !dma.Busy() }, 100000)
+	if dma.Errors != 1 {
+		t.Fatalf("hijacked DMA not stopped (errors=%d)", dma.Errors)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no alert for hijacked DMA")
+	}
+	if got := ram.Store().ReadWord(bramBase); got != 0 {
+		t.Fatalf("secret exfiltrated to shared memory: %#x", got)
+	}
+}
+
+func TestMailboxPushPop(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	mbox := ip.NewMailbox("mbox", mboxBase)
+	b.AddSlave(mbox)
+	cpu := b.NewMaster("cpu0")
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegStatus); got != 0 {
+		t.Fatalf("fresh status = %#x", got)
+	}
+	write32(t, eng, cpu, mboxBase+ip.MboxRegData, 111)
+	write32(t, eng, cpu, mboxBase+ip.MboxRegData, 222)
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegCount); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegStatus); got&ip.MboxNotEmpty == 0 {
+		t.Fatalf("status = %#x", got)
+	}
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegData); got != 111 {
+		t.Fatalf("pop1 = %d", got)
+	}
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegData); got != 222 {
+		t.Fatalf("pop2 = %d", got)
+	}
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegData); got != 0 {
+		t.Fatalf("pop empty = %d, want 0", got)
+	}
+}
+
+func TestMailboxOverrun(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	mbox := ip.NewMailbox("mbox", mboxBase)
+	b.AddSlave(mbox)
+	cpu := b.NewMaster("cpu0")
+	for i := 0; i < ip.MboxDepth+3; i++ {
+		write32(t, eng, cpu, mboxBase+ip.MboxRegData, uint32(i))
+	}
+	if mbox.Len() != ip.MboxDepth {
+		t.Fatalf("fifo len = %d", mbox.Len())
+	}
+	if mbox.Overruns != 3 {
+		t.Fatalf("overruns = %d", mbox.Overruns)
+	}
+	if got := read32(t, eng, cpu, mboxBase+ip.MboxRegStatus); got&ip.MboxFull == 0 {
+		t.Fatalf("status = %#x, want full", got)
+	}
+}

@@ -1,0 +1,96 @@
+package ip
+
+import "repro/internal/bus"
+
+// Mailbox register offsets (word registers, from the slave base).
+const (
+	MboxRegData   = 0x00 // write: push; read: pop (0 when empty)
+	MboxRegCount  = 0x04 // read-only: entries queued
+	MboxRegStatus = 0x08 // bit0 not-empty, bit1 full
+	mboxRegSpan   = 0x10
+)
+
+// Mailbox status bits.
+const (
+	MboxNotEmpty = 1 << 0
+	MboxFull     = 1 << 1
+)
+
+// MboxDepth is the FIFO capacity in words.
+const MboxDepth = 16
+
+// Mailbox is a small FIFO IP used for inter-processor messaging in the
+// producer/consumer workloads. Pushing into a full FIFO drops the word and
+// counts an overrun (real mailboxes raise an interrupt; the workloads poll
+// status instead).
+type Mailbox struct {
+	name string
+	base uint32
+	fifo []uint32
+
+	// Pushes/Pops/Overruns count FIFO activity.
+	Pushes, Pops, Overruns uint64
+}
+
+// NewMailbox creates a mailbox slave at base (span 0x10).
+func NewMailbox(name string, base uint32) *Mailbox {
+	return &Mailbox{name: name, base: base}
+}
+
+// Name implements bus.Slave.
+func (m *Mailbox) Name() string { return m.name }
+
+// Base implements bus.Slave.
+func (m *Mailbox) Base() uint32 { return m.base }
+
+// Size implements bus.Slave.
+func (m *Mailbox) Size() uint32 { return mboxRegSpan }
+
+// Len returns the queued word count.
+func (m *Mailbox) Len() int { return len(m.fifo) }
+
+// Access implements bus.Slave (1 wait state, word access only).
+func (m *Mailbox) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
+	if tx.Size != 4 || tx.Burst != 1 {
+		return 1, bus.RespSlaveErr
+	}
+	off := tx.Addr - m.base
+	if tx.Op == bus.Read {
+		switch off {
+		case MboxRegData:
+			if len(m.fifo) == 0 {
+				tx.Data[0] = 0
+			} else {
+				tx.Data[0] = m.fifo[0]
+				m.fifo = m.fifo[1:]
+				m.Pops++
+			}
+		case MboxRegCount:
+			tx.Data[0] = uint32(len(m.fifo))
+		case MboxRegStatus:
+			var s uint32
+			if len(m.fifo) > 0 {
+				s |= MboxNotEmpty
+			}
+			if len(m.fifo) >= MboxDepth {
+				s |= MboxFull
+			}
+			tx.Data[0] = s
+		default:
+			return 1, bus.RespSlaveErr
+		}
+		return 1, bus.RespOK
+	}
+	switch off {
+	case MboxRegData:
+		if len(m.fifo) >= MboxDepth {
+			m.Overruns++
+		} else {
+			m.fifo = append(m.fifo, tx.Data[0])
+			m.Pushes++
+		}
+	default:
+		return 1, bus.RespSlaveErr
+	}
+	return 1, bus.RespOK
+}

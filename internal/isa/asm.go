@@ -1,0 +1,672 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a word image plus the resolved
+// symbol table.
+type Program struct {
+	// Base is the load address of Words[0].
+	Base uint32
+	// Words is the assembled memory image (instructions and data).
+	Words []uint32
+	// Symbols maps every label and .equ constant to its value.
+	Symbols map[string]uint32
+}
+
+// SizeBytes returns the image size in bytes.
+func (p *Program) SizeBytes() uint32 { return uint32(len(p.Words)) * 4 }
+
+// Entry returns the value of the given symbol, or Base when absent.
+func (p *Program) Entry(sym string) uint32 {
+	if v, ok := p.Symbols[sym]; ok {
+		return v
+	}
+	return p.Base
+}
+
+// Assemble translates MB32 assembly source into a Program loaded at base.
+//
+// Syntax:
+//
+//	label:              ; define label at current address
+//	    addi r1, r0, 42 ; comments start with ';', '#' or '//'
+//	    lw   r2, 8(r3)
+//	    beq  r1, r2, label
+//	.word 0x1234, 56    ; literal data words
+//	.space 64           ; 64 zero bytes (must be a multiple of 4)
+//	.equ  NAME, 0x1000  ; constant
+//
+// Registers are r0..r31 with aliases zero, sp (r30) and lr (r31).
+// Immediates are decimal or 0x-hex, optionally negative, and may reference
+// symbols with an optional +/- offset (e.g. "buf+8"). Pseudo-instructions:
+//
+//	nop                  -> add  r0, r0, r0
+//	mov  rd, ra          -> add  rd, ra, r0
+//	li   rd, imm32       -> addi rd, r0, imm  (or lui+ori when wide)
+//	la   rd, sym         -> li with the symbol's value
+//	not  rd, ra          -> sub rd, r0, ra ; addi rd, rd, -1  (~x = -x-1)
+//	neg  rd, ra          -> sub  rd, r0, ra
+//	subi rd, ra, imm     -> addi rd, ra, -imm
+//	b    label           -> beq  r0, r0, label
+//	beqz ra, label       -> beq  ra, r0, label
+//	bnez ra, label       -> bne  ra, r0, label
+//	call label           -> bal  lr, label
+//	ret                  -> jal  r0, 0(lr)
+//	j    reg             -> jal  r0, 0(reg)
+func Assemble(src string, base uint32) (*Program, error) {
+	a := &assembler{
+		base:    base,
+		symbols: make(map[string]uint32),
+	}
+	if base%4 != 0 {
+		return nil, fmt.Errorf("asm: base %#x not word-aligned", base)
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: measure sizes, define labels and constants.
+	pc := base
+	type stmt struct {
+		lineNo int
+		text   string
+		pc     uint32
+	}
+	var stmts []stmt
+	for ln, raw := range lines {
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Peel off any leading labels (several may share a line).
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(text[:idx])
+			if !isIdent(head) {
+				break
+			}
+			if _, dup := a.symbols[head]; dup {
+				return nil, fmt.Errorf("asm:%d: duplicate symbol %q", ln+1, head)
+			}
+			a.symbols[head] = pc
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		n, err := a.sizeOf(text, ln+1)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(text, ".equ") {
+			// Constants are defined during pass 1 so later references
+			// resolve; they occupy no space.
+			if err := a.defineEqu(text, ln+1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stmts = append(stmts, stmt{lineNo: ln + 1, text: text, pc: pc})
+		pc += n
+	}
+
+	// Pass 2: emit.
+	var words []uint32
+	for _, s := range stmts {
+		ws, err := a.emit(s.text, s.pc, s.lineNo)
+		if err != nil {
+			return nil, err
+		}
+		words = append(words, ws...)
+	}
+	return &Program{Base: base, Words: words, Symbols: a.symbols}, nil
+}
+
+// MustAssemble is Assemble for statically known-good source; it panics on
+// error. Workload generators use it because their source is produced by
+// code, not users.
+func MustAssemble(src string, base uint32) *Program {
+	p, err := Assemble(src, base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	base    uint32
+	symbols map[string]uint32
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == ';' || s[i] == '#':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sizeOf returns the byte size a statement will occupy.
+func (a *assembler) sizeOf(text string, line int) (uint32, error) {
+	mnem, rest := splitMnemonic(text)
+	switch mnem {
+	case ".equ":
+		return 0, nil
+	case ".word":
+		n := uint32(len(splitOperands(rest)))
+		if n == 0 {
+			return 0, fmt.Errorf("asm:%d: .word needs at least one value", line)
+		}
+		return 4 * n, nil
+	case ".space":
+		v, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("asm:%d: bad .space size: %v", line, err)
+		}
+		if v%4 != 0 {
+			return 0, fmt.Errorf("asm:%d: .space %d not a multiple of 4", line, v)
+		}
+		return uint32(v), nil
+	case "li", "la":
+		// li always reserves the wide 2-instruction form when the value
+		// is unknown in pass 1; known narrow values use 1. Symbol values
+		// are not final during pass 1, so any symbolic operand gets the
+		// wide form for a stable layout.
+		ops := splitOperands(rest)
+		if len(ops) == 2 {
+			if v, err := a.evalNoSymbols(ops[1]); err == nil && fitsSigned16(int64(int32(v))) {
+				return 4, nil
+			}
+		}
+		return 8, nil
+	case "not":
+		return 8, nil
+	default:
+		return 4, nil
+	}
+}
+
+func (a *assembler) defineEqu(text string, line int) error {
+	_, rest := splitMnemonic(text)
+	ops := splitOperands(rest)
+	if len(ops) != 2 {
+		return fmt.Errorf("asm:%d: .equ wants NAME, VALUE", line)
+	}
+	if !isIdent(ops[0]) {
+		return fmt.Errorf("asm:%d: bad .equ name %q", line, ops[0])
+	}
+	v, err := a.eval(ops[1], line)
+	if err != nil {
+		return err
+	}
+	if _, dup := a.symbols[ops[0]]; dup {
+		return fmt.Errorf("asm:%d: duplicate symbol %q", line, ops[0])
+	}
+	a.symbols[ops[0]] = v
+	return nil
+}
+
+func splitMnemonic(text string) (mnem, rest string) {
+	i := strings.IndexAny(text, " \t")
+	if i < 0 {
+		return strings.ToLower(text), ""
+	}
+	return strings.ToLower(text[:i]), strings.TrimSpace(text[i+1:])
+}
+
+func splitOperands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+var regAliases = map[string]uint8{"zero": 0, "sp": RegSP, "lr": RegLR}
+
+func parseReg(s string) (uint8, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[ls]; ok {
+		return r, nil
+	}
+	if len(ls) >= 2 && ls[0] == 'r' {
+		n, err := strconv.Atoi(ls[1:])
+		if err == nil && n >= 0 && n <= 31 {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// eval resolves an integer or symbol±offset expression.
+func (a *assembler) eval(expr string, line int) (uint32, error) {
+	v, err := a.evalWith(expr, true)
+	if err != nil {
+		return 0, fmt.Errorf("asm:%d: %v", line, err)
+	}
+	return v, nil
+}
+
+func (a *assembler) evalNoSymbols(expr string) (uint32, error) {
+	return a.evalWith(expr, false)
+}
+
+func (a *assembler) evalWith(expr string, allowSymbols bool) (uint32, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	// Pure number (incl. negative)?
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return 0, fmt.Errorf("value %d out of 32-bit range", v)
+		}
+		return uint32(v), nil
+	}
+	// symbol, symbol+off, symbol-off (split at the last +/- not at pos 0).
+	split := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			split = i
+		}
+	}
+	sym, off := s, int64(0)
+	if split > 0 {
+		var err error
+		off, err = strconv.ParseInt(s[split:], 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad offset in %q", s)
+		}
+		sym = strings.TrimSpace(s[:split])
+	}
+	if !allowSymbols {
+		return 0, fmt.Errorf("symbol %q not allowed here", sym)
+	}
+	v, ok := a.symbols[sym]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", sym)
+	}
+	return uint32(int64(v) + off), nil
+}
+
+func fitsSigned16(v int64) bool { return v >= -32768 && v <= 32767 }
+
+// imm16 validates and truncates an immediate for the given format.
+func imm16(v uint32, f Format) (uint16, error) {
+	sv := int64(int32(v))
+	switch f {
+	case FmtI, FmtMem, FmtJAL:
+		if !fitsSigned16(sv) && v > 0xFFFF {
+			return 0, fmt.Errorf("immediate %#x does not fit in signed 16 bits", v)
+		}
+	case FmtIU, FmtLUI, FmtCSRR, FmtCSRW:
+		if v > 0xFFFF && !fitsSigned16(sv) {
+			return 0, fmt.Errorf("immediate %#x does not fit in 16 bits", v)
+		}
+	}
+	return uint16(v), nil
+}
+
+var mnemonicOps = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op.Valid(); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// emit assembles one statement at address pc into one or more words.
+func (a *assembler) emit(text string, pc uint32, line int) ([]uint32, error) {
+	mnem, rest := splitMnemonic(text)
+	ops := splitOperands(rest)
+
+	fail := func(format string, args ...interface{}) ([]uint32, error) {
+		return nil, fmt.Errorf("asm:%d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	switch mnem {
+	case ".word":
+		var out []uint32
+		for _, o := range ops {
+			v, err := a.eval(o, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case ".space":
+		v, _ := strconv.ParseUint(ops[0], 0, 32)
+		return make([]uint32, v/4), nil
+	case "nop":
+		return []uint32{MustEncode(Instr{Op: ADD})}, nil
+	case "mov":
+		if len(ops) != 2 {
+			return fail("mov wants rd, ra")
+		}
+		rd, err1 := parseReg(ops[0])
+		ra, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("mov: bad register")
+		}
+		return []uint32{MustEncode(Instr{Op: ADD, Rd: rd, Ra: ra})}, nil
+	case "neg":
+		if len(ops) != 2 {
+			return fail("neg wants rd, ra")
+		}
+		rd, err1 := parseReg(ops[0])
+		ra, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("neg: bad register")
+		}
+		return []uint32{MustEncode(Instr{Op: SUB, Rd: rd, Rb: ra})}, nil
+	case "not":
+		if len(ops) != 2 {
+			return fail("not wants rd, ra")
+		}
+		rd, err1 := parseReg(ops[0])
+		ra, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("not: bad register")
+		}
+		// ~x = -x - 1; the SUB reads ra before writing rd, so rd==ra is
+		// safe (XORI cannot express a 32-bit invert: its immediate is
+		// zero-extended).
+		return []uint32{
+			MustEncode(Instr{Op: SUB, Rd: rd, Rb: ra}),
+			MustEncode(Instr{Op: ADDI, Rd: rd, Ra: rd, Imm: 0xFFFF}),
+		}, nil
+	case "li", "la":
+		if len(ops) != 2 {
+			return fail("%s wants rd, value", mnem)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%s: %v", mnem, err)
+		}
+		v, err := a.eval(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		narrow := false
+		if nv, nerr := a.evalNoSymbols(ops[1]); nerr == nil && fitsSigned16(int64(int32(nv))) {
+			narrow = true
+		}
+		if narrow {
+			return []uint32{MustEncode(Instr{Op: ADDI, Rd: rd, Imm: uint16(v)})}, nil
+		}
+		// Wide: lui rd, hi ; ori rd, rd, lo. (xori pseudo-free path)
+		return []uint32{
+			MustEncode(Instr{Op: LUI, Rd: rd, Imm: uint16(v >> 16)}),
+			MustEncode(Instr{Op: ORI, Rd: rd, Ra: rd, Imm: uint16(v)}),
+		}, nil
+	case "subi":
+		if len(ops) != 3 {
+			return fail("subi wants rd, ra, imm")
+		}
+		rd, err1 := parseReg(ops[0])
+		ra, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("subi: bad register")
+		}
+		v, err := a.eval(ops[2], line)
+		if err != nil {
+			return nil, err
+		}
+		neg := uint32(-int32(v))
+		if !fitsSigned16(int64(int32(neg))) {
+			return fail("subi immediate out of range")
+		}
+		return []uint32{MustEncode(Instr{Op: ADDI, Rd: rd, Ra: ra, Imm: uint16(neg)})}, nil
+	case "b":
+		if len(ops) != 1 {
+			return fail("b wants a label")
+		}
+		off, err := a.branchOffset(ops[0], pc, line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{MustEncode(Instr{Op: BEQ, Imm: off})}, nil
+	case "beqz", "bnez":
+		if len(ops) != 2 {
+			return fail("%s wants ra, label", mnem)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return fail("%s: %v", mnem, err)
+		}
+		off, err := a.branchOffset(ops[1], pc, line)
+		if err != nil {
+			return nil, err
+		}
+		op := BEQ
+		if mnem == "bnez" {
+			op = BNE
+		}
+		return []uint32{MustEncode(Instr{Op: op, Ra: ra, Imm: off})}, nil
+	case "call":
+		if len(ops) != 1 {
+			return fail("call wants a label")
+		}
+		off, err := a.branchOffset(ops[0], pc, line)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{MustEncode(Instr{Op: BAL, Rd: RegLR, Imm: off})}, nil
+	case "ret":
+		return []uint32{MustEncode(Instr{Op: JAL, Ra: RegLR})}, nil
+	case "j":
+		if len(ops) != 1 {
+			return fail("j wants a register")
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return fail("j: %v", err)
+		}
+		return []uint32{MustEncode(Instr{Op: JAL, Ra: ra})}, nil
+	}
+
+	op, ok := mnemonicOps[mnem]
+	if !ok {
+		return fail("unknown mnemonic %q", mnem)
+	}
+	in := Instr{Op: op}
+	f := FormatOf(op)
+	switch f {
+	case FmtR:
+		if len(ops) != 3 {
+			return fail("%s wants rd, ra, rb", op)
+		}
+		var errs [3]error
+		in.Rd, errs[0] = parseReg(ops[0])
+		in.Ra, errs[1] = parseReg(ops[1])
+		in.Rb, errs[2] = parseReg(ops[2])
+		for _, e := range errs {
+			if e != nil {
+				return fail("%s: %v", op, e)
+			}
+		}
+	case FmtI, FmtIU, FmtShift:
+		if len(ops) != 3 {
+			return fail("%s wants rd, ra, imm", op)
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		v, err := a.eval(ops[2], line)
+		if err != nil {
+			return nil, err
+		}
+		if f == FmtShift {
+			if v > 31 {
+				return fail("%s: shift %d > 31", op, v)
+			}
+			in.Imm = uint16(v)
+		} else {
+			if in.Imm, err = imm16(v, f); err != nil {
+				return fail("%s: %v", op, err)
+			}
+		}
+	case FmtLUI:
+		if len(ops) != 2 {
+			return fail("lui wants rd, imm")
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return fail("lui: %v", err)
+		}
+		v, err := a.eval(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		if in.Imm, err = imm16(v, f); err != nil {
+			return fail("lui: %v", err)
+		}
+	case FmtMem, FmtJAL:
+		if len(ops) != 2 {
+			return fail("%s wants rd, imm(ra)", op)
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		immS, raS, err := splitMemOperand(ops[1])
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		if in.Ra, err = parseReg(raS); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		v := uint32(0)
+		if immS != "" {
+			if v, err = a.eval(immS, line); err != nil {
+				return nil, err
+			}
+		}
+		if in.Imm, err = imm16(v, f); err != nil {
+			return fail("%s: %v", op, err)
+		}
+	case FmtBranch:
+		if len(ops) != 3 {
+			return fail("%s wants ra, rb, label", op)
+		}
+		var err error
+		if in.Ra, err = parseReg(ops[0]); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		if in.Rb, err = parseReg(ops[1]); err != nil {
+			return fail("%s: %v", op, err)
+		}
+		if in.Imm, err = a.branchOffset(ops[2], pc, line); err != nil {
+			return nil, err
+		}
+	case FmtBAL:
+		if len(ops) != 2 {
+			return fail("bal wants rd, label")
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return fail("bal: %v", err)
+		}
+		if in.Imm, err = a.branchOffset(ops[1], pc, line); err != nil {
+			return nil, err
+		}
+	case FmtCSRR:
+		if len(ops) != 2 {
+			return fail("csrr wants rd, csr")
+		}
+		var err error
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return fail("csrr: %v", err)
+		}
+		v, err := a.eval(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = uint16(v)
+	case FmtCSRW:
+		if len(ops) != 2 {
+			return fail("csrw wants csr, ra")
+		}
+		v, err := a.eval(ops[0], line)
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = uint16(v)
+		if in.Ra, err = parseReg(ops[1]); err != nil {
+			return fail("csrw: %v", err)
+		}
+	case FmtNone:
+		if len(ops) != 0 {
+			return fail("%s takes no operands", op)
+		}
+	}
+	w, err := Encode(in)
+	if err != nil {
+		return fail("%v", err)
+	}
+	return []uint32{w}, nil
+}
+
+// branchOffset resolves a label (or numeric address) to an instruction
+// offset relative to pc.
+func (a *assembler) branchOffset(target string, pc uint32, line int) (uint16, error) {
+	v, err := a.eval(target, line)
+	if err != nil {
+		return 0, err
+	}
+	delta := int64(v) - int64(pc)
+	if delta%4 != 0 {
+		return 0, fmt.Errorf("asm:%d: branch target %#x not word-aligned relative to %#x", line, v, pc)
+	}
+	words := delta / 4
+	if !fitsSigned16(words) {
+		return 0, fmt.Errorf("asm:%d: branch to %#x out of range from %#x", line, v, pc)
+	}
+	return uint16(int16(words)), nil
+}
+
+// splitMemOperand parses "imm(ra)" or "(ra)".
+func splitMemOperand(s string) (imm, ra string, err error) {
+	open := strings.Index(s, "(")
+	closeIdx := strings.LastIndex(s, ")")
+	if open < 0 || closeIdx < open {
+		return "", "", fmt.Errorf("bad memory operand %q (want imm(ra))", s)
+	}
+	return strings.TrimSpace(s[:open]), strings.TrimSpace(s[open+1 : closeIdx]), nil
+}

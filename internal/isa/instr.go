@@ -1,0 +1,158 @@
+package isa
+
+import "fmt"
+
+// Instr is a decoded MB32 instruction. Imm holds the raw (unextended) low
+// 16 bits for I-type forms; execution applies sign- or zero-extension
+// according to the opcode. For shift-immediates only the low 5 bits are
+// meaningful.
+//
+// Field packing: branches carry two source registers plus a 16-bit offset,
+// so they place Ra in the rd bit-field and Rb in the ra bit-field. Encode
+// and Decode handle that mapping; users of Instr always see the logical
+// Ra/Rb.
+type Instr struct {
+	Op      Opcode
+	Rd      uint8
+	Ra      uint8
+	Rb      uint8
+	Imm     uint16
+	Raw     uint32 // original word, set by Decode
+	Decoded bool   // true when produced by Decode
+}
+
+// SignExt16 sign-extends a raw 16-bit immediate.
+func SignExt16(v uint16) uint32 { return uint32(int32(int16(v))) }
+
+// SignedImm returns the immediate interpreted as a signed value.
+func (i Instr) SignedImm() int32 { return int32(int16(i.Imm)) }
+
+// Encode packs the instruction into its 32-bit word, validating field
+// ranges.
+func Encode(i Instr) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", i.Op)
+	}
+	if i.Rd > 31 || i.Ra > 31 || i.Rb > 31 {
+		return 0, fmt.Errorf("isa: register out of range in %v (rd=%d ra=%d rb=%d)", i.Op, i.Rd, i.Ra, i.Rb)
+	}
+	w := uint32(i.Op) << 26
+	switch FormatOf(i.Op) {
+	case FmtR:
+		w |= uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(i.Rb)<<11
+	case FmtShift:
+		if i.Imm > 31 {
+			return 0, fmt.Errorf("isa: shift amount %d > 31 in %v", i.Imm, i.Op)
+		}
+		w |= uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(i.Imm)
+	case FmtBranch:
+		// Two sources + offset: Ra rides in the rd field, Rb in ra.
+		w |= uint32(i.Ra)<<21 | uint32(i.Rb)<<16 | uint32(i.Imm)
+	case FmtCSRW:
+		w |= uint32(i.Ra)<<16 | uint32(i.Imm)
+	case FmtLUI, FmtCSRR:
+		w |= uint32(i.Rd)<<21 | uint32(i.Imm)
+	case FmtNone:
+		// no operand fields
+	default: // FmtI, FmtIU, FmtMem, FmtJAL, FmtBAL
+		w |= uint32(i.Rd)<<21 | uint32(i.Ra)<<16 | uint32(i.Imm)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for statically known-valid instructions; it panics
+// on error.
+func MustEncode(i Instr) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word. Undefined opcodes decode with an invalid
+// Op; the core treats executing one as an illegal-instruction halt.
+func Decode(w uint32) Instr {
+	i := Instr{
+		Op:      Opcode(w >> 26),
+		Raw:     w,
+		Decoded: true,
+	}
+	f1 := uint8(w >> 21 & 31)
+	f2 := uint8(w >> 16 & 31)
+	switch FormatOf(i.Op) {
+	case FmtR:
+		i.Rd, i.Ra, i.Rb = f1, f2, uint8(w>>11&31)
+	case FmtShift:
+		i.Rd, i.Ra, i.Imm = f1, f2, uint16(w&31)
+	case FmtBranch:
+		i.Ra, i.Rb, i.Imm = f1, f2, uint16(w)
+	case FmtCSRW:
+		i.Ra, i.Imm = f2, uint16(w)
+	case FmtLUI, FmtCSRR:
+		i.Rd, i.Imm = f1, uint16(w)
+	case FmtNone:
+		// no operands
+	default:
+		i.Rd, i.Ra, i.Imm = f1, f2, uint16(w)
+	}
+	return i
+}
+
+// Disassemble renders the instruction in assembler syntax. pc is the
+// address of the instruction, used to resolve branch targets to absolute
+// addresses; pass 0 to print raw offsets.
+func Disassemble(i Instr, pc uint32) string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch FormatOf(i.Op) {
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Ra), r(i.Rb))
+	case FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Ra), i.SignedImm())
+	case FmtIU:
+		return fmt.Sprintf("%s %s, %s, %#x", i.Op, r(i.Rd), r(i.Ra), i.Imm)
+	case FmtShift:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Ra), i.Imm&31)
+	case FmtLUI:
+		return fmt.Sprintf("%s %s, %#x", i.Op, r(i.Rd), i.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.SignedImm(), r(i.Ra))
+	case FmtBranch:
+		target := pc + uint32(i.SignedImm())*4
+		return fmt.Sprintf("%s %s, %s, %#x", i.Op, r(i.Ra), r(i.Rb), target)
+	case FmtJAL:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.SignedImm(), r(i.Ra))
+	case FmtBAL:
+		target := pc + uint32(i.SignedImm())*4
+		return fmt.Sprintf("%s %s, %#x", i.Op, r(i.Rd), target)
+	case FmtCSRR:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rd), i.Imm)
+	case FmtCSRW:
+		return fmt.Sprintf("%s %d, %s", i.Op, i.Imm, r(i.Ra))
+	default:
+		return i.Op.String()
+	}
+}
+
+// Canonical zeroes fields that are dead for the opcode's format, so that
+// Decode(MustEncode(Canonical(i))) equals Canonical(i) modulo Raw/Decoded.
+func Canonical(i Instr) Instr {
+	c := Instr{Op: i.Op}
+	switch FormatOf(i.Op) {
+	case FmtR:
+		c.Rd, c.Ra, c.Rb = i.Rd, i.Ra, i.Rb
+	case FmtShift:
+		c.Rd, c.Ra, c.Imm = i.Rd, i.Ra, i.Imm&31
+	case FmtBranch:
+		c.Ra, c.Rb, c.Imm = i.Ra, i.Rb, i.Imm
+	case FmtCSRW:
+		c.Ra, c.Imm = i.Ra, i.Imm
+	case FmtLUI, FmtCSRR:
+		c.Rd, c.Imm = i.Rd, i.Imm
+	case FmtNone:
+		// nothing live
+	default:
+		c.Rd, c.Ra, c.Imm = i.Rd, i.Ra, i.Imm
+	}
+	return c
+}

@@ -1,0 +1,217 @@
+// Package isa defines MB32, the MicroBlaze-like 32-bit RISC instruction set
+// executed by the platform's soft cores, together with an encoder, decoder,
+// disassembler and a small two-pass assembler.
+//
+// The paper's case study uses three Xilinx MicroBlaze processors. MicroBlaze
+// itself is proprietary, so MB32 is a from-scratch substitute with the same
+// shape: 32 general registers (r0 hardwired to zero), 32-bit fixed-width
+// instructions, load/store architecture, local-memory code execution and
+// bus-mapped data accesses. Workload programs in internal/workload are
+// written in MB32 assembly.
+//
+// Encoding (32 bits):
+//
+//	[31:26] opcode
+//	[25:21] rd
+//	[20:16] ra
+//	[15:11] rb      (R-type)
+//	[15:0]  imm16   (I-type, branches, CSR number)
+//
+// Branch offsets are signed instruction counts relative to the branch
+// itself: target = pc + 4*imm.
+package isa
+
+import "fmt"
+
+// Opcode identifies an MB32 instruction.
+type Opcode uint8
+
+// The MB32 instruction set.
+const (
+	// R-type ALU.
+	ADD Opcode = iota
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	MUL
+	SLT
+	SLTU
+	// I-type ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI
+	// Loads: rd <- mem[ra+imm]. LH/LB sign-extend, LHU/LBU zero-extend.
+	LW
+	LH
+	LHU
+	LB
+	LBU
+	// Stores: mem[ra+imm] <- rd.
+	SW
+	SH
+	SB
+	// Conditional branches on (ra, rb).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	// JAL rd, imm(ra): register-indirect jump and link (rd = pc+4).
+	JAL
+	// BAL rd, off: pc-relative call (rd = pc+4, pc += 4*off).
+	BAL
+	// CSRR rd, csr / CSRW csr, ra: control/status register access.
+	CSRR
+	CSRW
+	// HALT stops the core.
+	HALT
+	// IRET returns from an interrupt handler (pc <- EPC).
+	IRET
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes (for property tests).
+const NumOpcodes = int(numOpcodes)
+
+var opNames = [...]string{
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", MUL: "mul", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLTI: "slti",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", LUI: "lui",
+	LW: "lw", LH: "lh", LHU: "lhu", LB: "lb", LBU: "lbu",
+	SW: "sw", SH: "sh", SB: "sb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", BAL: "bal", CSRR: "csrr", CSRW: "csrw", HALT: "halt", IRET: "iret",
+}
+
+// String returns the assembler mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o < numOpcodes }
+
+// Format classes drive encoding validation and disassembly.
+type Format uint8
+
+// Instruction format classes.
+const (
+	FmtR      Format = iota // rd, ra, rb
+	FmtI                    // rd, ra, imm16 (signed)
+	FmtIU                   // rd, ra, imm16 (unsigned/logical)
+	FmtShift                // rd, ra, imm5
+	FmtLUI                  // rd, imm16
+	FmtMem                  // rd, imm16(ra)
+	FmtBranch               // ra, rb, label
+	FmtJAL                  // rd, imm16(ra)
+	FmtBAL                  // rd, label
+	FmtCSRR                 // rd, csr
+	FmtCSRW                 // csr, ra
+	FmtNone                 // no operands
+)
+
+// FormatOf returns the operand format of an opcode.
+func FormatOf(o Opcode) Format {
+	switch o {
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, MUL, SLT, SLTU:
+		return FmtR
+	case ADDI, SLTI:
+		return FmtI
+	case ANDI, ORI, XORI:
+		return FmtIU
+	case SLLI, SRLI, SRAI:
+		return FmtShift
+	case LUI:
+		return FmtLUI
+	case LW, LH, LHU, LB, LBU, SW, SH, SB:
+		return FmtMem
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return FmtBranch
+	case JAL:
+		return FmtJAL
+	case BAL:
+		return FmtBAL
+	case CSRR:
+		return FmtCSRR
+	case CSRW:
+		return FmtCSRW
+	default:
+		return FmtNone
+	}
+}
+
+// IsLoad reports whether o reads data memory.
+func (o Opcode) IsLoad() bool { return o >= LW && o <= LBU }
+
+// IsStore reports whether o writes data memory.
+func (o Opcode) IsStore() bool { return o >= SW && o <= SB }
+
+// IsBranch reports whether o is a conditional branch.
+func (o Opcode) IsBranch() bool { return o >= BEQ && o <= BGEU }
+
+// MemSize returns the access width in bytes for load/store opcodes
+// (0 otherwise).
+func (o Opcode) MemSize() int {
+	switch o {
+	case LW, SW:
+		return 4
+	case LH, LHU, SH:
+		return 2
+	case LB, LBU, SB:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Control and status registers readable with CSRR / writable with CSRW.
+const (
+	// CsrCoreID is the hardware core identifier (read-only).
+	CsrCoreID = 0
+	// CsrCycle is the low 32 bits of the cycle counter (read-only).
+	CsrCycle = 1
+	// CsrCycleHi is the high 32 bits of the cycle counter (read-only).
+	CsrCycleHi = 2
+	// CsrInstret counts retired instructions (read-only).
+	CsrInstret = 3
+	// CsrBusErr counts bus error responses seen by this core, including
+	// firewall security rejections (read-only). Software polls it to
+	// observe discarded transfers.
+	CsrBusErr = 4
+	// CsrScratch is a general read/write scratch register.
+	CsrScratch = 5
+	// CsrThread is the current software thread/context identifier
+	// (read/write). The core tags every bus access with it, enabling the
+	// thread-specific security policies of the paper's future work.
+	CsrThread = 6
+	// CsrEpc holds the interrupted pc while an interrupt handler runs
+	// (read/write; IRET jumps to it).
+	CsrEpc = 7
+	// CsrIvec is the interrupt vector: the handler address. Zero (the
+	// reset value) disables interrupt delivery.
+	CsrIvec = 8
+)
+
+// Registers r0..r31; r0 reads as zero and ignores writes. The assembler
+// also accepts the ABI aliases zero (r0), sp (r30) and lr (r31).
+const (
+	RegZero = 0
+	RegSP   = 30
+	RegLR   = 31
+)

@@ -1,0 +1,110 @@
+// Package mem provides the memory substrates of the platform: the internal
+// shared BRAM and the external DDR memory of the paper's case study, plus
+// the raw byte store both are built on.
+//
+// The raw Store deliberately exposes Peek/Poke access that bypasses the bus
+// and any firewall: that is the attacker's view of the *external* memory in
+// the paper's threat model (the FPGA is trusted; the external bus and
+// memory are not). Attack injectors in internal/attack use it.
+package mem
+
+import "fmt"
+
+// Store is a flat little-endian byte memory covering [base, base+len).
+type Store struct {
+	base uint32
+	data []byte
+}
+
+// NewStore allocates a zeroed store of size bytes based at base.
+func NewStore(base, size uint32) *Store {
+	if size == 0 {
+		panic("mem: zero-size store")
+	}
+	if uint64(base)+uint64(size) > 1<<32 {
+		panic(fmt.Sprintf("mem: store [%#x,+%#x) exceeds 32-bit space", base, size))
+	}
+	return &Store{base: base, data: make([]byte, size)}
+}
+
+// Base returns the first mapped address.
+func (s *Store) Base() uint32 { return s.base }
+
+// Size returns the store size in bytes.
+func (s *Store) Size() uint32 { return uint32(len(s.data)) }
+
+// InRange reports whether [addr, addr+n) lies inside the store.
+func (s *Store) InRange(addr uint32, n uint32) bool {
+	return addr >= s.base && uint64(addr)+uint64(n) <= uint64(s.base)+uint64(len(s.data))
+}
+
+func (s *Store) offset(addr uint32, n int) int {
+	if !s.InRange(addr, uint32(n)) {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside store [%#x,+%#x)",
+			addr, n, s.base, len(s.data)))
+	}
+	return int(addr - s.base)
+}
+
+// Read returns the size-byte (1, 2 or 4) little-endian value at addr in the
+// low bits of the result.
+func (s *Store) Read(addr uint32, size int) uint32 {
+	o := s.offset(addr, size)
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(s.data[o+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (s *Store) Write(addr uint32, size int, v uint32) {
+	o := s.offset(addr, size)
+	for i := 0; i < size; i++ {
+		s.data[o+i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadWord reads an aligned 32-bit word.
+func (s *Store) ReadWord(addr uint32) uint32 { return s.Read(addr, 4) }
+
+// WriteWord writes an aligned 32-bit word.
+func (s *Store) WriteWord(addr uint32, v uint32) { s.Write(addr, 4, v) }
+
+// Peek copies n bytes starting at addr. It models an attacker (or debug
+// probe) reading the physical memory directly, bypassing bus and firewalls.
+func (s *Store) Peek(addr uint32, n int) []byte {
+	o := s.offset(addr, n)
+	out := make([]byte, n)
+	copy(out, s.data[o:o+n])
+	return out
+}
+
+// Poke overwrites len(b) bytes starting at addr, bypassing bus and
+// firewalls. It is the attack-injection primitive for external-memory
+// tampering.
+func (s *Store) Poke(addr uint32, b []byte) {
+	o := s.offset(addr, len(b))
+	copy(s.data[o:], b)
+}
+
+// Fill sets every byte of [addr, addr+n) to v.
+func (s *Store) Fill(addr uint32, n int, v byte) {
+	o := s.offset(addr, n)
+	for i := 0; i < n; i++ {
+		s.data[o+i] = v
+	}
+}
+
+// Snapshot returns a copy of the full contents (attack replay support).
+func (s *Store) Snapshot() []byte {
+	return append([]byte(nil), s.data...)
+}
+
+// Restore overwrites the full contents from a snapshot taken earlier.
+func (s *Store) Restore(b []byte) {
+	if len(b) != len(s.data) {
+		panic(fmt.Sprintf("mem: restore size %d != store size %d", len(b), len(s.data)))
+	}
+	copy(s.data, b)
+}

@@ -1,0 +1,144 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreReadWriteWord(t *testing.T) {
+	s := NewStore(0x4000_0000, 0x1000)
+	s.WriteWord(0x4000_0008, 0xcafebabe)
+	if got := s.ReadWord(0x4000_0008); got != 0xcafebabe {
+		t.Fatalf("ReadWord = %#x, want 0xcafebabe", got)
+	}
+}
+
+func TestStoreLittleEndianLayout(t *testing.T) {
+	s := NewStore(0, 16)
+	s.WriteWord(0, 0x11223344)
+	want := []byte{0x44, 0x33, 0x22, 0x11}
+	if got := s.Peek(0, 4); !bytes.Equal(got, want) {
+		t.Fatalf("layout = %x, want %x", got, want)
+	}
+	if got := s.Read(1, 1); got != 0x33 {
+		t.Fatalf("byte at 1 = %#x, want 0x33", got)
+	}
+	if got := s.Read(2, 2); got != 0x1122 {
+		t.Fatalf("half at 2 = %#x, want 0x1122", got)
+	}
+}
+
+func TestStoreNarrowWriteMerges(t *testing.T) {
+	s := NewStore(0, 8)
+	s.WriteWord(0, 0xffffffff)
+	s.Write(1, 1, 0x00)
+	if got := s.ReadWord(0); got != 0xffff00ff {
+		t.Fatalf("after byte write: %#x, want 0xffff00ff", got)
+	}
+	s.Write(2, 2, 0x1234)
+	if got := s.ReadWord(0); got != 0x123400ff {
+		t.Fatalf("after half write: %#x, want 0x123400ff", got)
+	}
+}
+
+func TestStoreInRange(t *testing.T) {
+	s := NewStore(0x100, 0x100)
+	cases := []struct {
+		addr uint32
+		n    uint32
+		want bool
+	}{
+		{0x100, 1, true},
+		{0x1FF, 1, true},
+		{0x1FF, 2, false},
+		{0xFF, 1, false},
+		{0x100, 0x100, true},
+		{0x100, 0x101, false},
+	}
+	for _, c := range cases {
+		if got := s.InRange(c.addr, c.n); got != c.want {
+			t.Errorf("InRange(%#x,%d) = %v, want %v", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestStoreOutOfRangePanics(t *testing.T) {
+	s := NewStore(0x100, 0x10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	s.ReadWord(0x200)
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewStore(0, 64)
+	s.WriteWord(0, 1)
+	s.WriteWord(4, 2)
+	snap := s.Snapshot()
+	s.WriteWord(0, 99)
+	s.Fill(4, 8, 0xAA)
+	s.Restore(snap)
+	if s.ReadWord(0) != 1 || s.ReadWord(4) != 2 {
+		t.Fatal("Restore did not bring back snapshot contents")
+	}
+}
+
+func TestPokeBypassesNothingButWorks(t *testing.T) {
+	s := NewStore(0x4000_0000, 32)
+	s.Poke(0x4000_0004, []byte{1, 2, 3, 4})
+	if got := s.ReadWord(0x4000_0004); got != 0x04030201 {
+		t.Fatalf("after Poke: %#x, want 0x04030201", got)
+	}
+}
+
+func TestFill(t *testing.T) {
+	s := NewStore(0, 16)
+	s.Fill(4, 8, 0x5A)
+	for i := uint32(0); i < 16; i++ {
+		want := byte(0)
+		if i >= 4 && i < 12 {
+			want = 0x5A
+		}
+		if got := s.Peek(i, 1)[0]; got != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestStoreRoundTripProperty(t *testing.T) {
+	s := NewStore(0, 1<<16)
+	prop := func(off uint16, v uint32, size uint8) bool {
+		sz := []int{1, 2, 4}[size%3]
+		addr := uint32(off) &^ (uint32(sz) - 1)
+		s.Write(addr, sz, v)
+		mask := uint32(0xFFFFFFFF)
+		if sz < 4 {
+			mask = (1 << (8 * sz)) - 1
+		}
+		return s.Read(addr, sz) == v&mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStoreRejectsZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size store not rejected")
+		}
+	}()
+	NewStore(0, 0)
+}
+
+func TestNewStoreRejectsAddressOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing store not rejected")
+		}
+	}()
+	NewStore(0xFFFF_F000, 0x2000)
+}

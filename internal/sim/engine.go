@@ -1,0 +1,207 @@
+// Package sim provides the deterministic cycle-driven simulation engine that
+// every hardware model in this repository runs on.
+//
+// The engine advances a global cycle counter. Work is expressed two ways:
+//
+//   - Tickers: components registered with AddTicker are called exactly once
+//     per cycle, in registration order. This models always-on synchronous
+//     logic (CPU cores, bus arbiters).
+//   - Events: one-shot callbacks scheduled at an absolute or relative cycle.
+//     Events scheduled for the same cycle fire in scheduling order, giving
+//     bit-identical runs for identical inputs.
+//
+// Within one cycle the engine first fires all events due at that cycle, then
+// ticks every registered Ticker. Events scheduled by a ticker for the
+// current cycle run before the cycle ends (after all tickers), so a
+// component may hand work to another component with zero-cycle latency when
+// modeling combinational paths.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Ticker is synchronous logic evaluated once per cycle.
+type Ticker interface {
+	// Tick is called exactly once per simulated cycle with the current
+	// cycle number.
+	Tick(now uint64)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(now uint64)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now uint64) { f(now) }
+
+// event is a scheduled one-shot callback.
+type event struct {
+	cycle uint64
+	seq   uint64 // tie-break: schedule order
+	fn    func(now uint64)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the cycle-driven simulation kernel. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	tickers []Ticker
+	events  eventHeap
+	freq    Frequency
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock runs at the given frequency.
+// The frequency only affects cycle-to-wall-time conversions; simulation
+// semantics are purely cycle-based.
+func NewEngine(freq Frequency) *Engine {
+	if freq <= 0 {
+		freq = DefaultFrequency
+	}
+	return &Engine{freq: freq}
+}
+
+// Now returns the current cycle number.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Frequency returns the simulated clock frequency.
+func (e *Engine) Frequency() Frequency { return e.freq }
+
+// AddTicker registers t to be ticked once per cycle. Tickers run in
+// registration order after all events due in the cycle have fired.
+func (e *Engine) AddTicker(t Ticker) {
+	if t == nil {
+		panic("sim: AddTicker(nil)")
+	}
+	e.tickers = append(e.tickers, t)
+}
+
+// Schedule runs fn after delay cycles (delay 0 means later in the current
+// cycle if the engine is mid-step, otherwise at the current cycle).
+func (e *Engine) Schedule(delay uint64, fn func(now uint64)) {
+	if fn == nil {
+		panic("sim: Schedule(nil)")
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute cycle. Scheduling in the past panics: it
+// indicates a causality bug in a hardware model.
+func (e *Engine) ScheduleAt(cycle uint64, fn func(now uint64)) {
+	if cycle < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", cycle, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{cycle: cycle, seq: e.seq, fn: fn})
+}
+
+// Stop requests that the current Run/RunUntil call return after the current
+// cycle completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step advances the simulation by exactly one cycle: fire due events, then
+// tick every ticker, then fire any events those tickers scheduled for the
+// same cycle, then advance the clock.
+func (e *Engine) Step() {
+	e.fireDue()
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.fireDue() // zero-latency events scheduled during ticking
+	e.now++
+}
+
+func (e *Engine) fireDue() {
+	for len(e.events) > 0 && e.events[0].cycle <= e.now {
+		ev := heap.Pop(&e.events).(*event)
+		ev.fn(e.now)
+	}
+}
+
+// Run advances the simulation by n cycles (or until Stop is called) and
+// returns the number of cycles actually executed.
+func (e *Engine) Run(n uint64) uint64 {
+	e.stopped = false
+	var done uint64
+	for done < n && !e.stopped {
+		e.Step()
+		done++
+	}
+	return done
+}
+
+// RunUntil steps the engine until cond returns true, Stop is called, or max
+// cycles elapse. It returns the number of cycles executed and whether cond
+// was satisfied. cond is evaluated before each step, so a condition that is
+// already true costs zero cycles.
+func (e *Engine) RunUntil(cond func() bool, max uint64) (cycles uint64, ok bool) {
+	e.stopped = false
+	for cycles = 0; cycles < max; cycles++ {
+		if cond() {
+			return cycles, true
+		}
+		if e.stopped {
+			return cycles, false
+		}
+		e.Step()
+	}
+	return cycles, cond()
+}
+
+// Drain runs until the event queue is empty or max cycles elapse. Tickers
+// still run each cycle; Drain is intended for tests of pure event logic.
+func (e *Engine) Drain(max uint64) uint64 {
+	var done uint64
+	for done < max && len(e.events) > 0 {
+		e.Step()
+		done++
+	}
+	return done
+}
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Elapsed converts the current cycle count to simulated wall time in
+// seconds.
+func (e *Engine) Elapsed() float64 { return float64(e.now) / float64(e.freq) }
+
+// CyclesToSeconds converts a cycle count to simulated seconds at the engine
+// frequency.
+func (e *Engine) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / float64(e.freq)
+}
+
+// ThroughputMbps converts "bits moved in cycles" into megabits per second
+// at the engine frequency. It returns +Inf for zero cycles so callers can
+// detect degenerate measurements.
+func (e *Engine) ThroughputMbps(bits, cycles uint64) float64 {
+	if cycles == 0 {
+		return math.Inf(1)
+	}
+	seconds := float64(cycles) / float64(e.freq)
+	return float64(bits) / seconds / 1e6
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtCycleZero(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+}
+
+func TestRunAdvancesClock(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	if got := e.Run(100); got != 100 {
+		t.Fatalf("Run(100) = %d, want 100", got)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", e.Now())
+	}
+}
+
+func TestTickerCalledOncePerCycle(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	var calls []uint64
+	e.AddTicker(TickFunc(func(now uint64) { calls = append(calls, now) }))
+	e.Run(5)
+	want := []uint64{0, 1, 2, 3, 4}
+	if len(calls) != len(want) {
+		t.Fatalf("ticker called %d times, want %d", len(calls), len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call %d at cycle %d, want %d", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestTickersRunInRegistrationOrder(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.AddTicker(TickFunc(func(uint64) { order = append(order, i) }))
+	}
+	e.Run(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tick order %v, want ascending", order)
+		}
+	}
+}
+
+func TestScheduleFiresAtRequestedCycle(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	fired := uint64(0)
+	e.Schedule(7, func(now uint64) { fired = now })
+	e.Run(10)
+	if fired != 7 {
+		t.Fatalf("event fired at %d, want 7", fired)
+	}
+}
+
+func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(3, func(uint64) { order = append(order, i) })
+	}
+	e.Run(5)
+	if len(order) != 10 {
+		t.Fatalf("fired %d events, want 10", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("event order %v, want FIFO for same cycle", order)
+		}
+	}
+}
+
+func TestZeroDelayEventFromTickerFiresSameCycle(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	var fired uint64 = 999
+	e.AddTicker(TickFunc(func(now uint64) {
+		if now == 2 {
+			e.Schedule(0, func(n uint64) { fired = n })
+		}
+	}))
+	e.Run(3)
+	if fired != 2 {
+		t.Fatalf("zero-delay event fired at %d, want 2", fired)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(2, func(uint64) {})
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	e.Schedule(3, func(uint64) { e.Stop() })
+	got := e.Run(100)
+	if got != 4 { // cycles 0,1,2,3 execute; stop observed after cycle 3
+		t.Fatalf("Run stopped after %d cycles, want 4", got)
+	}
+}
+
+func TestRunUntilCondition(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	hit := false
+	e.Schedule(12, func(uint64) { hit = true })
+	cycles, ok := e.RunUntil(func() bool { return hit }, 1000)
+	if !ok {
+		t.Fatal("RunUntil did not satisfy condition")
+	}
+	if cycles != 13 {
+		t.Fatalf("RunUntil took %d cycles, want 13", cycles)
+	}
+}
+
+func TestRunUntilAlreadyTrue(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	cycles, ok := e.RunUntil(func() bool { return true }, 10)
+	if !ok || cycles != 0 {
+		t.Fatalf("RunUntil = (%d,%v), want (0,true)", cycles, ok)
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	cycles, ok := e.RunUntil(func() bool { return false }, 50)
+	if ok || cycles != 50 {
+		t.Fatalf("RunUntil = (%d,%v), want (50,false)", cycles, ok)
+	}
+}
+
+func TestPendingAndDrain(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	for i := uint64(1); i <= 5; i++ {
+		e.Schedule(i, func(uint64) {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	e.Drain(100)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestElapsedUsesFrequency(t *testing.T) {
+	e := NewEngine(100 * MHz)
+	e.Run(100) // 100 cycles at 100 MHz = 1 microsecond
+	if got := e.Elapsed(); got != 1e-6 {
+		t.Fatalf("Elapsed = %g, want 1e-6", got)
+	}
+}
+
+func TestThroughputMbps(t *testing.T) {
+	e := NewEngine(100 * MHz)
+	// 128 bits in 28 cycles at 100 MHz = 128/(28*10ns)/1e6 ≈ 457.14 Mb/s.
+	got := e.ThroughputMbps(128, 28)
+	if got < 457.0 || got > 457.3 {
+		t.Fatalf("ThroughputMbps = %g, want ≈457.14", got)
+	}
+}
+
+func TestFrequencyString(t *testing.T) {
+	cases := []struct {
+		f    Frequency
+		want string
+	}{
+		{100 * MHz, "100 MHz"},
+		{1 * GHz, "1 GHz"},
+		{1234, "1234 Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.f), got, c.want)
+		}
+	}
+}
+
+func TestPeriodNs(t *testing.T) {
+	if got := (100 * MHz).PeriodNs(); got != 10 {
+		t.Fatalf("PeriodNs = %g, want 10", got)
+	}
+	if got := Frequency(0).PeriodNs(); got != 0 {
+		t.Fatalf("PeriodNs(0) = %g, want 0", got)
+	}
+}
+
+func TestEventsAcrossManyCyclesDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(DefaultFrequency)
+		var log []uint64
+		r := NewRNG(42)
+		for i := 0; i < 200; i++ {
+			d := uint64(r.Intn(50))
+			e.Schedule(d, func(now uint64) { log = append(log, now) })
+		}
+		e.Run(64)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic firing at index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG emits zeros")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBytesFills(t *testing.T) {
+	r := NewRNG(99)
+	p := make([]byte, 37)
+	r.Bytes(p)
+	zero := 0
+	for _, b := range p {
+		if b == 0 {
+			zero++
+		}
+	}
+	if zero > 8 {
+		t.Fatalf("suspiciously many zero bytes (%d/37); Bytes may not fill", zero)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "fmt"
+
+// Frequency is a clock rate in hertz.
+type Frequency uint64
+
+// Common clock rates for the modeled platform. The paper's ML605 case study
+// runs its bus and firewalls at 100 MHz, which is the default everywhere in
+// this repository.
+const (
+	MHz Frequency = 1_000_000
+	GHz Frequency = 1_000_000_000
+
+	// DefaultFrequency is the 100 MHz system clock of the paper's
+	// platform.
+	DefaultFrequency = 100 * MHz
+)
+
+// String renders the frequency in engineering units.
+func (f Frequency) String() string {
+	switch {
+	case f >= GHz && f%GHz == 0:
+		return fmt.Sprintf("%d GHz", uint64(f/GHz))
+	case f >= MHz && f%MHz == 0:
+		return fmt.Sprintf("%d MHz", uint64(f/MHz))
+	default:
+		return fmt.Sprintf("%d Hz", uint64(f))
+	}
+}
+
+// PeriodNs returns the clock period in nanoseconds.
+func (f Frequency) PeriodNs() float64 {
+	if f == 0 {
+		return 0
+	}
+	return 1e9 / float64(f)
+}

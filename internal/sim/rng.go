@@ -1,0 +1,79 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64 followed
+// by xorshift mixing) used by workload generators and attack injectors.
+// Simulation results must be reproducible from a seed, so models never use
+// math/rand's global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant so the zero value still produces a usable stream.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32n returns a pseudo-random uint32 in [0, n). It panics if n == 0.
+func (r *RNG) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("sim: Uint32n(0)")
+	}
+	return uint32(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bytes fills p with pseudo-random bytes.
+func (r *RNG) Bytes(p []byte) {
+	for i := range p {
+		if i%8 == 0 {
+			v := r.Uint64()
+			for j := 0; j < 8 && i+j < len(p); j++ {
+				p[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

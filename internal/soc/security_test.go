@@ -1,0 +1,312 @@
+package soc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// TestThreadSpecificSecurityEndToEnd exercises the paper's future-work
+// extension through real software: cpu0 carves a thread-1-only window out
+// of the shared BRAM policy, then a program touches it under thread 0
+// (blocked) and thread 1 (allowed), switching contexts via the THREADID
+// CSR.
+func TestThreadSpecificSecurityEndToEnd(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0)
+
+	// Reconfigure cpu0's Local Firewall: BRAM window 0xF000..0xF100 is
+	// thread-1-only (the most-specific rule wins over the broad BRAM
+	// rule).
+	if err := s.CoreFWs[0].Config().Add(core.Policy{
+		SPI:     900,
+		Zone:    core.Zone{Base: soc.BRAMBase + 0xF000, Size: 0x100},
+		RWA:     core.ReadWrite,
+		ADF:     core.AnyWidth,
+		Threads: []uint32{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.MustLoad(0, `
+		li   r1, 0x1000F000   ; restricted window
+		li   r2, 0xAA
+		sw   r2, 0(r1)        ; thread 0: discarded
+		csrr r10, 4           ; bus errors so far (expect 1)
+		li   r3, 1
+		csrw 6, r3            ; switch to thread 1
+		li   r2, 0xBB
+		sw   r2, 0(r1)        ; thread 1: allowed
+		csrr r11, 4           ; expect still 1
+		halt
+	`)
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("program did not halt")
+	}
+	if got := s.Cores[0].Reg(10); got != 1 {
+		t.Fatalf("thread-0 store not blocked (errors=%d)", got)
+	}
+	if got := s.Cores[0].Reg(11); got != 1 {
+		t.Fatalf("thread-1 store blocked (errors=%d)", got)
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0xF000); got != 0xBB {
+		t.Fatalf("window holds %#x, want 0xBB from thread 1", got)
+	}
+	a := s.Alerts.First(func(a core.Alert) bool { return a.Violation == core.VThread })
+	if a == nil {
+		t.Fatalf("no thread violation alert: %v", s.Alerts.All())
+	}
+	if a.Thread != 0 || a.Master != "cpu0" {
+		t.Fatalf("alert attribution: %+v", a)
+	}
+}
+
+// TestQuarantineStopsHijackedCoreEndToEnd: with the reaction controller
+// enabled, a core that racks up violations loses even its legitimate
+// access — the exfiltration channel closes.
+func TestQuarantineStopsHijackedCoreEndToEnd(t *testing.T) {
+	s := soc.MustNew(soc.Config{
+		Protection:          soc.Distributed,
+		QuarantineThreshold: 3,
+	})
+	s.HaltIdleCores(1)
+	// Hijacked cpu1: three zone violations, then an attempt to publish a
+	// "secret" into shared BRAM (normally allowed).
+	s.MustLoad(1, `
+		li r1, 0x70000000
+		sw r0, 0(r1)          ; violation 1
+		sw r0, 4(r1)          ; violation 2
+		sw r0, 8(r1)          ; violation 3 -> quarantine
+		li r2, 0x10000000
+		li r3, 0x5EC4E7
+		sw r3, 0(r2)          ; exfiltration attempt (was allowed)
+		halt
+	`)
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("program did not halt")
+	}
+	if s.Reactor == nil {
+		t.Fatal("reactor not constructed")
+	}
+	if !s.Reactor.Quarantined(soc.CoreName(1)) {
+		t.Fatal("hijacked core not quarantined")
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase); got != 0 {
+		t.Fatalf("exfiltration succeeded after quarantine: %#x", got)
+	}
+	if st := s.Cores[1].Stats(); st.BusErrors != 4 {
+		t.Fatalf("core saw %d errors, want 4 (3 violations + quarantined store)", st.BusErrors)
+	}
+}
+
+// TestQuarantineSparesInnocentCores: while cpu1 is quarantined, cpu0's
+// traffic is untouched.
+func TestQuarantineSparesInnocentCores(t *testing.T) {
+	s := soc.MustNew(soc.Config{
+		Protection:          soc.Distributed,
+		QuarantineThreshold: 1,
+	})
+	s.HaltIdleCores(0, 1)
+	s.MustLoad(1, `
+		li r1, 0x70000000
+		sw r0, 0(r1)          ; instant quarantine
+		halt
+	`)
+	s.MustLoad(0, workload.MemCopy(soc.BRAMBase, soc.BRAMBase+0x1000, 8))
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("did not finish")
+	}
+	if !s.Reactor.Quarantined(soc.CoreName(1)) {
+		t.Fatal("cpu1 not quarantined")
+	}
+	if s.Reactor.Quarantined(soc.CoreName(0)) {
+		t.Fatal("innocent cpu0 quarantined")
+	}
+	if st := s.Cores[0].Stats(); st.BusErrors != 0 {
+		t.Fatalf("innocent core suffered %d errors", st.BusErrors)
+	}
+}
+
+// TestReactorDisabledByDefault: no threshold, no reactor.
+func TestReactorDisabledByDefault(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	if s.Reactor != nil {
+		t.Fatal("reactor constructed without opting in")
+	}
+}
+
+// TestSoftwareSecurityManager: cpu0 runs a manager loop polling the alert
+// port while cpu1 triggers a violation; the manager publishes the observed
+// violation class and offending address to shared BRAM.
+func TestSoftwareSecurityManager(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0, 1)
+	s.MustLoad(1, `
+		li r1, 0x100          ; give the manager a head start
+	spin:
+		addi r1, r1, -1
+		bnez r1, spin
+		li r1, 0x70000000
+		sw r0, 0(r1)          ; zone violation
+		halt
+	`)
+	s.MustLoad(0, fmt.Sprintf(`
+		li r1, %#x            ; alert port
+	poll:
+		lw r2, 0(r1)          ; count
+		beqz r2, poll
+		lw r3, 4(r1)          ; kind
+		lw r4, 8(r1)          ; addr
+		li r5, 1
+		sw r5, 16(r1)         ; pop
+		li r6, %#x
+		sw r3, 0(r6)
+		sw r4, 4(r6)
+		halt
+	`, soc.AlertBase, soc.BRAMBase+0x300))
+	if _, ok := s.Run(5_000_000); !ok {
+		t.Fatal("manager/offender did not finish")
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x300); got != uint32(core.VZone) {
+		t.Fatalf("manager observed kind %d, want zone=%d", got, core.VZone)
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x304); got != 0x7000_0000 {
+		t.Fatalf("manager observed addr %#x", got)
+	}
+	if s.AlertPort.Pending() != 0 {
+		t.Fatalf("alert not drained: %d pending", s.AlertPort.Pending())
+	}
+}
+
+// TestAlertPortRestrictedToManagerCore: on the distributed platform only
+// cpu0 may touch the alert queue.
+func TestAlertPortRestrictedToManagerCore(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(1)
+	s.MustLoad(1, fmt.Sprintf(`
+		li r1, %#x
+		lw r2, 0(r1)          ; snoop the alert queue
+		csrr r10, 4
+		halt
+	`, soc.AlertBase))
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("did not finish")
+	}
+	if got := s.Cores[1].Reg(10); got != 1 {
+		t.Fatalf("cpu1 reached the alert port (errors=%d)", got)
+	}
+	a := s.Alerts.First(func(a core.Alert) bool { return a.Violation == core.VOrigin })
+	if a == nil || a.FirewallID != "lf-alerts" {
+		t.Fatalf("no origin alert from lf-alerts: %v", s.Alerts.All())
+	}
+}
+
+// TestKeyRotationEndToEnd drives RotateKey on the live platform.
+func TestKeyRotationEndToEnd(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0)
+	s.MustLoad(0, `
+		li r1, 0x40000000
+		li r2, 0xFACE
+		sw r2, 0(r1)
+		halt
+	`)
+	runAll(t, s, 1_000_000)
+	if err := s.LCF.RotateKey(300, [16]byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	s.Cores[0].Load(isa.MustAssemble(`
+		li r1, 0x40000000
+		lw r3, 0(r1)
+		li r4, 0x10000000
+		sw r3, 0(r4)
+		halt
+	`, soc.LocalBase))
+	runAll(t, s, 1_000_000)
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase); got != 0xFACE {
+		t.Fatalf("data lost across key rotation: %#x", got)
+	}
+}
+
+// TestInterruptDrivenSecurityManager: the AlertPort interrupts cpu0 the
+// moment a violation is detected — reaction latency is interrupt entry,
+// not a polling interval.
+func TestInterruptDrivenSecurityManager(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0, 1)
+	s.MustLoad(0, fmt.Sprintf(`
+		la   r1, handler
+		csrw 8, r1            ; install interrupt vector
+		li   r20, 0
+	idle:
+		addi r20, r20, 1      ; manager idles productively
+		b    idle
+	handler:
+		li   r1, %#x          ; alert port
+		lw   r3, 4(r1)        ; kind
+		lw   r4, 8(r1)        ; addr
+		li   r5, 1
+		sw   r5, 16(r1)       ; pop
+		li   r6, %#x
+		sw   r3, 0(r6)
+		sw   r4, 4(r6)
+		halt                  ; incident handled; stop for the test
+	`, soc.AlertBase, soc.BRAMBase+0x500))
+	s.MustLoad(1, `
+		li r1, 0x200
+	spin:
+		addi r1, r1, -1
+		bnez r1, spin
+		li r1, 0x70000000
+		sw r0, 0(r1)          ; violation fires the IRQ
+		halt
+	`)
+	if _, ok := s.Run(5_000_000); !ok {
+		t.Fatal("did not finish")
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x500); got != uint32(core.VZone) {
+		t.Fatalf("ISR observed kind %d", got)
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x504); got != 0x7000_0000 {
+		t.Fatalf("ISR observed addr %#x", got)
+	}
+	if s.Cores[0].Reg(20) == 0 {
+		t.Fatal("manager never idled before the interrupt")
+	}
+}
+
+// TestCorePoliciesOverride: a JSON-loadable custom policy replaces the
+// default per-core rules.
+func TestCorePoliciesOverride(t *testing.T) {
+	rules, err := core.PoliciesFromJSON([]byte(`[
+	  {"spi": 50, "zone": {"base": "0x10000000", "size": "0x100"},
+	   "rwa": "ro", "adf": ["32"]}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed, CorePolicies: rules})
+	s.HaltIdleCores(0)
+	s.MustLoad(0, `
+		li r1, 0x10000000
+		lw r2, 0(r1)          ; allowed (ro)
+		sw r2, 0(r1)          ; denied
+		li r1, 0x40000000
+		lw r3, 0(r1)          ; denied (zone absent from custom policy)
+		csrr r10, 4
+		halt
+	`)
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("did not finish")
+	}
+	if got := s.Cores[0].Reg(10); got != 2 {
+		t.Fatalf("custom policy enforced %d denials, want 2", got)
+	}
+	if got := s.CoreFWs[0].Config().RuleCount(); got != 1 {
+		t.Fatalf("rule count %d, want 1", got)
+	}
+}

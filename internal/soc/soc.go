@@ -1,0 +1,511 @@
+// Package soc assembles the paper's case-study platform (Figure 1): three
+// MB32 soft cores (the MicroBlaze substitutes), one internal shared BRAM,
+// one external DDR memory, one dedicated IP (a DMA engine) and a mailbox,
+// all on a shared system bus — buildable without protection, with the
+// distributed firewalls of the paper, or with the centralized SECA-style
+// baseline.
+package soc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/hashtree"
+	"repro/internal/ip"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Platform memory map. Core-local memories live at LocalBase in each
+// core's private address space and never appear on the bus.
+const (
+	LocalBase = 0x0000_0000
+	LocalSize = 0x1_0000 // 64 KiB per core
+
+	BRAMBase = 0x1000_0000
+	BRAMSize = 0x1_0000 // 64 KiB internal shared memory
+
+	DMABase   = 0x2000_0000
+	MboxBase  = 0x3000_0000
+	AlertBase = 0x3800_0000 // software-visible alert queue (security manager)
+
+	DDRBase = 0x4000_0000
+	DDRSize = 0x8_0000 // 512 KiB external memory
+
+	// External memory layout (offsets within the DDR):
+	SecureBase = DDRBase           // confidentiality + integrity
+	SecureSize = 0x8000            // 32 KiB
+	CipherBase = DDRBase + 0x10000 // confidentiality only
+	CipherSize = 0x8000
+	PlainBase  = DDRBase + 0x20000 // unprotected
+	PlainSize  = 0x1_0000
+	NodeBase   = DDRBase + 0x40000 // hash-tree nodes (no policy: software-inaccessible)
+
+	SEMBase = 0x6000_0000 // centralized baseline only
+)
+
+// DefaultKeys are the per-zone AES-128 cryptographic keys (CK) burned into
+// the LCF's configuration memory.
+var (
+	SecureKey = [16]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF}
+	CipherKey = [16]byte{0xF0, 0xE1, 0xD2, 0xC3, 0xB4, 0xA5, 0x96, 0x87, 0x78, 0x69, 0x5A, 0x4B, 0x3C, 0x2D, 0x1E, 0x0F}
+)
+
+// Protection selects the security architecture of the platform.
+type Protection uint8
+
+// Protection levels.
+const (
+	// Unprotected: the generic system without firewalls (the paper's
+	// "Generic w/o firewalls" baseline row).
+	Unprotected Protection = iota
+	// Distributed: the paper's contribution — Local Firewalls at every
+	// IP interface plus the Local Ciphering Firewall on the external
+	// memory.
+	Distributed
+	// Centralized: the SECA-style related-work baseline — per-IP SEIs
+	// consulting one global SEM over the bus (rule checks only; the
+	// external memory stays unciphered, as in SECA).
+	Centralized
+)
+
+// String implements fmt.Stringer.
+func (p Protection) String() string {
+	switch p {
+	case Unprotected:
+		return "unprotected"
+	case Distributed:
+		return "distributed-firewalls"
+	case Centralized:
+		return "centralized-sem"
+	default:
+		return fmt.Sprintf("protection(%d)", uint8(p))
+	}
+}
+
+// Config parameterizes the platform.
+type Config struct {
+	// NumCores is the processor count (default 3, the paper's case
+	// study).
+	NumCores int
+	// Protection selects the security architecture.
+	Protection Protection
+	// Frequency is the system clock (default 100 MHz).
+	Frequency sim.Frequency
+	// TrapOnBusError makes cores halt on discarded transfers (default:
+	// record and continue, the paper's "discard" semantics).
+	TrapOnBusError bool
+	// TreeCacheSize tunes the LCF's verified-node cache (0 = default 64,
+	// negative = disabled).
+	TreeCacheSize int
+	// ExtraRulesPerLF pads every Local Firewall's configuration memory
+	// with additional (never-matching) rules, for the rule-count sweeps
+	// the paper flags as the main area driver.
+	ExtraRulesPerLF int
+	// CheckCycles overrides the Security Builder latency when non-zero.
+	CheckCycles uint64
+	// QuarantineThreshold enables the reaction controller (the paper's
+	// future-work "reconfiguration of security services to counter
+	// attacks"): an IP accumulating this many violations within
+	// QuarantineWindow cycles has its policy rewritten to deny-all.
+	// Zero disables the reactor. Distributed protection only.
+	QuarantineThreshold int
+	// QuarantineWindow is the sliding window in cycles (0 = unbounded).
+	QuarantineWindow uint64
+	// Arbitration selects the bus arbitration policy (round-robin by
+	// default).
+	Arbitration bus.Arbitration
+	// CorePolicies, when non-nil, replaces the default per-core master
+	// security policy (e.g. rules loaded from JSON via
+	// core.PoliciesFromJSON). Distributed protection only.
+	CorePolicies []core.Policy
+}
+
+// System is a built platform.
+type System struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Bus   *bus.Bus
+	Cores []*cpu.Core
+	BRAM  *mem.BRAM
+	DDR   *mem.DDR
+	DMA   *ip.DMA
+	Mbox  *ip.Mailbox
+
+	// Distributed protection (nil when not selected).
+	Alerts   *core.AlertLog
+	CoreFWs  []*core.LocalFirewall
+	DMAFW    *core.LocalFirewall
+	BRAMFW   *core.SlaveFirewall
+	DMARegFW *core.SlaveFirewall
+	MboxFW   *core.SlaveFirewall
+	LCF      *core.CipherFirewall
+
+	// AlertPort exposes the alert queue to on-chip software; on the
+	// distributed platform its registers are restricted to cpu0 (the
+	// security-manager core).
+	AlertPort *ip.AlertPort
+	AlertFW   *core.SlaveFirewall
+
+	// Reactor is the quarantine controller (nil unless
+	// QuarantineThreshold is set on a distributed platform).
+	Reactor *core.Reactor
+
+	// Centralized baseline (nil when not selected).
+	SEM      *baseline.SEM
+	CoreSEIs []*baseline.SEI
+	DMASEI   *baseline.SEI
+}
+
+// CoreName returns the canonical name of core i.
+func CoreName(i int) string { return fmt.Sprintf("cpu%d", i) }
+
+// coreMasterPolicy is the per-core security policy: which zones the core
+// may touch, in which direction and format (§IV-A parameters).
+func coreMasterPolicy() []core.Policy {
+	return []core.Policy{
+		{SPI: 100, Zone: core.Zone{Base: BRAMBase, Size: BRAMSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+		{SPI: 101, Zone: core.Zone{Base: DMABase, Size: 0x20}, RWA: core.ReadWrite, ADF: core.W32},
+		{SPI: 102, Zone: core.Zone{Base: MboxBase, Size: 0x10}, RWA: core.ReadWrite, ADF: core.W32},
+		{SPI: 103, Zone: core.Zone{Base: SecureBase, Size: SecureSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+		{SPI: 104, Zone: core.Zone{Base: CipherBase, Size: CipherSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+		{SPI: 105, Zone: core.Zone{Base: PlainBase, Size: PlainSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+		{SPI: 106, Zone: core.Zone{Base: AlertBase, Size: 0x20}, RWA: core.ReadWrite, ADF: core.W32},
+	}
+}
+
+// lcfPolicy is the external-memory policy: the three DDR zones with their
+// confidentiality/integrity modes and keys.
+func lcfPolicy() []core.Policy {
+	return []core.Policy{
+		{SPI: 300, Zone: core.Zone{Base: SecureBase, Size: SecureSize}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth, CM: true, IM: true, Key: SecureKey},
+		{SPI: 301, Zone: core.Zone{Base: CipherBase, Size: CipherSize}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth, CM: true, Key: CipherKey},
+		{SPI: 302, Zone: core.Zone{Base: PlainBase, Size: PlainSize}, RWA: core.ReadWrite,
+			ADF: core.AnyWidth},
+	}
+}
+
+// padRules appends n never-matching filler rules (distinct zones above the
+// platform map) so rule-count sweeps exercise larger configuration
+// memories without changing behaviour.
+func padRules(rules []core.Policy, n int) []core.Policy {
+	for i := 0; i < n; i++ {
+		rules = append(rules, core.Policy{
+			SPI:  uint32(9000 + i),
+			Zone: core.Zone{Base: 0xF000_0000 + uint32(i)*0x100, Size: 0x100},
+			RWA:  core.ReadOnly, ADF: core.W32,
+		})
+	}
+	return rules
+}
+
+// New builds the platform.
+func New(cfg Config) (*System, error) {
+	if cfg.NumCores == 0 {
+		cfg.NumCores = 3
+	}
+	if cfg.NumCores < 1 || cfg.NumCores > 16 {
+		return nil, fmt.Errorf("soc: NumCores %d out of range [1,16]", cfg.NumCores)
+	}
+	if cfg.Frequency == 0 {
+		cfg.Frequency = sim.DefaultFrequency
+	}
+	checkCycles := cfg.CheckCycles
+	if checkCycles == 0 {
+		checkCycles = core.DefaultCheckCycles
+	}
+
+	s := &System{Cfg: cfg}
+	s.Eng = sim.NewEngine(cfg.Frequency)
+	s.Bus = bus.New(s.Eng, bus.Config{Name: "plb", Arbitration: cfg.Arbitration})
+	s.Alerts = core.NewAlertLog()
+
+	s.BRAM = mem.NewBRAM("bram", BRAMBase, BRAMSize)
+	s.DDR = mem.NewDDR("ddr", DDRBase, DDRSize)
+	s.Mbox = ip.NewMailbox("mbox", MboxBase)
+	s.AlertPort = ip.NewAlertPort("alerts", AlertBase, s.Alerts)
+
+	switch cfg.Protection {
+	case Unprotected:
+		s.Bus.AddSlave(s.BRAM)
+		s.Bus.AddSlave(s.Mbox)
+		s.Bus.AddSlave(s.DDR)
+		s.Bus.AddSlave(s.AlertPort)
+		s.DMA = ip.NewDMA(s.Eng, "dma", DMABase, s.Bus.NewMaster("dma"))
+		s.Bus.AddSlave(s.DMA)
+		for i := 0; i < cfg.NumCores; i++ {
+			s.addCore(i, s.Bus.NewMaster(CoreName(i)))
+		}
+
+	case Distributed:
+		// Slave-side Local Firewalls on internal IPs.
+		bramRules := padRules([]core.Policy{
+			{SPI: 200, Zone: core.Zone{Base: BRAMBase, Size: BRAMSize}, RWA: core.ReadWrite,
+				ADF: core.AnyWidth, Origins: coreAndDMANames(cfg.NumCores)},
+		}, cfg.ExtraRulesPerLF)
+		s.BRAMFW = core.NewSlaveFirewall("lf-bram", s.BRAM, core.MustConfig(bramRules...), s.Alerts)
+		s.BRAMFW.CheckCycles = checkCycles
+		s.Bus.AddSlave(s.BRAMFW)
+
+		mboxRules := padRules([]core.Policy{
+			{SPI: 210, Zone: core.Zone{Base: MboxBase, Size: 0x10}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: coreNames(cfg.NumCores)},
+		}, cfg.ExtraRulesPerLF)
+		s.MboxFW = core.NewSlaveFirewall("lf-mbox", s.Mbox, core.MustConfig(mboxRules...), s.Alerts)
+		s.MboxFW.CheckCycles = checkCycles
+		s.Bus.AddSlave(s.MboxFW)
+
+		// The alert queue is the security manager's eyes: only cpu0 may
+		// read or drain it.
+		alertRules := padRules([]core.Policy{
+			{SPI: 240, Zone: core.Zone{Base: AlertBase, Size: 0x20}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: []string{CoreName(0)}},
+		}, cfg.ExtraRulesPerLF)
+		s.AlertFW = core.NewSlaveFirewall("lf-alerts", s.AlertPort, core.MustConfig(alertRules...), s.Alerts)
+		s.AlertFW.CheckCycles = checkCycles
+		s.Bus.AddSlave(s.AlertFW)
+
+		// The DMA is dual-guarded: a master-side LF on its bus path and a
+		// slave-side LF on its register file (only cpu0 may program it).
+		dmaMasterRules := padRules([]core.Policy{
+			{SPI: 220, Zone: core.Zone{Base: BRAMBase, Size: BRAMSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+			{SPI: 221, Zone: core.Zone{Base: PlainBase, Size: PlainSize}, RWA: core.ReadWrite, ADF: core.AnyWidth},
+		}, cfg.ExtraRulesPerLF)
+		s.DMAFW = core.NewLocalFirewall(s.Eng, "lf-dma", s.Bus.NewMaster("dma"),
+			core.MustConfig(dmaMasterRules...), s.Alerts)
+		s.DMAFW.CheckCycles = checkCycles
+		s.DMAFW.Owner = "dma"
+		s.DMA = ip.NewDMA(s.Eng, "dma", DMABase, s.DMAFW)
+		dmaRegRules := padRules([]core.Policy{
+			{SPI: 230, Zone: core.Zone{Base: DMABase, Size: 0x20}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: []string{CoreName(0)}},
+		}, cfg.ExtraRulesPerLF)
+		s.DMARegFW = core.NewSlaveFirewall("lf-dmaregs", s.DMA, core.MustConfig(dmaRegRules...), s.Alerts)
+		s.DMARegFW.CheckCycles = checkCycles
+		s.Bus.AddSlave(s.DMARegFW)
+
+		// Local Ciphering Firewall on the external memory.
+		lcf, err := core.NewCipherFirewall(core.LCFConfig{
+			Name:          "lcf-ddr",
+			CheckCycles:   checkCycles,
+			IntegrityZone: core.Zone{Base: SecureBase, Size: SecureSize},
+			NodeBase:      NodeBase,
+			CacheSize:     cfg.TreeCacheSize,
+		}, s.DDR, s.DDR.Store(), core.MustConfig(padRules(lcfPolicy(), cfg.ExtraRulesPerLF)...), s.Alerts)
+		if err != nil {
+			return nil, err
+		}
+		s.LCF = lcf
+		s.Bus.AddSlave(lcf)
+
+		// Master-side Local Firewalls on every core.
+		for i := 0; i < cfg.NumCores; i++ {
+			base := coreMasterPolicy()
+			if cfg.CorePolicies != nil {
+				base = append([]core.Policy(nil), cfg.CorePolicies...)
+			}
+			rules := padRules(base, cfg.ExtraRulesPerLF)
+			fw := core.NewLocalFirewall(s.Eng, "lf-"+CoreName(i),
+				s.Bus.NewMaster(CoreName(i)), core.MustConfig(rules...), s.Alerts)
+			fw.CheckCycles = checkCycles
+			fw.Owner = CoreName(i)
+			s.CoreFWs = append(s.CoreFWs, fw)
+			s.addCore(i, fw)
+		}
+		lcf.Seal()
+
+		if cfg.QuarantineThreshold > 0 {
+			s.Reactor = core.NewReactor(s.Alerts, cfg.QuarantineThreshold, cfg.QuarantineWindow)
+			for i, fw := range s.CoreFWs {
+				s.Reactor.Guard(CoreName(i), fw.Config())
+			}
+			s.Reactor.Guard("dma", s.DMAFW.Config())
+		}
+
+	case Centralized:
+		s.Bus.AddSlave(s.BRAM)
+		s.Bus.AddSlave(s.Mbox)
+		s.Bus.AddSlave(s.DDR)
+		// One global policy table inside the SEM, encoding the same
+		// *effective* access matrix the distributed firewalls enforce
+		// pairwise (master rule AND slave rule), flattened with explicit
+		// origins since a single table checks each access exactly once.
+		cores := coreNames(cfg.NumCores)
+		global := []core.Policy{
+			{SPI: 400, Zone: core.Zone{Base: BRAMBase, Size: BRAMSize}, RWA: core.ReadWrite,
+				ADF: core.AnyWidth, Origins: coreAndDMANames(cfg.NumCores)},
+			{SPI: 401, Zone: core.Zone{Base: MboxBase, Size: 0x10}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: cores},
+			{SPI: 402, Zone: core.Zone{Base: DMABase, Size: 0x20}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: []string{CoreName(0)}},
+			{SPI: 403, Zone: core.Zone{Base: SecureBase, Size: SecureSize}, RWA: core.ReadWrite,
+				ADF: core.AnyWidth, Origins: cores},
+			{SPI: 404, Zone: core.Zone{Base: CipherBase, Size: CipherSize}, RWA: core.ReadWrite,
+				ADF: core.AnyWidth, Origins: cores},
+			{SPI: 405, Zone: core.Zone{Base: PlainBase, Size: PlainSize}, RWA: core.ReadWrite,
+				ADF: core.AnyWidth, Origins: coreAndDMANames(cfg.NumCores)},
+			{SPI: 406, Zone: core.Zone{Base: AlertBase, Size: 0x20}, RWA: core.ReadWrite,
+				ADF: core.W32, Origins: []string{CoreName(0)}},
+		}
+		s.SEM = baseline.NewSEM(s.Eng, "sem", SEMBase, core.MustConfig(padRules(global, cfg.ExtraRulesPerLF)...), s.Alerts)
+		s.SEM.CheckCycles = checkCycles
+		s.Bus.AddSlave(s.SEM)
+		s.Bus.AddSlave(s.AlertPort)
+		dmaSEI := baseline.NewSEI("sei-dma", s.Bus.NewMaster("dma"), SEMBase)
+		s.DMASEI = dmaSEI
+		s.DMA = ip.NewDMA(s.Eng, "dma", DMABase, dmaSEI)
+		s.Bus.AddSlave(s.DMA)
+		for i := 0; i < cfg.NumCores; i++ {
+			sei := baseline.NewSEI("sei-"+CoreName(i), s.Bus.NewMaster(CoreName(i)), SEMBase)
+			s.CoreSEIs = append(s.CoreSEIs, sei)
+			s.addCore(i, sei)
+		}
+
+	default:
+		return nil, fmt.Errorf("soc: unknown protection %d", cfg.Protection)
+	}
+	// The alert queue interrupts the security-manager core (cpu0);
+	// delivery is gated by software installing a handler (CsrIvec).
+	s.AlertPort.IRQ = s.Cores[0].RaiseIRQ
+	return s, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) addCore(i int, conn bus.Conn) {
+	c := cpu.New(s.Eng, cpu.Config{
+		Name:           CoreName(i),
+		ID:             uint32(i),
+		LocalBase:      LocalBase,
+		LocalSize:      LocalSize,
+		TrapOnBusError: s.Cfg.TrapOnBusError,
+	}, conn)
+	s.Cores = append(s.Cores, c)
+}
+
+func coreNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = CoreName(i)
+	}
+	return names
+}
+
+func coreAndDMANames(n int) []string {
+	return append(coreNames(n), "dma")
+}
+
+// Load assembles src and loads it into core i.
+func (s *System) Load(i int, src string) error {
+	p, err := isa.Assemble(src, LocalBase)
+	if err != nil {
+		return err
+	}
+	s.Cores[i].Load(p)
+	return nil
+}
+
+// MustLoad is Load that panics on assembly errors.
+func (s *System) MustLoad(i int, src string) {
+	if err := s.Load(i, src); err != nil {
+		panic(err)
+	}
+}
+
+// LoadProgram loads a pre-assembled program into core i.
+func (s *System) LoadProgram(i int, p *isa.Program) { s.Cores[i].Load(p) }
+
+// HaltIdleCores halts every core that has no program (all-zero local
+// memory decodes as add r0,r0,r0 forever otherwise).
+func (s *System) HaltIdleCores(except ...int) {
+	skip := make(map[int]bool, len(except))
+	for _, e := range except {
+		skip[e] = true
+	}
+	halt := isa.MustAssemble("halt", LocalBase)
+	for i, c := range s.Cores {
+		if !skip[i] {
+			c.Load(halt)
+		}
+	}
+}
+
+// AllHalted reports whether every core has stopped.
+func (s *System) AllHalted() bool {
+	for _, c := range s.Cores {
+		if h, _ := c.Halted(); !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Run advances the platform until every core halts or max cycles elapse,
+// returning the cycle count consumed and whether all cores halted.
+func (s *System) Run(max uint64) (uint64, bool) {
+	return s.Eng.RunUntil(s.AllHalted, max)
+}
+
+// Topology renders the platform structure — the executable Figure 1.
+func (s *System) Topology() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Platform (%s, %s)\n", s.Cfg.Protection, s.Eng.Frequency())
+	fmt.Fprintf(&sb, "  system bus %q (round-robin arbiter, %d masters)\n",
+		s.Bus.Name(), len(s.Cores)+1)
+	for i, c := range s.Cores {
+		guard := "direct"
+		switch s.Cfg.Protection {
+		case Distributed:
+			guard = "via " + s.CoreFWs[i].Name()
+		case Centralized:
+			guard = "via " + s.CoreSEIs[i].Name()
+		}
+		fmt.Fprintf(&sb, "  master %-6s local[%#x,+%#x] -> bus (%s)\n",
+			c.Name(), LocalBase, LocalSize, guard)
+	}
+	dmaGuard := "direct"
+	switch s.Cfg.Protection {
+	case Distributed:
+		dmaGuard = "via lf-dma"
+	case Centralized:
+		dmaGuard = "via sei-dma"
+	}
+	fmt.Fprintf(&sb, "  master dma    -> bus (%s)\n", dmaGuard)
+	for _, sl := range s.Bus.Slaves() {
+		fmt.Fprintf(&sb, "  slave  %-8s [%#x,+%#x)", sl.Name(), sl.Base(), sl.Size())
+		switch v := sl.(type) {
+		case *core.SlaveFirewall:
+			fmt.Fprintf(&sb, "  guarded by %s (%d rules)", v.FirewallID(), v.Config().RuleCount())
+		case *core.CipherFirewall:
+			fmt.Fprintf(&sb, "  guarded by %s (%d rules, CC+IC", v.FirewallID(), v.Config().RuleCount())
+			if t := v.Tree(); t != nil {
+				fmt.Fprintf(&sb, ", tree depth %d", t.Depth())
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
+	if s.Cfg.Protection == Distributed {
+		fmt.Fprintf(&sb, "  external memory zones: secure[%#x,+%#x] CM+IM, cipher[%#x,+%#x] CM, plain[%#x,+%#x]\n",
+			SecureBase, SecureSize, CipherBase, CipherSize, PlainBase, PlainSize)
+	}
+	return sb.String()
+}
+
+// LeafSizeBytes re-exports the integrity granularity for callers that
+// compute attack addresses.
+const LeafSizeBytes = hashtree.LeafSize

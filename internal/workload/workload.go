@@ -1,0 +1,359 @@
+// Package workload generates the MB32 programs used by the evaluation:
+// memory copies, local matrix multiplies, mailbox producer/consumer pairs,
+// external-memory streaming, and the tunable compute/communication mixes
+// behind experiment E1 (the paper's §V discussion that protection overhead
+// depends on the computation-to-communication ratio and on the
+// internal-vs-external traffic split).
+//
+// The paper does not publish its benchmark programs, so these are
+// synthetic kernels chosen to span the space the paper discusses.
+package workload
+
+import "fmt"
+
+// MemCopy returns a program copying words 32-bit words from src to dst
+// over the bus, one load + one store per word.
+func MemCopy(src, dst uint32, words int) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; src
+		li r2, %#x        ; dst
+		li r3, %d         ; words
+	copy:
+		lw  r4, 0(r1)
+		sw  r4, 0(r2)
+		addi r1, r1, 4
+		addi r2, r2, 4
+		addi r3, r3, -1
+		bnez r3, copy
+		halt
+	`, src, dst, words)
+}
+
+// Stream returns a program summing words read from base with the given
+// byte stride; the checksum is left in r20 and stored to resultAddr when
+// non-zero.
+func Stream(base uint32, words int, stride uint32, resultAddr uint32) string {
+	tail := "halt"
+	if resultAddr != 0 {
+		tail = fmt.Sprintf("li r1, %#x\n\t\tsw r20, 0(r1)\n\t\thalt", resultAddr)
+	}
+	return fmt.Sprintf(`
+		li r1, %#x        ; base
+		li r2, %d         ; words
+		li r20, 0         ; checksum
+	stream:
+		lw  r3, 0(r1)
+		add r20, r20, r3
+		addi r1, r1, %d
+		addi r2, r2, -1
+		bnez r2, stream
+		%s
+	`, base, words, stride, tail)
+}
+
+// Mix returns the E1 kernel: `accesses` bus accesses to target (alternating
+// store/load, advancing by stride and wrapping every `span` bytes), with
+// `computeIters` ALU-only inner iterations between consecutive accesses.
+// computeIters/1 is the computation:communication ratio knob.
+func Mix(target uint32, span uint32, stride uint32, accesses, computeIters int) string {
+	if span == 0 || stride == 0 {
+		panic("workload: Mix needs non-zero span and stride")
+	}
+	return fmt.Sprintf(`
+		li r1, %#x        ; base pointer
+		li r9, %#x        ; wrap limit
+		li r2, %d         ; remaining accesses
+		li r20, 0         ; running value
+		li r21, 0         ; access parity
+	outer:
+		li r3, %d         ; compute iterations
+		beqz r3, comm
+	compute:
+		addi r20, r20, 3
+		xori r20, r20, 0x55
+		srli r4, r20, 1
+		add  r20, r20, r4
+		addi r3, r3, -1
+		bnez r3, compute
+	comm:
+		andi r4, r21, 1
+		bnez r4, doload
+		sw  r20, 0(r1)
+		b   next
+	doload:
+		lw  r5, 0(r1)
+		add r20, r20, r5
+	next:
+		addi r21, r21, 1
+		addi r1, r1, %d
+		blt  r1, r9, nowrap
+		li r1, %#x
+	nowrap:
+		addi r2, r2, -1
+		bnez r2, outer
+		halt
+	`, target, target+span, accesses, computeIters, stride, target)
+}
+
+// MatMulLocal returns an n×n integer matrix multiply operating entirely in
+// core-local memory (compute-bound), publishing a checksum of C to
+// resultAddr. Matrices live at local addresses 0x8000/0x9000/0xA000, so n
+// must be at most 31 (n*n*4 <= 0x1000).
+func MatMulLocal(n int, resultAddr uint32) string {
+	if n < 1 || n > 31 {
+		panic(fmt.Sprintf("workload: MatMulLocal n=%d out of range", n))
+	}
+	return fmt.Sprintf(`
+		.equ AMAT, 0x8000
+		.equ BMAT, 0x9000
+		li r10, %d        ; n
+		; --- init A[k]=k&7, B[k]=(k+3)&7 ---
+		li r1, AMAT
+		li r2, BMAT
+		li r3, 0
+		mul r4, r10, r10
+	init:
+		andi r5, r3, 7
+		sw  r5, 0(r1)
+		addi r6, r3, 3
+		andi r6, r6, 7
+		sw  r6, 0(r2)
+		addi r1, r1, 4
+		addi r2, r2, 4
+		addi r3, r3, 1
+		bne r3, r4, init
+		; --- C = A x B, checksum in r20 ---
+		li r20, 0
+		li r11, 0         ; i
+	iloop:
+		li r12, 0         ; j
+	jloop:
+		li r13, 0         ; k
+		li r14, 0         ; acc
+	kloop:
+		mul r5, r11, r10
+		add r5, r5, r13
+		slli r5, r5, 2
+		li r6, AMAT
+		add r6, r6, r5
+		lw r7, 0(r6)
+		mul r5, r13, r10
+		add r5, r5, r12
+		slli r5, r5, 2
+		li r6, BMAT
+		add r6, r6, r5
+		lw r8, 0(r6)
+		mul r9, r7, r8
+		add r14, r14, r9
+		addi r13, r13, 1
+		bne r13, r10, kloop
+		add r20, r20, r14
+		addi r12, r12, 1
+		bne r12, r10, jloop
+		addi r11, r11, 1
+		bne r11, r10, iloop
+		li r1, %#x
+		sw r20, 0(r1)
+		halt
+	`, n, resultAddr)
+}
+
+// MatMulChecksum is the pure-Go reference for MatMulLocal's published
+// checksum.
+func MatMulChecksum(n int) uint32 {
+	a := make([]uint32, n*n)
+	b := make([]uint32, n*n)
+	for k := 0; k < n*n; k++ {
+		a[k] = uint32(k) & 7
+		b[k] = uint32(k+3) & 7
+	}
+	var sum uint32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			sum += acc
+		}
+	}
+	return sum
+}
+
+// Producer returns a program pushing count sequenced values (1, 8, 15, …)
+// into the mailbox at mboxBase, spinning while the FIFO is full.
+func Producer(mboxBase uint32, count int) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; mailbox
+		li r2, %d         ; count
+		li r3, 1          ; value
+	prod:
+	waitfull:
+		lw  r4, 8(r1)     ; status
+		andi r4, r4, 2    ; full?
+		bnez r4, waitfull
+		sw  r3, 0(r1)     ; push
+		addi r3, r3, 7
+		addi r2, r2, -1
+		bnez r2, prod
+		halt
+	`, mboxBase, count)
+}
+
+// Consumer returns a program popping count values from the mailbox,
+// accumulating them into r20 and storing the sum at resultAddr.
+func Consumer(mboxBase uint32, count int, resultAddr uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; mailbox
+		li r2, %d         ; count
+		li r20, 0
+	cons:
+	waitempty:
+		lw  r4, 8(r1)     ; status
+		andi r4, r4, 1    ; not-empty?
+		beqz r4, waitempty
+		lw  r5, 0(r1)     ; pop
+		add r20, r20, r5
+		addi r2, r2, -1
+		bnez r2, cons
+		li r1, %#x
+		sw r20, 0(r1)
+		halt
+	`, mboxBase, count, resultAddr)
+}
+
+// ProducerChecksum is the pure-Go reference for the consumer's sum.
+func ProducerChecksum(count int) uint32 {
+	var sum, v uint32
+	v = 1
+	for i := 0; i < count; i++ {
+		sum += v
+		v += 7
+	}
+	return sum
+}
+
+// DoSFlood returns the hijacked-IP program of experiment E3: an infinite
+// tight loop of stores to target. With target outside the core's policy
+// zones, a Local Firewall discards every one locally; without protection
+// the flood occupies the shared bus and starves the other masters.
+func DoSFlood(target uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x
+	flood:
+		sw r0, 0(r1)
+		b flood
+	`, target)
+}
+
+// FormatAbuse returns a program probing a word-only zone with byte and
+// halfword accesses (ADF violations), then halting. errsOut is where the
+// observed bus-error count (CSR 4) is stored — in local memory so the
+// store itself cannot be blocked.
+func FormatAbuse(target uint32, probes int, errsOut uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x
+		li r2, %d
+	probe:
+		sb r0, 0(r1)
+		sh r0, 0(r1)
+		addi r2, r2, -1
+		bnez r2, probe
+		csrr r3, 4        ; bus-error count
+		li r4, %#x
+		sw r3, 0(r4)
+		halt
+	`, target, probes, errsOut)
+}
+
+// ZoneEscape returns a hijacked-core program attempting reads and writes
+// at forbidden addresses (escalation / secret extraction attempts),
+// recording the observed error count to errsOut (local).
+func ZoneEscape(targets []uint32, errsOut uint32) string {
+	src := "\n"
+	for i, tgt := range targets {
+		src += fmt.Sprintf(`
+		li r1, %#x
+		lw r%d, 0(r1)
+		sw r0, 0(r1)
+	`, tgt, 10+i%8)
+	}
+	return src + fmt.Sprintf(`
+		csrr r3, 4
+		li r4, %#x
+		sw r3, 0(r4)
+		halt
+	`, errsOut)
+}
+
+// CRC32 returns a program computing the bitwise CRC-32 (IEEE polynomial,
+// reflected, no table) of `words` 32-bit words starting at base, storing
+// the final value at resultAddr. It mixes bus reads with a heavy ALU inner
+// loop — a realistic mixed kernel.
+func CRC32(base uint32, words int, resultAddr uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; data pointer
+		li r2, %d         ; words
+		li r20, -1        ; crc = 0xFFFFFFFF
+		li r8, 0xEDB88320
+	word:
+		lw r3, 0(r1)
+		xor r20, r20, r3
+		li r4, 32         ; bits
+	bit:
+		andi r5, r20, 1
+		srli r20, r20, 1
+		beqz r5, nbit
+		xor r20, r20, r8
+	nbit:
+		addi r4, r4, -1
+		bnez r4, bit
+		addi r1, r1, 4
+		addi r2, r2, -1
+		bnez r2, word
+		not r20, r20      ; final inversion
+		li r1, %#x
+		sw r20, 0(r1)
+		halt
+	`, base, words, resultAddr)
+}
+
+// CRC32Ref is the pure-Go reference for CRC32 (IEEE, bitwise).
+func CRC32Ref(data []uint32) uint32 {
+	crc := ^uint32(0)
+	for _, w := range data {
+		crc ^= w
+		for b := 0; b < 32; b++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// DotProduct returns a program computing the integer dot product of two
+// vectors of `n` words at a and b (bus-resident), storing the result at
+// resultAddr — the streaming external-memory kernel of the E1 discussion.
+func DotProduct(a, b uint32, n int, resultAddr uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; a
+		li r2, %#x        ; b
+		li r3, %d         ; n
+		li r20, 0
+	dot:
+		lw r4, 0(r1)
+		lw r5, 0(r2)
+		mul r6, r4, r5
+		add r20, r20, r6
+		addi r1, r1, 4
+		addi r2, r2, 4
+		addi r3, r3, -1
+		bnez r3, dot
+		li r1, %#x
+		sw r20, 0(r1)
+		halt
+	`, a, b, n, resultAddr)
+}

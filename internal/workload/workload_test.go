@@ -1,0 +1,164 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// assembleAll ensures every generator emits valid MB32 assembly across its
+// parameter space.
+func TestGeneratorsAssemble(t *testing.T) {
+	srcs := map[string]string{
+		"memcopy":   workload.MemCopy(soc.BRAMBase, soc.BRAMBase+0x100, 8),
+		"stream":    workload.Stream(soc.DDRBase, 64, 4, soc.BRAMBase),
+		"stream0":   workload.Stream(soc.DDRBase, 64, 32, 0),
+		"mix":       workload.Mix(soc.BRAMBase, 0x1000, 4, 100, 16),
+		"mix-nocmp": workload.Mix(soc.BRAMBase, 0x1000, 4, 10, 0),
+		"matmul":    workload.MatMulLocal(8, soc.BRAMBase),
+		"producer":  workload.Producer(soc.MboxBase, 10),
+		"consumer":  workload.Consumer(soc.MboxBase, 10, soc.BRAMBase),
+		"dos":       workload.DoSFlood(soc.NodeBase),
+		"format":    workload.FormatAbuse(soc.DMABase, 3, 0xF000),
+		"escape":    workload.ZoneEscape([]uint32{soc.DMABase, soc.NodeBase}, 0xF000),
+	}
+	for name, src := range srcs {
+		if _, err := isa.Assemble(src, 0); err != nil {
+			t.Errorf("%s does not assemble: %v", name, err)
+		}
+	}
+}
+
+func TestMemCopyMovesData(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Unprotected})
+	s.HaltIdleCores(0)
+	for i := uint32(0); i < 16; i++ {
+		s.BRAM.Store().WriteWord(soc.BRAMBase+4*i, 0xC0_0000|i)
+	}
+	s.MustLoad(0, workload.MemCopy(soc.BRAMBase, soc.BRAMBase+0x1000, 16))
+	if _, ok := s.Run(1_000_000); !ok {
+		t.Fatal("memcopy did not finish")
+	}
+	for i := uint32(0); i < 16; i++ {
+		if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x1000 + 4*i); got != 0xC0_0000|i {
+			t.Fatalf("word %d = %#x", i, got)
+		}
+	}
+}
+
+func TestMatMulChecksumMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		s := soc.MustNew(soc.Config{Protection: soc.Unprotected})
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.MatMulLocal(n, soc.BRAMBase+0x40))
+		if _, ok := s.Run(20_000_000); !ok {
+			t.Fatalf("n=%d did not finish", n)
+		}
+		want := workload.MatMulChecksum(n)
+		if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x40); got != want {
+			t.Errorf("n=%d checksum %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestMatMulLocalBounds(t *testing.T) {
+	for _, n := range []int{0, 32, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MatMulLocal(%d) did not panic", n)
+				}
+			}()
+			workload.MatMulLocal(n, 0)
+		}()
+	}
+}
+
+func TestMixComputeRatioScalesCycles(t *testing.T) {
+	run := func(iters int) uint64 {
+		s := soc.MustNew(soc.Config{Protection: soc.Unprotected})
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.Mix(soc.BRAMBase, 0x1000, 4, 50, iters))
+		c, ok := s.Run(10_000_000)
+		if !ok {
+			t.Fatal("mix did not finish")
+		}
+		return c
+	}
+	lean, heavy := run(0), run(64)
+	if heavy <= lean*2 {
+		t.Fatalf("compute knob ineffective: %d vs %d cycles", lean, heavy)
+	}
+}
+
+func TestMixWrapsWithinSpan(t *testing.T) {
+	// More accesses than span/stride forces the wrap path; all traffic
+	// must stay in-zone (no alerts under distributed protection).
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0)
+	s.MustLoad(0, workload.Mix(soc.BRAMBase, 0x40, 4, 64, 0))
+	if _, ok := s.Run(10_000_000); !ok {
+		t.Fatal("wrapping mix did not finish")
+	}
+	if s.Alerts.Len() != 0 {
+		t.Fatalf("mix escaped its span: %v", s.Alerts.All())
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero stride accepted")
+		}
+	}()
+	workload.Mix(0, 0x100, 0, 1, 1)
+}
+
+func TestProducerChecksumReference(t *testing.T) {
+	// sum of 1, 8, 15, ... count terms
+	if got := workload.ProducerChecksum(1); got != 1 {
+		t.Fatalf("count=1: %d", got)
+	}
+	if got := workload.ProducerChecksum(3); got != 1+8+15 {
+		t.Fatalf("count=3: %d", got)
+	}
+}
+
+func TestCRC32KernelMatchesReference(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0)
+	data := make([]uint32, 8)
+	for i := range data {
+		data[i] = uint32(i)*2654435761 + 1
+		s.BRAM.Store().WriteWord(soc.BRAMBase+0x100+uint32(i)*4, data[i])
+	}
+	s.MustLoad(0, workload.CRC32(soc.BRAMBase+0x100, len(data), soc.BRAMBase+0x40))
+	if _, ok := s.Run(10_000_000); !ok {
+		t.Fatal("crc kernel did not finish")
+	}
+	want := workload.CRC32Ref(data)
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x40); got != want {
+		t.Fatalf("crc = %#x, want %#x", got, want)
+	}
+}
+
+func TestDotProductKernel(t *testing.T) {
+	s := soc.MustNew(soc.Config{Protection: soc.Distributed})
+	s.HaltIdleCores(0)
+	var want uint32
+	for i := uint32(0); i < 16; i++ {
+		a, b := i+1, 3*i+2
+		want += a * b
+		s.BRAM.Store().WriteWord(soc.BRAMBase+0x100+4*i, a)
+		s.BRAM.Store().WriteWord(soc.BRAMBase+0x200+4*i, b)
+	}
+	s.MustLoad(0, workload.DotProduct(soc.BRAMBase+0x100, soc.BRAMBase+0x200, 16, soc.BRAMBase+0x40))
+	if _, ok := s.Run(10_000_000); !ok {
+		t.Fatal("dot kernel did not finish")
+	}
+	if got := s.BRAM.Store().ReadWord(soc.BRAMBase + 0x40); got != want {
+		t.Fatalf("dot = %d, want %d", got, want)
+	}
+}
