@@ -1,0 +1,32 @@
+# Tier-1 gate and benchmark smoke for the repro module.
+#
+#   make verify   # gofmt, vet, build, full tests, race tests on the hot packages
+#   make bench    # one-shot BenchmarkEngineThroughput with allocation stats
+
+GO ?= go
+
+.PHONY: verify fmt vet build test race bench
+
+verify: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine, bus and sweep harness are the packages that run concurrently
+# (one engine per goroutine in sweeps); keep them race-clean.
+race:
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=1x -benchmem .

@@ -6,17 +6,21 @@
 //	mpsocsim -workload matmul                  # compute-bound kernel on cpu0
 //	mpsocsim -workload mix -compute 16 -target external -protection distributed
 //	mpsocsim -workload producer-consumer -protection centralized
+//	mpsocsim -sweep                            # concurrent scenario grid, JSON report
+//	mpsocsim -sweep -sweep-cores 1,2,4,8 -sweep-workloads mix,stream -sweep-out report.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/soc"
+	"repro/internal/sweep"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -32,8 +36,23 @@ func main() {
 		rules    = flag.Int("extra-rules", 0, "pad every firewall with N extra rules")
 		policy   = flag.String("core-policy", "", "JSON file replacing the per-core master policy (distributed only)")
 		dumpPol  = flag.Bool("dump-policies", false, "print the platform's security policies as JSON and exit")
+
+		doSweep    = flag.Bool("sweep", false, "run a protection x workload x core-count scenario grid concurrently and emit a JSON report")
+		sweepProts = flag.String("sweep-protections", "unprotected,distributed,centralized", "sweep: protections axis")
+		sweepWls   = flag.String("sweep-workloads", "mix,stream", "sweep: workloads axis")
+		sweepTgts  = flag.String("sweep-targets", "internal", "sweep: targets axis")
+		sweepCores = flag.String("sweep-cores", "1,2,4", "sweep: core-count axis")
+		sweepOut   = flag.String("sweep-out", "", "sweep: report file (stdout when empty)")
+		workers    = flag.Int("workers", 0, "sweep: worker goroutines (GOMAXPROCS when 0)")
 	)
 	flag.Parse()
+
+	if *doSweep {
+		if err := runSweep(*sweepProts, *sweepWls, *sweepTgts, *sweepCores, *accesses, *compute, *maxCyc, *workers, *sweepOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	prot, err := parseProtection(*protFlag)
 	if err != nil {
@@ -67,11 +86,11 @@ func main() {
 		return
 	}
 
-	tgt, span, err := parseTarget(*target)
+	tgt, span, err := sweep.ParseTarget(*target)
 	if err != nil {
 		fatal(err)
 	}
-	if err := loadWorkload(s, *wl, tgt, span, *compute, *accesses); err != nil {
+	if err := sweep.LoadWorkload(s, *wl, tgt, span, *compute, *accesses); err != nil {
 		fatal(err)
 	}
 
@@ -95,44 +114,51 @@ func parseProtection(s string) (soc.Protection, error) {
 	}
 }
 
-func parseTarget(s string) (uint32, uint32, error) {
-	switch s {
-	case "internal":
-		return soc.BRAMBase, 0x1000, nil
-	case "external":
-		return soc.SecureBase, 0x1000, nil
-	case "cipher":
-		return soc.CipherBase, 0x1000, nil
-	case "plain":
-		return soc.PlainBase, 0x1000, nil
-	default:
-		return 0, 0, fmt.Errorf("unknown target %q", s)
+// runSweep executes the scenario grid through internal/sweep and writes the
+// JSON report.
+func runSweep(prots, wls, tgts, coreList string, accesses, compute int, maxCyc uint64, workers int, out string) error {
+	var protections []soc.Protection
+	for _, s := range splitList(prots) {
+		p, err := parseProtection(s)
+		if err != nil {
+			return err
+		}
+		protections = append(protections, p)
 	}
+	var cores []int
+	for _, s := range splitList(coreList) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad core count %q: %v", s, err)
+		}
+		cores = append(cores, n)
+	}
+	grid := sweep.Grid(protections, splitList(wls), splitList(tgts), cores, accesses, compute, maxCyc)
+	if len(grid) == 0 {
+		return fmt.Errorf("empty sweep grid")
+	}
+	fmt.Fprintf(os.Stderr, "sweep: running %d configurations\n", len(grid))
+	rep := sweep.Run(grid, workers)
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
 }
 
-func loadWorkload(s *soc.System, name string, tgt, span uint32, compute, accesses int) error {
-	switch name {
-	case "matmul":
-		s.HaltIdleCores(0)
-		s.MustLoad(0, workload.MatMulLocal(12, soc.BRAMBase+0x40))
-	case "memcopy":
-		s.HaltIdleCores(0)
-		s.MustLoad(0, workload.MemCopy(tgt, tgt+span/2, accesses))
-	case "stream":
-		s.HaltIdleCores(0)
-		s.MustLoad(0, workload.Stream(tgt, accesses, 4, 0))
-	case "mix":
-		for i := range s.Cores {
-			s.MustLoad(i, workload.Mix(tgt+uint32(i)*span, span, 4, accesses, compute))
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
 		}
-	case "producer-consumer":
-		s.HaltIdleCores(0, 1)
-		s.MustLoad(0, workload.Producer(soc.MboxBase, accesses))
-		s.MustLoad(1, workload.Consumer(soc.MboxBase, accesses, soc.BRAMBase+0x80))
-	default:
-		return fmt.Errorf("unknown workload %q", name)
 	}
-	return nil
+	return out
 }
 
 func printSummary(s *soc.System, cycles uint64) {

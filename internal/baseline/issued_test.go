@@ -1,0 +1,47 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+)
+
+// TestSEILatencyIncludesCheckProtocol: the SEI stamps the Issued origin at
+// submission, so Completed - Issued covers the full two-transaction SEM
+// protocol plus the data transfer — the very overhead the centralized-vs-
+// distributed comparison measures.
+func TestSEILatencyIncludesCheckProtocol(t *testing.T) {
+	eng, s0, _, _, _, _ := rig(t, allowAll())
+	eng.Run(3)
+	tx := submit(t, eng, s0, &bus.Transaction{Op: bus.Read, Addr: bramBase, Size: 4, Burst: 1})
+	if !tx.Resp.OK() {
+		t.Fatalf("resp = %v", tx.Resp)
+	}
+	if tx.Issued != 3 {
+		t.Fatalf("Issued = %d, want 3 (SEI submission cycle)", tx.Issued)
+	}
+	// The two protocol transactions overlap the SEM's serial check, but
+	// the data grant cannot precede the check completing: pre-grant
+	// latency must cover at least the full CheckCycles.
+	if lat := tx.Started - tx.Issued; lat < core.DefaultCheckCycles {
+		t.Fatalf("pre-grant latency %d excludes the SEM check protocol", lat)
+	}
+}
+
+// TestSEIBlockedTransferCarriesOrigin: a transfer the SEM denies never
+// reaches the bus as data, but must still report a real Issued origin.
+func TestSEIBlockedTransferCarriesOrigin(t *testing.T) {
+	eng, s0, _, _, _, _ := rig(t) // empty policy table: deny everything
+	eng.Run(5)
+	tx := submit(t, eng, s0, &bus.Transaction{Op: bus.Read, Addr: bramBase, Size: 4, Burst: 1})
+	if tx.Resp != bus.RespSecurityErr {
+		t.Fatalf("resp = %v, want SECURITY_ERR", tx.Resp)
+	}
+	if tx.Issued != 5 {
+		t.Fatalf("blocked transfer Issued = %d, want 5", tx.Issued)
+	}
+	if tx.Completed <= tx.Issued {
+		t.Fatalf("Completed %d <= Issued %d", tx.Completed, tx.Issued)
+	}
+}

@@ -226,7 +226,16 @@ func (i *SEI) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
 		Data: []uint32{tx.Addr, packMeta(tx.Op == bus.Write, tx.Size, tx.Burst)},
 	}
 	i.stats.ProtocolTxns++
-	i.inner.Submit(req, func(reqDone *bus.Transaction) {
+	i.inner.Submit(req, i.verdictPhase(tx, done))
+	// The port stamped req synchronously with the current cycle; adopt it
+	// as the data transfer's end-to-end origin so centralized latency
+	// includes the whole SEM check protocol (and blocked transfers carry
+	// a real origin instead of zero).
+	tx.StampIssued(req.Issued)
+}
+
+func (i *SEI) verdictPhase(tx *bus.Transaction, done func(*bus.Transaction)) func(*bus.Transaction) {
+	return func(reqDone *bus.Transaction) {
 		if !reqDone.Resp.OK() {
 			tx.Resp = bus.RespSlaveErr
 			finish(tx, reqDone.Completed, done)
@@ -250,7 +259,7 @@ func (i *SEI) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
 			i.stats.Allowed++
 			i.inner.Submit(tx, done)
 		})
-	})
+	}
 }
 
 func finish(tx *bus.Transaction, cycle uint64, done func(*bus.Transaction)) {

@@ -75,6 +75,7 @@ type Bus struct {
 	busyUntil uint64
 	lastGrant int // round-robin pointer
 	nextID    uint64
+	waiting   int // queued transactions across all masters
 
 	stats Stats
 }
@@ -176,7 +177,10 @@ func (p *MasterPort) Pending() int { return len(p.queue) }
 // and attack models rely on that behaviour.
 func (p *MasterPort) Submit(tx *Transaction, done func(*Transaction)) {
 	tx.done = done
-	tx.Issued = p.bus.eng.Now()
+	tx.queued = p.bus.eng.Now()
+	// No-op when an upstream interface (master-side firewall, SEI)
+	// already owns the end-to-end origin.
+	tx.StampIssued(tx.queued)
 	if tx.Master == "" {
 		tx.Master = p.name
 	}
@@ -188,9 +192,14 @@ func (p *MasterPort) Submit(tx *Transaction, done func(*Transaction)) {
 		return
 	}
 	if tx.Op == Read && len(tx.Data) < tx.Burst {
-		tx.Data = make([]uint32, tx.Burst)
+		if cap(tx.Data) >= tx.Burst {
+			tx.Data = tx.Data[:tx.Burst]
+		} else {
+			tx.Data = make([]uint32, tx.Burst)
+		}
 	}
 	p.queue = append(p.queue, tx)
+	p.bus.waiting++
 }
 
 // Tick implements sim.Ticker: grant at most one transaction per cycle when
@@ -204,11 +213,14 @@ func (b *Bus) Tick(now uint64) {
 		return
 	}
 	tx := m.queue[0]
-	m.queue = m.queue[1:]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	b.waiting--
 	b.lastGrant = m.index
 
 	tx.Started = now
-	b.stats.WaitCycles += now - tx.Issued
+	b.stats.WaitCycles += now - tx.queued
 
 	var cycles uint64
 	var resp Resp
@@ -233,7 +245,7 @@ func (b *Bus) Tick(now uint64) {
 // arbitration policy.
 func (b *Bus) pick() *MasterPort {
 	n := len(b.masters)
-	if n == 0 {
+	if b.waiting == 0 || n == 0 {
 		return nil
 	}
 	start := 0
@@ -249,24 +261,33 @@ func (b *Bus) pick() *MasterPort {
 	return nil
 }
 
-// complete schedules the done callback delay cycles from now and folds the
-// outcome into statistics.
+// complete schedules the completion event delay cycles from now. The event
+// callback is the package-level finishTx bound to the transaction itself
+// (via its owner back-pointer), so completion costs no closure allocation.
 func (b *Bus) complete(tx *Transaction, delay uint64) {
-	b.eng.Schedule(delay, func(now uint64) {
-		tx.Completed = now
-		b.stats.Completed++
-		switch tx.Resp {
-		case RespOK:
-			b.stats.BitsMoved += tx.Bits()
-		case RespDecodeErr:
-			b.stats.DecodeErrs++
-		case RespSlaveErr:
-			b.stats.SlaveErrs++
-		case RespSecurityErr:
-			b.stats.SecurityErr++
-		}
-		if tx.done != nil {
-			tx.done(tx)
-		}
-	})
+	tx.owner = b
+	b.eng.ScheduleArg(delay, finishTx, tx)
+}
+
+// finishTx folds a completed transaction into statistics and delivers the
+// done callback.
+func finishTx(now uint64, arg any) {
+	tx := arg.(*Transaction)
+	b := tx.owner
+	tx.owner = nil
+	tx.Completed = now
+	b.stats.Completed++
+	switch tx.Resp {
+	case RespOK:
+		b.stats.BitsMoved += tx.Bits()
+	case RespDecodeErr:
+		b.stats.DecodeErrs++
+	case RespSlaveErr:
+		b.stats.SlaveErrs++
+	case RespSecurityErr:
+		b.stats.SecurityErr++
+	}
+	if tx.done != nil {
+		tx.done(tx)
+	}
 }

@@ -1,0 +1,100 @@
+package bus_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestSubmitPreservesCallerIssued: a transaction entering the port with a
+// non-zero Issued (stamped by an upstream interface such as a master-side
+// firewall) must keep that origin, while wait accounting still measures
+// time queued at the port.
+func TestSubmitPreservesCallerIssued(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	m := b.NewMaster("m0")
+
+	eng.Run(20) // move the clock so stamps are distinguishable
+
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1, Issued: 5}
+	done := false
+	m.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 1000); !ok {
+		t.Fatal("transaction did not complete")
+	}
+	if tx.Issued != 5 {
+		t.Fatalf("Issued overwritten to %d, want caller-set 5 preserved", tx.Issued)
+	}
+	// WaitCycles must be based on the port-entry cycle (20), not the
+	// upstream Issued stamp, or contention stats would absorb upstream
+	// latency.
+	if w := b.Stats().WaitCycles; w > 5 {
+		t.Fatalf("WaitCycles = %d; includes upstream latency (queued at cycle 20, Issued 5)", w)
+	}
+}
+
+// TestSubmitStampsZeroIssued: a fresh transaction still gets its Issued
+// stamped at submission.
+func TestSubmitStampsZeroIssued(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1000))
+	m := b.NewMaster("m0")
+
+	eng.Run(7)
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1}
+	done := false
+	m.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 1000); !ok {
+		t.Fatal("transaction did not complete")
+	}
+	if tx.Issued != 7 {
+		t.Fatalf("Issued = %d, want 7 (submission cycle)", tx.Issued)
+	}
+	if tx.Completed <= tx.Issued {
+		t.Fatalf("Completed %d <= Issued %d", tx.Completed, tx.Issued)
+	}
+}
+
+// TestTransactionReuseAfterCompletion: reusing one Transaction value for
+// consecutive transfers (as the CPU and DMA hot paths do) must behave like
+// fresh allocations once the timestamps are reset.
+func TestTransactionReuseAfterCompletion(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	bram := mem.NewBRAM("bram", 0x1000_0000, 0x1000)
+	b.AddSlave(bram)
+	m := b.NewMaster("m0")
+
+	bram.Store().WriteWord(0x1000_0010, 0xDEAD_BEEF)
+	bram.Store().WriteWord(0x1000_0020, 0xCAFE_F00D)
+
+	var tx bus.Transaction
+	var data [1]uint32
+	read := func(addr uint32) uint32 {
+		tx = bus.Transaction{Op: bus.Read, Addr: addr, Size: 4, Burst: 1, Data: data[:1]}
+		done := false
+		m.Submit(&tx, func(*bus.Transaction) { done = true })
+		if _, ok := eng.RunUntil(func() bool { return done }, 1000); !ok {
+			t.Fatalf("read %#x did not complete", addr)
+		}
+		if !tx.Resp.OK() {
+			t.Fatalf("read %#x failed: %v", addr, tx.Resp)
+		}
+		return tx.Data[0]
+	}
+	if got := read(0x1000_0010); got != 0xDEAD_BEEF {
+		t.Fatalf("first read = %#x, want 0xDEADBEEF", got)
+	}
+	first := tx.Issued
+	if got := read(0x1000_0020); got != 0xCAFE_F00D {
+		t.Fatalf("second read = %#x, want 0xCAFEF00D", got)
+	}
+	if tx.Issued <= first {
+		t.Fatalf("reused transaction kept stale Issued %d (first %d)", tx.Issued, first)
+	}
+}

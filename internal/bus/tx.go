@@ -105,12 +105,32 @@ type Transaction struct {
 	Resp Resp
 
 	// Issued, Started and Completed are cycle timestamps recorded by the
-	// bus (submission, grant, completion).
+	// bus (submission, grant, completion). Issued is stamped once, by the
+	// first interface the transfer enters (e.g. a master-side firewall
+	// ahead of the bus port), so it is the end-to-end latency origin.
+	// When reusing a Transaction, reset the whole struct value (as the
+	// CPU and DMA hot paths do) — zeroing Issued alone does not clear
+	// the internal stamped flag.
 	Issued    uint64
 	Started   uint64
 	Completed uint64
 
-	done func(*Transaction)
+	done      func(*Transaction)
+	queued    uint64 // cycle the transaction entered the port queue (WaitCycles)
+	owner     *Bus   // set on submission; lets completion run closure-free
+	issuedSet bool   // Issued recorded (distinguishes a real cycle-0 origin)
+}
+
+// StampIssued records cycle as the transaction's end-to-end origin unless
+// one exists already — recorded by an earlier interface via StampIssued,
+// or preset by the caller as a non-zero Issued. Cycle 0 is a valid origin:
+// the internal flag disambiguates it from an unset zero value.
+func (t *Transaction) StampIssued(cycle uint64) {
+	if t.issuedSet || t.Issued != 0 {
+		return
+	}
+	t.Issued = cycle
+	t.issuedSet = true
 }
 
 // Bits returns the number of payload bits the transaction moves.

@@ -46,7 +46,19 @@ type LocalFirewall struct {
 	// to the firewall_id.
 	Owner string
 
+	// free is a free list of in-flight transfer records, so Submit does
+	// not allocate per transfer in steady state.
+	free []*lfPending
+
 	stats Stats
+}
+
+// lfPending is one transfer held in the Security Builder between Submit and
+// the policy decision CheckCycles later.
+type lfPending struct {
+	f    *LocalFirewall
+	tx   *bus.Transaction
+	done func(*bus.Transaction)
 }
 
 // NewLocalFirewall wraps conn with a firewall named name (the firewall_id
@@ -74,6 +86,9 @@ func (f *LocalFirewall) Stats() Stats { return f.stats }
 
 // Submit implements bus.Conn. The transfer is held for CheckCycles while
 // the SB evaluates the policy, then either forwarded or discarded locally.
+// The firewall stamps the end-to-end Issued origin only when no earlier
+// interface recorded one, so a transfer that already passed another
+// firewall keeps its original latency origin.
 func (f *LocalFirewall) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
 	f.stats.Checked++
 	f.stats.CheckCyclesSpent += f.CheckCycles
@@ -84,37 +99,61 @@ func (f *LocalFirewall) Submit(tx *bus.Transaction, done func(*bus.Transaction))
 			tx.Master = f.name
 		}
 	}
-	tx.Issued = f.eng.Now()
-	f.eng.Schedule(f.CheckCycles, func(now uint64) {
-		pol, v := f.cm.CheckAccess(accessOf(tx))
-		if v == VNone {
-			f.stats.Allowed++
-			f.inner.Submit(tx, done)
-			return
-		}
-		f.stats.Blocked++
-		f.log.Record(Alert{
-			Cycle:      now,
-			FirewallID: f.name,
-			Master:     tx.Master,
-			Thread:     tx.Thread,
-			SPI:        pol.SPI,
-			Violation:  v,
-			Op:         tx.Op,
-			Addr:       tx.Addr,
-			Size:       tx.Size,
-		})
-		// FI discards the transfer: zero any read data, flag the error
-		// and complete without touching the bus.
-		tx.Resp = bus.RespSecurityErr
-		for i := range tx.Data {
-			tx.Data[i] = 0
-		}
-		tx.Completed = now
-		if done != nil {
-			done(tx)
-		}
+	tx.StampIssued(f.eng.Now())
+	p := f.getPending(tx, done)
+	f.eng.ScheduleArg(f.CheckCycles, lfCheck, p)
+}
+
+// lfCheck is the Security Builder decision point, pre-bound at package
+// level so Submit schedules it without allocating a closure per transfer.
+func lfCheck(now uint64, arg any) {
+	p := arg.(*lfPending)
+	f, tx, done := p.f, p.tx, p.done
+	f.putPending(p)
+	pol, v := f.cm.CheckAccess(accessOf(tx))
+	if v == VNone {
+		f.stats.Allowed++
+		f.inner.Submit(tx, done)
+		return
+	}
+	f.stats.Blocked++
+	f.log.Record(Alert{
+		Cycle:      now,
+		FirewallID: f.name,
+		Master:     tx.Master,
+		Thread:     tx.Thread,
+		SPI:        pol.SPI,
+		Violation:  v,
+		Op:         tx.Op,
+		Addr:       tx.Addr,
+		Size:       tx.Size,
 	})
+	// FI discards the transfer: zero any read data, flag the error
+	// and complete without touching the bus.
+	tx.Resp = bus.RespSecurityErr
+	for i := range tx.Data {
+		tx.Data[i] = 0
+	}
+	tx.Completed = now
+	if done != nil {
+		done(tx)
+	}
+}
+
+func (f *LocalFirewall) getPending(tx *bus.Transaction, done func(*bus.Transaction)) *lfPending {
+	if n := len(f.free); n > 0 {
+		p := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		p.tx, p.done = tx, done
+		return p
+	}
+	return &lfPending{f: f, tx: tx, done: done}
+}
+
+func (f *LocalFirewall) putPending(p *lfPending) {
+	p.tx, p.done = nil, nil
+	f.free = append(f.free, p)
 }
 
 // SlaveFirewall is the slave-side Local Firewall: it guards a bus target

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestLFStampsIssuedOnce: a transfer that traverses two firewalls (e.g. a
+// DMA behind a master-side LF submitting through a second guarded path)
+// must keep the Issued stamp of the FIRST interface it entered, so
+// end-to-end latency attribution spans the whole secured path.
+func TestLFStampsIssuedOnce(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1_0000))
+	log := core.NewAlertLog()
+	allow := core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000},
+		RWA: core.ReadWrite, ADF: core.AnyWidth}
+	inner := core.NewLocalFirewall(eng, "lf-inner", b.NewMaster("m0"), core.MustConfig(allow), log)
+	outer := core.NewLocalFirewall(eng, "lf-outer", inner, core.MustConfig(allow), log)
+
+	eng.Run(9) // non-zero submission cycle so the stamp is observable
+
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1}
+	done := false
+	outer.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("transaction never completed")
+	}
+	if tx.Issued != 9 {
+		t.Fatalf("Issued = %d, want 9 (first firewall's submission cycle)", tx.Issued)
+	}
+	// End-to-end latency must cover both Security Builder checks.
+	if lat := tx.Completed - tx.Issued; lat < 2*core.DefaultCheckCycles {
+		t.Fatalf("end-to-end latency %d < two check latencies (%d)", lat, 2*core.DefaultCheckCycles)
+	}
+}
+
+// TestLFStampsIssuedAtCycleZero: cycle 0 is a valid end-to-end origin.
+// Before the StampIssued flag, a transfer entering a firewall at cycle 0
+// could not record its origin and was re-stamped CheckCycles later by the
+// bus port, silently excluding the Security Builder latency.
+func TestLFStampsIssuedAtCycleZero(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1_0000))
+	log := core.NewAlertLog()
+	allow := core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000},
+		RWA: core.ReadWrite, ADF: core.AnyWidth}
+	lf := core.NewLocalFirewall(eng, "lf", b.NewMaster("m0"), core.MustConfig(allow), log)
+
+	tx := &bus.Transaction{Op: bus.Read, Addr: 0x1000_0000, Size: 4, Burst: 1}
+	done := false
+	lf.Submit(tx, func(*bus.Transaction) { done = true }) // at cycle 0
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("transaction never completed")
+	}
+	if tx.Issued != 0 {
+		t.Fatalf("Issued = %d, want 0 (cycle-0 origin, not the bus-port re-stamp)", tx.Issued)
+	}
+	if tx.Started < core.DefaultCheckCycles {
+		t.Fatalf("Started = %d; transfer reached the bus before the SB check elapsed", tx.Started)
+	}
+}
+
+// TestLFBlockedLatencyUnchanged: the single-firewall blocked path still
+// attributes exactly CheckCycles between submission and local discard.
+func TestLFBlockedLatencyUnchanged(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	b := bus.New(eng, bus.Config{})
+	b.AddSlave(mem.NewBRAM("bram", 0x1000_0000, 0x1_0000))
+	log := core.NewAlertLog()
+	ro := core.Policy{SPI: 2, Zone: core.Zone{Base: 0x1000_0000, Size: 0x1_0000},
+		RWA: core.ReadOnly, ADF: core.AnyWidth}
+	lf := core.NewLocalFirewall(eng, "lf", b.NewMaster("m0"), core.MustConfig(ro), log)
+
+	eng.Run(5)
+	tx := &bus.Transaction{Op: bus.Write, Addr: 0x1000_0000, Size: 4, Burst: 1, Data: []uint32{1}}
+	done := false
+	lf.Submit(tx, func(*bus.Transaction) { done = true })
+	if _, ok := eng.RunUntil(func() bool { return done }, 100000); !ok {
+		t.Fatal("transaction never completed")
+	}
+	if tx.Resp != bus.RespSecurityErr {
+		t.Fatalf("resp = %v, want SECURITY_ERR", tx.Resp)
+	}
+	if lat := tx.Completed - tx.Issued; lat != core.DefaultCheckCycles {
+		t.Fatalf("blocked latency = %d, want %d", lat, core.DefaultCheckCycles)
+	}
+}

@@ -115,6 +115,26 @@ type Core struct {
 	epc        uint32
 	ivec       uint32
 
+	// Bus-operation state. The core has at most one outstanding bus
+	// transaction (it stalls until completion), so a single Transaction,
+	// its one-word data buffer and a callback bound once at construction
+	// are reused for every bus op — the hot path allocates nothing.
+	btx     bus.Transaction
+	busData [1]uint32
+	busDone func(*bus.Transaction)
+	busRd   uint8
+	busOp   isa.Opcode
+	busNext uint32
+
+	// icache caches decoded instructions per local word (entries with
+	// Decoded == false are misses). The core invalidates precisely on its
+	// own local stores; any other mutation of local memory (program
+	// loads, test pokes, attack injection) is caught by comparing the
+	// store's generation at fetch, so self-modifying and externally
+	// modified code stay architecturally correct.
+	icache    []isa.Instr
+	icacheGen uint64
+
 	stats Stats
 }
 
@@ -136,6 +156,8 @@ func New(eng *sim.Engine, cfg Config, conn bus.Conn) *Core {
 		pc:    cfg.LocalBase,
 	}
 	c.regs[isa.RegSP] = cfg.LocalBase + cfg.LocalSize - 16 // default stack top
+	c.busDone = c.onBusDone
+	c.icache = make([]isa.Instr, cfg.LocalSize/4)
 	eng.AddTicker(c)
 	return c
 }
@@ -235,7 +257,16 @@ func (c *Core) Tick(now uint64) {
 		c.halt(HaltFetchFault)
 		return
 	}
-	in := isa.Decode(c.local.ReadWord(c.pc))
+	if g := c.local.Gen(); g != c.icacheGen {
+		clear(c.icache)
+		c.icacheGen = g
+	}
+	idx := (c.pc - c.cfg.LocalBase) >> 2
+	in := c.icache[idx]
+	if !in.Decoded {
+		in = isa.Decode(c.local.ReadWord(c.pc))
+		c.icache[idx] = in
+	}
 	if !in.Op.Valid() {
 		c.halt(HaltIllegal)
 		return
@@ -416,6 +447,11 @@ func (c *Core) memOp(in isa.Instr, addr uint32, storeVal uint32, next uint32) {
 		c.stats.LocalOps++
 		if in.Op.IsStore() {
 			c.local.Write(addr, size, storeVal)
+			// The store cannot straddle words (aligned, size <= 4):
+			// invalidate exactly the covered icache word, then adopt the
+			// new generation so the fetch path does not flush everything.
+			c.icache[(addr-c.cfg.LocalBase)>>2] = isa.Instr{}
+			c.icacheGen = c.local.Gen()
 		} else {
 			c.SetReg(int(in.Rd), extendLoad(in.Op, c.local.Read(addr, size)))
 		}
@@ -425,42 +461,52 @@ func (c *Core) memOp(in isa.Instr, addr uint32, storeVal uint32, next uint32) {
 		return
 	}
 
-	// Bus access: issue and stall.
+	// Bus access: issue and stall. The reused transaction is fully
+	// re-initialized — in particular the timestamps must return to zero
+	// so the first firewall or port stamps a fresh Issued origin.
 	c.stats.BusOps++
-	tx := &bus.Transaction{
+	tx := &c.btx
+	*tx = bus.Transaction{
 		Master: c.cfg.Name,
 		Thread: c.thread,
 		Op:     bus.Read,
 		Addr:   addr,
 		Size:   size,
 		Burst:  1,
+		Data:   c.busData[:1],
 	}
+	c.busData[0] = 0
 	if in.Op.IsStore() {
 		tx.Op = bus.Write
-		tx.Data = []uint32{storeVal}
+		c.busData[0] = storeVal
 	}
 	c.waitBus = true
-	rd := in.Rd
-	op := in.Op
-	c.conn.Submit(tx, func(done *bus.Transaction) {
-		c.waitBus = false
-		if !done.Resp.OK() {
-			c.stats.BusErrors++
-			if op.IsLoad() {
-				// Discarded transfers deliver nothing; software sees 0.
-				c.SetReg(int(rd), 0)
-			}
-			if c.cfg.TrapOnBusError {
-				c.stats.Instructions++
-				c.halt(HaltBusFault)
-				return
-			}
-		} else if op.IsLoad() {
-			c.SetReg(int(rd), extendLoad(op, done.Data[0]))
+	c.busRd = in.Rd
+	c.busOp = in.Op
+	c.busNext = next
+	c.conn.Submit(tx, c.busDone)
+}
+
+// onBusDone completes the stalled memory instruction when its bus
+// transaction finishes.
+func (c *Core) onBusDone(done *bus.Transaction) {
+	c.waitBus = false
+	if !done.Resp.OK() {
+		c.stats.BusErrors++
+		if c.busOp.IsLoad() {
+			// Discarded transfers deliver nothing; software sees 0.
+			c.SetReg(int(c.busRd), 0)
 		}
-		c.stats.Instructions++
-		c.pc = next
-	})
+		if c.cfg.TrapOnBusError {
+			c.stats.Instructions++
+			c.halt(HaltBusFault)
+			return
+		}
+	} else if c.busOp.IsLoad() {
+		c.SetReg(int(c.busRd), extendLoad(c.busOp, done.Data[0]))
+	}
+	c.stats.Instructions++
+	c.pc = c.busNext
 }
 
 // busError emulates the response to a locally detected bad access.

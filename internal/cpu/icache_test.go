@@ -1,0 +1,66 @@
+package cpu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// TestExternalCodeModificationTakesEffect: the decoded-instruction cache
+// must observe writes made to local memory behind the core's back (program
+// reloads, test pokes, attack injection) via the store generation check.
+func TestExternalCodeModificationTakesEffect(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	c := cpu.New(eng, cpu.Config{Name: "cpu0", LocalBase: 0, LocalSize: 0x1000}, nil)
+	// An infinite loop: branch-to-self. The core decodes and caches it.
+	c.Load(isa.MustAssemble(`
+	loop:
+		beq r0, r0, loop
+	`, 0))
+	eng.Run(10)
+	if h, _ := c.Halted(); h {
+		t.Fatal("core halted inside the spin loop")
+	}
+	// Overwrite the loop instruction with HALT directly in local memory.
+	halt := isa.MustAssemble("halt", 0).Words[0]
+	c.Local().WriteWord(c.PC(), halt)
+	eng.Run(5)
+	h, cause := c.Halted()
+	if !h || cause != cpu.HaltInstr {
+		t.Fatalf("core did not execute externally patched HALT (halted=%v cause=%v); stale icache?", h, cause)
+	}
+}
+
+// TestSelfModifyingStoreInvalidatesICache: a store executed by the core
+// into its own code window must invalidate the cached decode of that word.
+// The program first runs a countdown loop (caching the decode of its
+// branch), then overwrites that branch with HALT and jumps back into it.
+func TestSelfModifyingStoreInvalidatesICache(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	c := cpu.New(eng, cpu.Config{Name: "cpu0", LocalBase: 0, LocalSize: 0x1000}, nil)
+	halt := isa.MustAssemble("halt", 0).Words[0]
+	src := fmt.Sprintf(`
+		lui  r1, %d          ; r1 = HALT encoding (high half)
+		ori  r1, r1, %d      ; r1 |= low half
+		addi r2, r0, 3       ; loop counter
+	loop:
+		addi r2, r2, -1      ; address 12
+		bnez r2, loop        ; address 16: cached during the countdown
+		sw   r1, 16(r0)      ; overwrite the cached branch with HALT
+		beq  r0, r0, loop    ; re-enter: 12 then 16, which must now HALT
+		halt                 ; safety net (never reached)
+	`, halt>>16, halt&0xFFFF)
+	c.Load(isa.MustAssemble(src, 0))
+	cycles, _ := eng.RunUntil(func() bool { h, _ := c.Halted(); return h }, 200)
+	h, cause := c.Halted()
+	if !h || cause != cpu.HaltInstr {
+		t.Fatalf("self-modified HALT not executed after %d cycles (halted=%v cause=%v); stale icache?",
+			cycles, h, cause)
+	}
+	if c.PC() != 16 {
+		t.Fatalf("halted at pc %#x, want 16 (the patched word)", c.PC())
+	}
+}

@@ -49,6 +49,13 @@ type DMA struct {
 	wrAddr    uint32
 	pending   bool // a bus transaction is outstanding
 
+	// The engine moves one chunk at a time (read, then write), so a
+	// single transaction pair, chunk buffer and callbacks bound once at
+	// construction are reused for every chunk.
+	rdTx, wrTx     bus.Transaction
+	chunk          [dmaChunkWords]uint32
+	onRead, onWrit func(*bus.Transaction)
+
 	// Copies counts completed descriptors; Errors counts failed ones.
 	Copies, Errors uint64
 }
@@ -58,6 +65,8 @@ type DMA struct {
 // register file occupies [base, base+0x20).
 func NewDMA(eng *sim.Engine, name string, base uint32, conn bus.Conn) *DMA {
 	d := &DMA{name: name, base: base, eng: eng, conn: conn}
+	d.onRead = d.readDone
+	d.onWrit = d.writeDone
 	eng.AddTicker(d)
 	return d
 }
@@ -148,31 +157,40 @@ func (d *DMA) Tick(now uint64) {
 	if words > dmaChunkWords {
 		words = dmaChunkWords
 	}
-	rd := &bus.Transaction{
+	rd := &d.rdTx
+	*rd = bus.Transaction{
 		Master: d.name, Op: bus.Read, Addr: d.rdAddr, Size: 4, Burst: int(words),
+		Data: d.chunk[:words],
 	}
 	d.pending = true
-	d.conn.Submit(rd, func(rdDone *bus.Transaction) {
-		if !rdDone.Resp.OK() {
-			d.fail()
-			return
-		}
-		wr := &bus.Transaction{
-			Master: d.name, Op: bus.Write, Addr: d.wrAddr, Size: 4,
-			Burst: rdDone.Burst, Data: rdDone.Data,
-		}
-		d.conn.Submit(wr, func(wrDone *bus.Transaction) {
-			d.pending = false
-			if !wrDone.Resp.OK() {
-				d.fail()
-				return
-			}
-			n := uint32(wrDone.Burst) * 4
-			d.rdAddr += n
-			d.wrAddr += n
-			d.remaining -= n
-		})
-	})
+	d.conn.Submit(rd, d.onRead)
+}
+
+// readDone turns a fetched chunk around into the write half of the copy.
+func (d *DMA) readDone(rdDone *bus.Transaction) {
+	if !rdDone.Resp.OK() {
+		d.fail()
+		return
+	}
+	wr := &d.wrTx
+	*wr = bus.Transaction{
+		Master: d.name, Op: bus.Write, Addr: d.wrAddr, Size: 4,
+		Burst: rdDone.Burst, Data: rdDone.Data,
+	}
+	d.conn.Submit(wr, d.onWrit)
+}
+
+// writeDone retires the chunk and advances the copy cursors.
+func (d *DMA) writeDone(wrDone *bus.Transaction) {
+	d.pending = false
+	if !wrDone.Resp.OK() {
+		d.fail()
+		return
+	}
+	n := uint32(wrDone.Burst) * 4
+	d.rdAddr += n
+	d.wrAddr += n
+	d.remaining -= n
 }
 
 func (d *DMA) fail() {

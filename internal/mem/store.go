@@ -14,6 +14,7 @@ import "fmt"
 type Store struct {
 	base uint32
 	data []byte
+	gen  uint64
 }
 
 // NewStore allocates a zeroed store of size bytes based at base.
@@ -38,6 +39,12 @@ func (s *Store) InRange(addr uint32, n uint32) bool {
 	return addr >= s.base && uint64(addr)+uint64(n) <= uint64(s.base)+uint64(len(s.data))
 }
 
+// Gen returns the mutation generation: it changes on every write through
+// any Store method. Callers that cache derived views of the contents (the
+// CPU's decoded-instruction cache) compare generations to detect writes
+// made behind their back — including Poke-based attack injection.
+func (s *Store) Gen() uint64 { return s.gen }
+
 func (s *Store) offset(addr uint32, n int) int {
 	if !s.InRange(addr, uint32(n)) {
 		panic(fmt.Sprintf("mem: access [%#x,+%d) outside store [%#x,+%#x)",
@@ -60,6 +67,7 @@ func (s *Store) Read(addr uint32, size int) uint32 {
 // Write stores the low size bytes of v at addr, little-endian.
 func (s *Store) Write(addr uint32, size int, v uint32) {
 	o := s.offset(addr, size)
+	s.gen++
 	for i := 0; i < size; i++ {
 		s.data[o+i] = byte(v >> (8 * i))
 	}
@@ -85,12 +93,14 @@ func (s *Store) Peek(addr uint32, n int) []byte {
 // tampering.
 func (s *Store) Poke(addr uint32, b []byte) {
 	o := s.offset(addr, len(b))
+	s.gen++
 	copy(s.data[o:], b)
 }
 
 // Fill sets every byte of [addr, addr+n) to v.
 func (s *Store) Fill(addr uint32, n int, v byte) {
 	o := s.offset(addr, n)
+	s.gen++
 	for i := 0; i < n; i++ {
 		s.data[o+i] = v
 	}
@@ -106,5 +116,6 @@ func (s *Store) Restore(b []byte) {
 	if len(b) != len(s.data) {
 		panic(fmt.Sprintf("mem: restore size %d != store size %d", len(b), len(s.data)))
 	}
+	s.gen++
 	copy(s.data, b)
 }

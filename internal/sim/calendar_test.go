@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPendingStopHonoredByRun: a Stop requested between runs (e.g. from an
+// event that fired at the tail of a previous Run) must make the next Run
+// return immediately instead of being silently reset.
+func TestPendingStopHonoredByRun(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	e.Stop()
+	if got := e.Run(10); got != 0 {
+		t.Fatalf("Run after pending Stop executed %d cycles, want 0", got)
+	}
+	// The pending stop is consumed: the next run proceeds normally.
+	if got := e.Run(10); got != 10 {
+		t.Fatalf("Run after consumed stop executed %d cycles, want 10", got)
+	}
+}
+
+// TestStopAtTailOfRunHonoredByNextRun: a Stop fired during the final cycle
+// of a Run cannot end that run any earlier, so it must stay pending and
+// stop the next one.
+func TestStopAtTailOfRunHonoredByNextRun(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	e.Schedule(4, func(uint64) { e.Stop() }) // fires during cycle 4, the last of Run(5)
+	if got := e.Run(5); got != 5 {
+		t.Fatalf("first Run executed %d cycles, want 5", got)
+	}
+	if got := e.Run(100); got != 0 {
+		t.Fatalf("Run after tail-of-run Stop executed %d cycles, want 0", got)
+	}
+	if got := e.Run(3); got != 3 {
+		t.Fatalf("Run after consumed stop executed %d cycles, want 3", got)
+	}
+}
+
+// TestPendingStopHonoredByRunUntil mirrors the Run case for RunUntil.
+func TestPendingStopHonoredByRunUntil(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	e.Stop()
+	cycles, ok := e.RunUntil(func() bool { return false }, 100)
+	if cycles != 0 || ok {
+		t.Fatalf("RunUntil after pending Stop = (%d,%v), want (0,false)", cycles, ok)
+	}
+	cycles, ok = e.RunUntil(func() bool { return e.Now() >= 7 }, 100)
+	if !ok || cycles != 7 {
+		t.Fatalf("RunUntil after consumed stop = (%d,%v), want (7,true)", cycles, ok)
+	}
+}
+
+// TestFarFutureEventsSurviveRingBoundary: events scheduled beyond the
+// calendar ring window land in the far heap; when the clock reaches their
+// cycle they must fire before any same-cycle event that was scheduled later
+// (which, by then, lands in the ring).
+func TestFarFutureEventsSurviveRingBoundary(t *testing.T) {
+	const target = 3 * ringWindow
+	e := NewEngine(DefaultFrequency)
+	var order []string
+	e.ScheduleAt(target, func(uint64) { order = append(order, "far0") })
+	e.ScheduleAt(target, func(uint64) { order = append(order, "far1") })
+	e.Run(target - ringWindow/2) // bring the target inside the ring window
+	e.ScheduleAt(target, func(uint64) { order = append(order, "near0") })
+	e.ScheduleAt(target, func(uint64) { order = append(order, "near1") })
+	e.Run(ringWindow)
+	want := []string{"far0", "far1", "near0", "near1"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCalendarQueueGlobalFIFOProperty: for an arbitrary schedule spanning
+// both the ring and the far heap, the firing sequence must equal the
+// stable sort of events by cycle — i.e. cycle order globally, schedule
+// order within a cycle.
+func TestCalendarQueueGlobalFIFOProperty(t *testing.T) {
+	type rec struct {
+		cycle uint64
+		idx   int
+	}
+	e := NewEngine(DefaultFrequency)
+	r := NewRNG(2024)
+	const n = 500
+	var want []rec
+	var got []rec
+	for i := 0; i < n; i++ {
+		d := uint64(r.Intn(3 * ringWindow)) // well past the ring window
+		i := i
+		cycle := e.Now() + d
+		want = append(want, rec{cycle, i})
+		e.Schedule(d, func(now uint64) { got = append(got, rec{now, i}) })
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].cycle < want[b].cycle })
+	e.Run(4 * ringWindow)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRescheduleIntoRecycledRingBucket: a bucket is reused every ringWindow
+// cycles; events scheduled into a recycled bucket must not collide with
+// the previous occupancy.
+func TestRescheduleIntoRecycledRingBucket(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	var fired []uint64
+	fn := func(now uint64) { fired = append(fired, now) }
+	e.Schedule(5, fn)
+	e.Run(ringWindow)
+	e.Schedule(5, fn) // same bucket index as the first event
+	e.Run(ringWindow)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != uint64(ringWindow+5) {
+		t.Fatalf("fired = %v, want [5 %d]", fired, ringWindow+5)
+	}
+}
+
+// TestScheduleArgDeliversArgument covers the allocation-free callback form.
+func TestScheduleArgDeliversArgument(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	type payload struct{ v int }
+	p := &payload{v: 41}
+	e.ScheduleArg(3, func(now uint64, arg any) {
+		arg.(*payload).v++
+	}, p)
+	e.Run(5)
+	if p.v != 42 {
+		t.Fatalf("arg payload = %d, want 42", p.v)
+	}
+}
+
+// TestSteadyStateSchedulingAllocFree: after warm-up, Schedule/fire must not
+// allocate — the property the calendar queue plus event pool exists for.
+func TestSteadyStateSchedulingAllocFree(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	fn := func(uint64) {}
+	afn := func(uint64, any) {}
+	step := func() {
+		e.Schedule(2, fn)
+		e.ScheduleArg(3, afn, e)
+		e.Run(4)
+	}
+	// Warm every ring bucket (the clock advances 4 cycles per step, so two
+	// full ring wraps give each bucket slice its steady-state capacity).
+	for i := 0; i < 2*ringWindow/4; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(200, step)
+	if avg != 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f objects/run, want 0", avg)
+	}
+}
+
+// TestPendingCountsRingAndHeap: Pending must account for events on both
+// sides of the ring/heap boundary.
+func TestPendingCountsRingAndHeap(t *testing.T) {
+	e := NewEngine(DefaultFrequency)
+	fn := func(uint64) {}
+	e.Schedule(1, fn)            // ring
+	e.Schedule(2*ringWindow, fn) // heap
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Drain(3 * ringWindow)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Drain = %d, want 0", e.Pending())
+	}
+}

@@ -15,10 +15,30 @@
 // current cycle run before the cycle ends (after all tickers), so a
 // component may hand work to another component with zero-cycle latency when
 // modeling combinational paths.
+//
+// # Event queue implementation
+//
+// The queue is a bucketed calendar queue: a fixed ring of per-cycle event
+// slices covers the near-future window [now, now+ringWindow), and a binary
+// heap holds the (rare) events scheduled further out. Scheduling into the
+// ring is an append into the bucket for that cycle; firing walks the
+// current bucket in append order. Bucket slices and the far heap keep
+// their capacity across cycles, so steady-state Schedule/fire does zero
+// heap allocations. ScheduleArg additionally lets hot callers pass a
+// pre-bound callback plus a pointer argument instead of allocating a fresh
+// closure per event.
+//
+// Determinism contract: same-cycle events fire in schedule order, across
+// the ring/heap boundary too. An event for cycle X only lands in the far
+// heap while X >= now+ringWindow, i.e. strictly before any event for X can
+// land in the ring (which requires X < now+ringWindow and the clock never
+// runs backwards), so every heap-resident event for a cycle was scheduled
+// before every ring-resident event for the same cycle. Firing heap events
+// first (in cycle, then schedule order) therefore preserves global FIFO
+// order within a cycle.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -36,31 +56,32 @@ type TickFunc func(now uint64)
 // Tick implements Ticker.
 func (f TickFunc) Tick(now uint64) { f(now) }
 
-// event is a scheduled one-shot callback.
+// ringWindow is the calendar-queue near-future window in cycles. Must be a
+// power of two. Events at least this far ahead overflow into the far heap.
+const ringWindow = 1024
+
+// event is one scheduled callback: either a plain closure (fn) or a
+// pre-bound callback with its argument (afn, arg) for allocation-free
+// scheduling on hot paths.
 type event struct {
-	cycle uint64
-	seq   uint64 // tie-break: schedule order
-	fn    func(now uint64)
+	fn  func(now uint64)
+	afn func(now uint64, arg any)
+	arg any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+func (ev *event) fire(now uint64) {
+	if ev.fn != nil {
+		ev.fn(now)
+		return
 	}
-	return h[i].seq < h[j].seq
+	ev.afn(now, ev.arg)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// farEvent is an event beyond the ring window, ordered by (cycle, seq).
+type farEvent struct {
+	cycle uint64
+	seq   uint64
+	ev    event
 }
 
 // Engine is the cycle-driven simulation kernel. The zero value is not
@@ -69,7 +90,18 @@ type Engine struct {
 	now     uint64
 	seq     uint64
 	tickers []Ticker
-	events  eventHeap
+
+	// Calendar queue: ring[c & (ringWindow-1)] buckets events due at
+	// cycle c within the near window; far holds everything else as a
+	// binary min-heap on (cycle, seq). fireIdx is the firing cursor into
+	// the current cycle's bucket (events appended mid-fire are seen
+	// because the loop re-reads the bucket length). pending counts all
+	// scheduled, not-yet-fired events across both structures.
+	ring    [ringWindow][]event
+	fireIdx int
+	far     []farEvent
+	pending int
+
 	freq    Frequency
 	stopped bool
 }
@@ -102,24 +134,50 @@ func (e *Engine) AddTicker(t Ticker) {
 // Schedule runs fn after delay cycles (delay 0 means later in the current
 // cycle if the engine is mid-step, otherwise at the current cycle).
 func (e *Engine) Schedule(delay uint64, fn func(now uint64)) {
-	if fn == nil {
-		panic("sim: Schedule(nil)")
-	}
-	e.ScheduleAt(e.now+delay, fn)
+	e.scheduleEvent(e.now+delay, event{fn: fn})
 }
 
 // ScheduleAt runs fn at absolute cycle. Scheduling in the past panics: it
 // indicates a causality bug in a hardware model.
 func (e *Engine) ScheduleAt(cycle uint64, fn func(now uint64)) {
-	if cycle < e.now {
-		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", cycle, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, &event{cycle: cycle, seq: e.seq, fn: fn})
+	e.scheduleEvent(cycle, event{fn: fn})
 }
 
-// Stop requests that the current Run/RunUntil call return after the current
-// cycle completes.
+// ScheduleArg runs fn(now, arg) after delay cycles. It is the
+// allocation-free form of Schedule for hot paths: the caller passes a
+// long-lived callback (package function or a closure created once at
+// construction) and threads per-event state through arg, typically a
+// pointer, instead of capturing it in a fresh closure per event.
+func (e *Engine) ScheduleArg(delay uint64, fn func(now uint64, arg any), arg any) {
+	e.scheduleEvent(e.now+delay, event{afn: fn, arg: arg})
+}
+
+// ScheduleArgAt is ScheduleArg at an absolute cycle.
+func (e *Engine) ScheduleArgAt(cycle uint64, fn func(now uint64, arg any), arg any) {
+	e.scheduleEvent(cycle, event{afn: fn, arg: arg})
+}
+
+func (e *Engine) scheduleEvent(cycle uint64, ev event) {
+	if ev.fn == nil && ev.afn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	if cycle < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d in the past (now=%d)", cycle, e.now))
+	}
+	e.pending++
+	if cycle < e.now+ringWindow {
+		i := cycle & (ringWindow - 1)
+		e.ring[i] = append(e.ring[i], ev)
+		return
+	}
+	e.seq++
+	e.farPush(farEvent{cycle: cycle, seq: e.seq, ev: ev})
+}
+
+// Stop requests that the current (or next) Run/RunUntil call return after
+// the current cycle completes. A stop with no run in progress stays
+// pending and is honored by the next Run/RunUntil, which returns
+// immediately without stepping.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step advances the simulation by exactly one cycle: fire due events, then
@@ -131,39 +189,119 @@ func (e *Engine) Step() {
 		t.Tick(e.now)
 	}
 	e.fireDue() // zero-latency events scheduled during ticking
+	i := e.now & (ringWindow - 1)
+	e.ring[i] = e.ring[i][:0]
+	e.fireIdx = 0
 	e.now++
 }
 
 func (e *Engine) fireDue() {
-	for len(e.events) > 0 && e.events[0].cycle <= e.now {
-		ev := heap.Pop(&e.events).(*event)
-		ev.fn(e.now)
+	// Far events first: they were necessarily scheduled before any
+	// ring-resident event for this cycle (see the package comment), and a
+	// firing callback cannot add new far events due this cycle (that
+	// would need cycle <= now < now+ringWindow, which lands in the ring).
+	for len(e.far) > 0 && e.far[0].cycle <= e.now {
+		fe := e.farPop()
+		e.pending--
+		fe.ev.fire(e.now)
+	}
+	slot := &e.ring[e.now&(ringWindow-1)]
+	for e.fireIdx < len(*slot) {
+		ev := (*slot)[e.fireIdx]
+		(*slot)[e.fireIdx] = event{} // drop references once fired
+		e.fireIdx++
+		e.pending--
+		ev.fire(e.now)
 	}
 }
 
+// farPush and farPop maintain the far-future binary min-heap ordered by
+// (cycle, seq), without container/heap's interface boxing.
+func (e *Engine) farPush(fe farEvent) {
+	e.far = append(e.far, fe)
+	i := len(e.far) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !farLess(e.far[i], e.far[parent]) {
+			break
+		}
+		e.far[i], e.far[parent] = e.far[parent], e.far[i]
+		i = parent
+	}
+}
+
+func (e *Engine) farPop() farEvent {
+	top := e.far[0]
+	n := len(e.far) - 1
+	e.far[0] = e.far[n]
+	e.far[n] = farEvent{}
+	e.far = e.far[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && farLess(e.far[l], e.far[small]) {
+			small = l
+		}
+		if r < n && farLess(e.far[r], e.far[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.far[i], e.far[small] = e.far[small], e.far[i]
+		i = small
+	}
+	return top
+}
+
+func farLess(a, b farEvent) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
+}
+
 // Run advances the simulation by n cycles (or until Stop is called) and
-// returns the number of cycles actually executed.
+// returns the number of cycles actually executed. A stop requested before
+// Run is entered (for example by an event that fired at the tail of a
+// previous Run) is honored: Run consumes it and returns 0 immediately.
 func (e *Engine) Run(n uint64) uint64 {
-	e.stopped = false
+	if e.stopped {
+		e.stopped = false
+		return 0
+	}
 	var done uint64
-	for done < n && !e.stopped {
+	for done < n {
+		if e.stopped {
+			e.stopped = false // honored: this run ends early
+			return done
+		}
 		e.Step()
 		done++
 	}
+	// A stop that fired during the final step stays pending: the run did
+	// not end because of it, so the next Run/RunUntil must honor it.
 	return done
 }
 
 // RunUntil steps the engine until cond returns true, Stop is called, or max
 // cycles elapse. It returns the number of cycles executed and whether cond
 // was satisfied. cond is evaluated before each step, so a condition that is
-// already true costs zero cycles.
+// already true costs zero cycles. A stop pending from before the call is
+// consumed and returns (0, false) without stepping; as with Run, a stop
+// that fires during the final step stays pending for the next call.
 func (e *Engine) RunUntil(cond func() bool, max uint64) (cycles uint64, ok bool) {
-	e.stopped = false
+	if e.stopped {
+		e.stopped = false
+		return 0, false
+	}
 	for cycles = 0; cycles < max; cycles++ {
 		if cond() {
 			return cycles, true
 		}
 		if e.stopped {
+			e.stopped = false
 			return cycles, false
 		}
 		e.Step()
@@ -175,7 +313,7 @@ func (e *Engine) RunUntil(cond func() bool, max uint64) (cycles uint64, ok bool)
 // still run each cycle; Drain is intended for tests of pure event logic.
 func (e *Engine) Drain(max uint64) uint64 {
 	var done uint64
-	for done < max && len(e.events) > 0 {
+	for done < max && e.pending > 0 {
 		e.Step()
 		done++
 	}
@@ -183,7 +321,7 @@ func (e *Engine) Drain(max uint64) uint64 {
 }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Elapsed converts the current cycle count to simulated wall time in
 // seconds.

@@ -1,0 +1,262 @@
+// Package sweep is the scenario-sweep harness: it runs many independent,
+// deterministic soc.System instances across a worker pool and collects
+// per-run statistics into a reproducible JSON report.
+//
+// Each simulation owns its engine and every component hanging off it, so
+// runs share no mutable state and can execute on separate goroutines
+// without synchronization beyond the job queue. Results are written into a
+// slice indexed by grid position, which makes the report independent of
+// goroutine scheduling: two sweeps over the same grid produce byte-identical
+// JSON regardless of worker count.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// Default per-run parameters, applied by Normalize when a Config leaves the
+// corresponding field zero.
+const (
+	DefaultAccesses  = 64
+	DefaultCompute   = 8
+	DefaultMaxCycles = 2_000_000
+)
+
+// Config is one grid point: a platform build plus the workload to run on
+// it.
+type Config struct {
+	// Protection selects the security architecture.
+	Protection soc.Protection `json:"-"`
+	// NumCores is the processor count (soc default when zero).
+	NumCores int `json:"num_cores"`
+	// Workload is one of matmul, memcopy, stream, mix, producer-consumer
+	// (the mpsocsim workload names).
+	Workload string `json:"workload"`
+	// Target is the access target for memory workloads: internal,
+	// external, cipher or plain.
+	Target string `json:"target"`
+	// Accesses and Compute parameterize the workload (DefaultAccesses /
+	// DefaultCompute when zero).
+	Accesses int `json:"accesses"`
+	Compute  int `json:"compute"`
+	// MaxCycles is the cycle budget per run (DefaultMaxCycles when
+	// zero).
+	MaxCycles uint64 `json:"max_cycles"`
+}
+
+// Normalize fills defaulted fields in place and returns the config.
+func (c Config) Normalize() Config {
+	if c.NumCores == 0 {
+		c.NumCores = 3
+	}
+	if c.Workload == "" {
+		c.Workload = "mix"
+	}
+	if c.Target == "" {
+		c.Target = "internal"
+	}
+	if c.Accesses == 0 {
+		c.Accesses = DefaultAccesses
+	}
+	if c.Compute == 0 {
+		c.Compute = DefaultCompute
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = DefaultMaxCycles
+	}
+	return c
+}
+
+// Name is the grid point's stable identifier.
+func (c Config) Name() string {
+	c = c.Normalize()
+	return fmt.Sprintf("%s/%s/%s/c%d", c.Protection, c.Workload, c.Target, c.NumCores)
+}
+
+// Result is the outcome of one run. Every field derives from the
+// deterministic simulation (no wall-clock values), so identical configs
+// yield identical results.
+type Result struct {
+	Name       string `json:"name"`
+	Protection string `json:"protection"`
+	Workload   string `json:"workload"`
+	Target     string `json:"target"`
+	NumCores   int    `json:"num_cores"`
+
+	Cycles    uint64 `json:"cycles"`
+	AllHalted bool   `json:"all_halted"`
+
+	Instructions uint64 `json:"instructions"`
+	StallCycles  uint64 `json:"stall_cycles"`
+	BusOps       uint64 `json:"bus_ops"`
+	BusErrors    uint64 `json:"bus_errors"`
+
+	BusTransactions uint64  `json:"bus_transactions"`
+	BusWaitCycles   uint64  `json:"bus_wait_cycles"`
+	BusUtilization  float64 `json:"bus_utilization"`
+	BitsMoved       uint64  `json:"bits_moved"`
+
+	Alerts int `json:"alerts"`
+
+	Err string `json:"error,omitempty"`
+}
+
+// Report is a completed sweep.
+type Report struct {
+	GridSize int      `json:"grid_size"`
+	Results  []Result `json:"results"`
+}
+
+// JSON renders the report with stable formatting: byte-identical for
+// identical sweeps.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Grid builds the cross product of the given axes in deterministic order
+// (protection outermost, core count innermost). Shared workload parameters
+// apply to every point; zero values select the defaults.
+func Grid(prots []soc.Protection, workloads, targets []string, coreCounts []int, accesses, compute int, maxCycles uint64) []Config {
+	var grid []Config
+	for _, p := range prots {
+		for _, w := range workloads {
+			for _, t := range targets {
+				for _, n := range coreCounts {
+					grid = append(grid, Config{
+						Protection: p,
+						NumCores:   n,
+						Workload:   w,
+						Target:     t,
+						Accesses:   accesses,
+						Compute:    compute,
+						MaxCycles:  maxCycles,
+					}.Normalize())
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// Run executes every config on a pool of workers (GOMAXPROCS when workers
+// <= 0) and returns the report in grid order. Each worker builds complete,
+// private platforms, so no locking is needed around simulation state.
+func Run(cfgs []Config, workers int) Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]Result, len(cfgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = RunOne(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return Report{GridSize: len(cfgs), Results: results}
+}
+
+// RunOne builds and runs a single grid point.
+func RunOne(cfg Config) Result {
+	cfg = cfg.Normalize()
+	res := Result{
+		Name:       cfg.Name(),
+		Protection: cfg.Protection.String(),
+		Workload:   cfg.Workload,
+		Target:     cfg.Target,
+		NumCores:   cfg.NumCores,
+	}
+	s, err := soc.New(soc.Config{Protection: cfg.Protection, NumCores: cfg.NumCores})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	tgt, span, err := ParseTarget(cfg.Target)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := LoadWorkload(s, cfg.Workload, tgt, span, cfg.Compute, cfg.Accesses); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Cycles, res.AllHalted = s.Run(cfg.MaxCycles)
+	for _, c := range s.Cores {
+		st := c.Stats()
+		res.Instructions += st.Instructions
+		res.StallCycles += st.StallCycles
+		res.BusOps += st.BusOps
+		res.BusErrors += st.BusErrors
+	}
+	bst := s.Bus.Stats()
+	res.BusTransactions = bst.Completed
+	res.BusWaitCycles = bst.WaitCycles
+	res.BusUtilization = bst.Utilization(s.Eng.Now())
+	res.BitsMoved = bst.BitsMoved
+	res.Alerts = s.Alerts.Len()
+	return res
+}
+
+// ParseTarget maps a target name to its base address and span.
+func ParseTarget(s string) (base, span uint32, err error) {
+	switch s {
+	case "internal":
+		return soc.BRAMBase, 0x1000, nil
+	case "external":
+		return soc.SecureBase, 0x1000, nil
+	case "cipher":
+		return soc.CipherBase, 0x1000, nil
+	case "plain":
+		return soc.PlainBase, 0x1000, nil
+	default:
+		return 0, 0, fmt.Errorf("sweep: unknown target %q", s)
+	}
+}
+
+// LoadWorkload loads the named workload onto the platform (the same set
+// mpsocsim exposes on the command line).
+func LoadWorkload(s *soc.System, name string, tgt, span uint32, compute, accesses int) error {
+	switch name {
+	case "matmul":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.MatMulLocal(12, soc.BRAMBase+0x40))
+	case "memcopy":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.MemCopy(tgt, tgt+span/2, accesses))
+	case "stream":
+		s.HaltIdleCores(0)
+		s.MustLoad(0, workload.Stream(tgt, accesses, 4, 0))
+	case "mix":
+		for i := range s.Cores {
+			s.MustLoad(i, workload.Mix(tgt+uint32(i)*span, span, 4, accesses, compute))
+		}
+	case "producer-consumer":
+		if len(s.Cores) < 2 {
+			return fmt.Errorf("sweep: producer-consumer needs >= 2 cores, have %d", len(s.Cores))
+		}
+		s.HaltIdleCores(0, 1)
+		s.MustLoad(0, workload.Producer(soc.MboxBase, accesses))
+		s.MustLoad(1, workload.Consumer(soc.MboxBase, accesses, soc.BRAMBase+0x80))
+	default:
+		return fmt.Errorf("sweep: unknown workload %q", name)
+	}
+	return nil
+}

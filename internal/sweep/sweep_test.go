@@ -1,0 +1,112 @@
+package sweep_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+func smallGrid() []sweep.Config {
+	return sweep.Grid(
+		[]soc.Protection{soc.Unprotected, soc.Distributed},
+		[]string{"mix", "stream"},
+		[]string{"internal"},
+		[]int{1, 3},
+		16, 4, 500_000,
+	)
+}
+
+func TestGridCrossProduct(t *testing.T) {
+	grid := smallGrid()
+	if len(grid) != 8 {
+		t.Fatalf("grid size = %d, want 8", len(grid))
+	}
+	// Deterministic order: protection outermost, core count innermost.
+	if grid[0].Name() != "unprotected/mix/internal/c1" {
+		t.Fatalf("grid[0] = %s", grid[0].Name())
+	}
+	if grid[7].Name() != "distributed-firewalls/stream/internal/c3" {
+		t.Fatalf("grid[7] = %s", grid[7].Name())
+	}
+}
+
+// TestSweepByteIdenticalAcrossRuns: the whole point of the harness — two
+// identical sweeps yield byte-identical JSON reports, regardless of
+// goroutine scheduling.
+func TestSweepByteIdenticalAcrossRuns(t *testing.T) {
+	grid := smallGrid()
+	a := mustJSON(t, sweep.Run(grid, 4))
+	b := mustJSON(t, sweep.Run(grid, 4))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repeated sweeps differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestSweepWorkerCountInvariant: the report must not depend on the degree
+// of parallelism.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	grid := smallGrid()
+	serial := mustJSON(t, sweep.Run(grid, 1))
+	parallel := mustJSON(t, sweep.Run(grid, 8))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serial and parallel sweeps differ:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+func TestSweepRunsComplete(t *testing.T) {
+	rep := sweep.Run(smallGrid(), 0)
+	if rep.GridSize != 8 || len(rep.Results) != 8 {
+		t.Fatalf("report size %d/%d, want 8/8", rep.GridSize, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Err != "" {
+			t.Fatalf("%s failed: %s", r.Name, r.Err)
+		}
+		if !r.AllHalted {
+			t.Fatalf("%s did not halt within budget (cycles=%d)", r.Name, r.Cycles)
+		}
+		if r.Instructions == 0 || r.BusTransactions == 0 {
+			t.Fatalf("%s reports empty stats: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestProtectionOverheadVisibleInSweep: the sweep must reproduce the
+// paper's headline qualitative result — distributed firewalls cost cycles
+// versus the unprotected platform on the same workload.
+func TestProtectionOverheadVisibleInSweep(t *testing.T) {
+	rep := sweep.Run(smallGrid(), 2)
+	byName := map[string]sweep.Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	un := byName["unprotected/mix/internal/c3"]
+	di := byName["distributed-firewalls/mix/internal/c3"]
+	if un.Cycles == 0 || di.Cycles <= un.Cycles {
+		t.Fatalf("protection overhead not visible: unprotected %d vs distributed %d cycles",
+			un.Cycles, di.Cycles)
+	}
+}
+
+func TestRunOneRejectsBadConfigs(t *testing.T) {
+	if r := sweep.RunOne(sweep.Config{Workload: "nope"}); r.Err == "" {
+		t.Fatal("unknown workload accepted")
+	}
+	if r := sweep.RunOne(sweep.Config{Workload: "mix", Target: "nope"}); r.Err == "" {
+		t.Fatal("unknown target accepted")
+	}
+	if r := sweep.RunOne(sweep.Config{Workload: "producer-consumer", NumCores: 1}); r.Err == "" {
+		t.Fatal("producer-consumer on one core accepted")
+	}
+}
+
+func mustJSON(t *testing.T, rep sweep.Report) []byte {
+	t.Helper()
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
