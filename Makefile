@@ -1,11 +1,23 @@
-# Tier-1 gate and benchmark smoke for the repro module.
+# Tier-1 gate, CI pipeline and benchmark smoke for the repro module.
 #
-#   make verify   # gofmt, vet, build, full tests, race tests on the hot packages
-#   make bench    # one-shot BenchmarkEngineThroughput with allocation stats
+#   make verify       # gofmt, vet, build, full tests, race tests on the hot packages
+#   make determinism  # sweep twice (different worker counts) + shard/merge, fail on any byte diff
+#   make bench-smoke  # short throughput benchmark so regressions surface in CI logs
+#   make ci           # exactly what .github/workflows/ci.yml runs
+#   make bench        # one-shot BenchmarkEngineThroughput with allocation stats
 
 GO ?= go
+BUILD := build
 
-.PHONY: verify fmt vet build test race bench
+# Small fixed grid for the determinism gate: all three protections, fast
+# workload parameters. Must match across every invocation below.
+SWEEP_GRID := -sweep-protections unprotected,distributed,centralized \
+              -sweep-workloads mix,stream -sweep-cores 1,2 \
+              -accesses 16 -compute 4 -max 2000000
+
+.PHONY: ci verify fmt vet build test race determinism bench-smoke bench clean
+
+ci: verify determinism bench-smoke
 
 verify: fmt vet build test race
 
@@ -28,5 +40,25 @@ test:
 race:
 	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep
 
+# determinism: the sweep stream must be byte-identical across worker counts,
+# and sharded runs merged back together must reproduce the unsharded stream.
+determinism:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
+	$(BUILD)/mpsocsim -sweep $(SWEEP_GRID) -workers 1 -sweep-out $(BUILD)/sweep-w1.jsonl
+	$(BUILD)/mpsocsim -sweep $(SWEEP_GRID) -workers 8 -sweep-out $(BUILD)/sweep-w8.jsonl
+	cmp $(BUILD)/sweep-w1.jsonl $(BUILD)/sweep-w8.jsonl
+	$(BUILD)/mpsocsim -sweep $(SWEEP_GRID) -shard 0/2 -sweep-out $(BUILD)/shard0.jsonl
+	$(BUILD)/mpsocsim -sweep $(SWEEP_GRID) -shard 1/2 -sweep-out $(BUILD)/shard1.jsonl
+	$(BUILD)/mpsocsim -sweep -merge $(BUILD)/shard0.jsonl,$(BUILD)/shard1.jsonl -sweep-out $(BUILD)/merged.jsonl
+	cmp $(BUILD)/sweep-w1.jsonl $(BUILD)/merged.jsonl
+	@echo "determinism: OK (worker-count invariant, shard/merge byte-identical)"
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=100x -benchmem .
+
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=1x -benchmem .
+
+clean:
+	rm -rf $(BUILD)

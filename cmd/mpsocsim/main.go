@@ -6,13 +6,17 @@
 //	mpsocsim -workload matmul                  # compute-bound kernel on cpu0
 //	mpsocsim -workload mix -compute 16 -target external -protection distributed
 //	mpsocsim -workload producer-consumer -protection centralized
-//	mpsocsim -sweep                            # concurrent scenario grid, JSON report
-//	mpsocsim -sweep -sweep-cores 1,2,4,8 -sweep-workloads mix,stream -sweep-out report.json
+//	mpsocsim -sweep                            # concurrent scenario grid, streamed JSONL
+//	mpsocsim -sweep -format csv -sweep-out report.csv
+//	mpsocsim -sweep -shard 0/2 -sweep-out shard0.jsonl   # half the grid...
+//	mpsocsim -sweep -shard 1/2 -sweep-out shard1.jsonl   # ...the other half
+//	mpsocsim -sweep -merge shard0.jsonl,shard1.jsonl     # == the unsharded stream
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,82 +27,139 @@ import (
 	"repro/internal/trace"
 )
 
+// options is the parsed command line, kept as a plain struct so flag
+// handling is testable without touching process state.
+type options struct {
+	protection string
+	topology   bool
+	workload   string
+	compute    int
+	accesses   int
+	target     string
+	cores      int
+	maxCycles  uint64
+	extraRules int
+	policyFile string
+	dumpPol    bool
+
+	doSweep    bool
+	sweepProts string
+	sweepWls   string
+	sweepTgts  string
+	sweepCores string
+	sweepOut   string
+	workers    int
+	format     string
+	shard      string
+	merge      string
+}
+
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("mpsocsim", flag.ContinueOnError)
+	fs.StringVar(&o.protection, "protection", "distributed", "unprotected | distributed | centralized")
+	fs.BoolVar(&o.topology, "topology", false, "print the platform topology (Figure 1) and exit")
+	fs.StringVar(&o.workload, "workload", "matmul", "matmul | memcopy | stream | mix | producer-consumer")
+	fs.IntVar(&o.compute, "compute", 16, "mix: compute iterations per access")
+	fs.IntVar(&o.accesses, "accesses", 200, "mix/stream: number of accesses")
+	fs.StringVar(&o.target, "target", "internal", "mix/stream target: internal | external | cipher | plain")
+	fs.IntVar(&o.cores, "cores", 3, "number of processor cores")
+	fs.Uint64Var(&o.maxCycles, "max", 100_000_000, "cycle budget")
+	fs.IntVar(&o.extraRules, "extra-rules", 0, "pad every firewall with N extra rules")
+	fs.StringVar(&o.policyFile, "core-policy", "", "JSON file replacing the per-core master policy (distributed only)")
+	fs.BoolVar(&o.dumpPol, "dump-policies", false, "print the platform's security policies as JSON and exit")
+
+	fs.BoolVar(&o.doSweep, "sweep", false, "run a protection x workload x core-count scenario grid concurrently and stream a report")
+	fs.StringVar(&o.sweepProts, "sweep-protections", "unprotected,distributed,centralized", "sweep: protections axis")
+	fs.StringVar(&o.sweepWls, "sweep-workloads", "mix,stream", "sweep: workloads axis")
+	fs.StringVar(&o.sweepTgts, "sweep-targets", "internal", "sweep: targets axis")
+	fs.StringVar(&o.sweepCores, "sweep-cores", "1,2,4", "sweep: core-count axis")
+	fs.StringVar(&o.sweepOut, "sweep-out", "", "sweep: report file (stdout when empty)")
+	fs.IntVar(&o.workers, "workers", 0, "sweep: worker goroutines (GOMAXPROCS when 0)")
+	fs.StringVar(&o.format, "format", "jsonl", "sweep output format: jsonl | csv | json")
+	fs.StringVar(&o.shard, "shard", "", "sweep: run only grid slice i/n of the full grid (e.g. 0/2)")
+	fs.StringVar(&o.merge, "merge", "", "sweep: merge comma-separated shard JSONL files instead of running")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		err := fmt.Errorf("unexpected arguments: %v", fs.Args())
+		fmt.Fprintln(fs.Output(), err)
+		fs.Usage()
+		return nil, err
+	}
+	return o, nil
+}
+
 func main() {
-	var (
-		protFlag = flag.String("protection", "distributed", "unprotected | distributed | centralized")
-		topology = flag.Bool("topology", false, "print the platform topology (Figure 1) and exit")
-		wl       = flag.String("workload", "matmul", "matmul | memcopy | stream | mix | producer-consumer")
-		compute  = flag.Int("compute", 16, "mix: compute iterations per access")
-		accesses = flag.Int("accesses", 200, "mix/stream: number of accesses")
-		target   = flag.String("target", "internal", "mix/stream target: internal | external | cipher | plain")
-		cores    = flag.Int("cores", 3, "number of processor cores")
-		maxCyc   = flag.Uint64("max", 100_000_000, "cycle budget")
-		rules    = flag.Int("extra-rules", 0, "pad every firewall with N extra rules")
-		policy   = flag.String("core-policy", "", "JSON file replacing the per-core master policy (distributed only)")
-		dumpPol  = flag.Bool("dump-policies", false, "print the platform's security policies as JSON and exit")
-
-		doSweep    = flag.Bool("sweep", false, "run a protection x workload x core-count scenario grid concurrently and emit a JSON report")
-		sweepProts = flag.String("sweep-protections", "unprotected,distributed,centralized", "sweep: protections axis")
-		sweepWls   = flag.String("sweep-workloads", "mix,stream", "sweep: workloads axis")
-		sweepTgts  = flag.String("sweep-targets", "internal", "sweep: targets axis")
-		sweepCores = flag.String("sweep-cores", "1,2,4", "sweep: core-count axis")
-		sweepOut   = flag.String("sweep-out", "", "sweep: report file (stdout when empty)")
-		workers    = flag.Int("workers", 0, "sweep: worker goroutines (GOMAXPROCS when 0)")
-	)
-	flag.Parse()
-
-	if *doSweep {
-		if err := runSweep(*sweepProts, *sweepWls, *sweepTgts, *sweepCores, *accesses, *compute, *maxCyc, *workers, *sweepOut); err != nil {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		// The FlagSet already printed the error (and usage); -h is a
+		// clean exit.
+		if err == flag.ErrHelp {
+			return
+		}
+		os.Exit(2)
+	}
+	if o.doSweep {
+		if err := runSweepOut(o); err != nil {
 			fatal(err)
 		}
 		return
 	}
-
-	prot, err := parseProtection(*protFlag)
-	if err != nil {
+	if err := runSingle(o); err != nil {
 		fatal(err)
 	}
+}
+
+// runSingle is the one-platform, one-workload mode.
+func runSingle(o *options) error {
+	prot, err := parseProtection(o.protection)
+	if err != nil {
+		return err
+	}
 	var corePolicies []core.Policy
-	if *policy != "" {
-		data, err := os.ReadFile(*policy)
+	if o.policyFile != "" {
+		data, err := os.ReadFile(o.policyFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if corePolicies, err = core.PoliciesFromJSON(data); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	s, err := soc.New(soc.Config{
 		Protection:      prot,
-		NumCores:        *cores,
-		ExtraRulesPerLF: *rules,
+		NumCores:        o.cores,
+		ExtraRulesPerLF: o.extraRules,
 		CorePolicies:    corePolicies,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *topology {
+	if o.topology {
 		fmt.Print(s.Topology())
-		return
+		return nil
 	}
-	if *dumpPol {
-		dumpPolicies(s)
-		return
+	if o.dumpPol {
+		return dumpPolicies(s)
 	}
 
-	tgt, span, err := sweep.ParseTarget(*target)
+	tgt, span, err := sweep.ParseTarget(o.target)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if err := sweep.LoadWorkload(s, *wl, tgt, span, *compute, *accesses); err != nil {
-		fatal(err)
+	if err := sweep.LoadWorkload(s, o.workload, tgt, span, o.compute, o.accesses); err != nil {
+		return err
 	}
 
-	cycles, ok := s.Run(*maxCyc)
+	cycles, ok := s.Run(o.maxCycles)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "warning: cycle budget exhausted before all cores halted\n")
 	}
 	printSummary(s, cycles)
+	return nil
 }
 
 func parseProtection(s string) (soc.Protection, error) {
@@ -114,41 +175,121 @@ func parseProtection(s string) (soc.Protection, error) {
 	}
 }
 
-// runSweep executes the scenario grid through internal/sweep and writes the
-// JSON report.
-func runSweep(prots, wls, tgts, coreList string, accesses, compute int, maxCyc uint64, workers int, out string) error {
+// buildGrid constructs the sweep grid from the axis flags.
+func buildGrid(o *options) ([]sweep.Config, error) {
 	var protections []soc.Protection
-	for _, s := range splitList(prots) {
+	for _, s := range splitList(o.sweepProts) {
 		p, err := parseProtection(s)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		protections = append(protections, p)
 	}
 	var cores []int
-	for _, s := range splitList(coreList) {
+	for _, s := range splitList(o.sweepCores) {
 		n, err := strconv.Atoi(s)
 		if err != nil {
-			return fmt.Errorf("bad core count %q: %v", s, err)
+			return nil, fmt.Errorf("bad core count %q: %v", s, err)
 		}
 		cores = append(cores, n)
 	}
-	grid := sweep.Grid(protections, splitList(wls), splitList(tgts), cores, accesses, compute, maxCyc)
+	grid := sweep.Grid(protections, splitList(o.sweepWls), splitList(o.sweepTgts),
+		cores, o.accesses, o.compute, o.maxCycles)
 	if len(grid) == 0 {
-		return fmt.Errorf("empty sweep grid")
+		return nil, fmt.Errorf("empty sweep grid")
 	}
-	fmt.Fprintf(os.Stderr, "sweep: running %d configurations\n", len(grid))
-	rep := sweep.Run(grid, workers)
-	data, err := rep.JSON()
+	return grid, nil
+}
+
+// runSweepOut resolves the output destination and runs the sweep (or merge)
+// into it.
+func runSweepOut(o *options) error {
+	if o.sweepOut == "" {
+		return runSweep(o, os.Stdout)
+	}
+	f, err := os.Create(o.sweepOut)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if out == "" {
-		_, err = os.Stdout.Write(data)
+	if err := runSweep(o, f); err != nil {
+		f.Close()
 		return err
 	}
-	return os.WriteFile(out, data, 0o644)
+	return f.Close()
+}
+
+// runSweep executes the grid (or merges shard files) and streams the report
+// to w.
+func runSweep(o *options, w io.Writer) error {
+	if o.merge != "" {
+		if o.format != "jsonl" {
+			return fmt.Errorf("-merge only supports JSONL shard streams (got -format %s)", o.format)
+		}
+		return mergeShards(o.merge, w)
+	}
+	grid, err := buildGrid(o)
+	if err != nil {
+		return err
+	}
+	sh, err := sweep.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: shard %s of %d configurations (%s)\n", sh, len(grid), o.format)
+	switch o.format {
+	case "jsonl":
+		return sweep.WriteJSONL(w, grid, sh, o.workers)
+	case "csv":
+		return sweep.WriteCSV(w, grid, sh, o.workers)
+	case "json":
+		// Legacy buffered report; sharding applies all the same, and
+		// GridSize counts this shard's points so len(results) == grid_size
+		// holds for sharded reports too.
+		var rep sweep.Report
+		for i := range grid {
+			if sh.Owns(i) {
+				rep.GridSize++
+			}
+		}
+		if err := sweep.Each(grid, sh, o.workers, func(r sweep.RunResult) error {
+			rep.Results = append(rep.Results, r)
+			return nil
+		}); err != nil {
+			return err
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	default:
+		return fmt.Errorf("unknown sweep format %q (want jsonl, csv or json)", o.format)
+	}
+}
+
+// mergeShards recombines shard JSONL files into the unsharded stream.
+func mergeShards(list string, w io.Writer) error {
+	paths := splitList(list)
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge: no shard files given")
+	}
+	readers := make([]io.Reader, 0, len(paths))
+	files := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	return sweep.Merge(w, readers...)
 }
 
 func splitList(s string) []string {
@@ -180,6 +321,15 @@ func printSummary(s *soc.System, cycles uint64) {
 		trace.Comma(bst.Completed), bst.Utilization(s.Eng.Now())*100,
 		trace.Comma(bst.WaitCycles), trace.Comma(bst.BitsMoved))
 
+	if fws := s.FirewallStats(); len(fws) > 0 {
+		ft := trace.NewTable("firewalls", "id", "kind", "checked", "allowed", "blocked", "check cycles")
+		for _, f := range fws {
+			ft.AddRow(f.ID, f.Kind, trace.Comma(f.Checked), trace.Comma(f.Allowed),
+				trace.Comma(f.Blocked), trace.Comma(f.CheckCycles))
+		}
+		fmt.Print(ft.String())
+	}
+
 	if s.LCF != nil {
 		cs := s.LCF.Crypto()
 		fmt.Printf("lcf: %d enc / %d dec blocks, %d leaf verifies (%d failures), CC %s cycles, IC %s cycles\n",
@@ -202,22 +352,26 @@ func printSummary(s *soc.System, cycles uint64) {
 }
 
 // dumpPolicies prints every firewall's rule set as JSON.
-func dumpPolicies(s *soc.System) {
-	emit := func(name string, rules []core.Policy) {
+func dumpPolicies(s *soc.System) error {
+	emit := func(name string, rules []core.Policy) error {
 		data, err := core.PoliciesToJSON(rules)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("// %s\n%s\n", name, data)
+		return nil
 	}
 	switch s.Cfg.Protection {
 	case soc.Distributed:
-		emit("core master policy (lf-cpu*)", s.CoreFWs[0].Config().Policies())
-		emit("external memory policy (lcf-ddr)", s.LCF.Config().Policies())
+		if err := emit("core master policy (lf-cpu*)", s.CoreFWs[0].Config().Policies()); err != nil {
+			return err
+		}
+		return emit("external memory policy (lcf-ddr)", s.LCF.Config().Policies())
 	case soc.Centralized:
-		emit("global SEM policy", s.SEM.Config().Policies())
+		return emit("global SEM policy", s.SEM.Config().Policies())
 	default:
 		fmt.Println("// unprotected platform: no policies")
+		return nil
 	}
 }
 

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.protection != "distributed" || o.workload != "matmul" || o.cores != 3 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if o.format != "jsonl" || o.shard != "" || o.merge != "" {
+		t.Fatalf("bad sweep defaults: %+v", o)
+	}
+	if o.maxCycles != 100_000_000 {
+		t.Fatalf("max cycles default = %d", o.maxCycles)
+	}
+}
+
+func TestParseFlagsSweep(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-sweep", "-format", "csv", "-shard", "1/4",
+		"-sweep-cores", "1,2", "-sweep-workloads", "mix",
+		"-workers", "7", "-sweep-out", "x.csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.doSweep || o.format != "csv" || o.shard != "1/4" || o.workers != 7 || o.sweepOut != "x.csv" {
+		t.Fatalf("sweep flags not parsed: %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsGarbage(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-cores", "many"},
+		{"stray-positional"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseProtection(t *testing.T) {
+	for name, want := range map[string]soc.Protection{
+		"unprotected": soc.Unprotected,
+		"distributed": soc.Distributed,
+		"centralized": soc.Centralized,
+	} {
+		p, err := parseProtection(name)
+		if err != nil || p != want {
+			t.Fatalf("parseProtection(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := parseProtection("seca"); err == nil {
+		t.Fatal("unknown protection accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if strings.Join(got, "|") != "a|b|c" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty list should be nil")
+	}
+}
+
+func TestBuildGridHonorsAxes(t *testing.T) {
+	o, err := parseFlags([]string{"-sweep",
+		"-sweep-protections", "unprotected,distributed",
+		"-sweep-workloads", "mix", "-sweep-targets", "internal",
+		"-sweep-cores", "1,2,4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := buildGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 6 {
+		t.Fatalf("grid size %d, want 6", len(grid))
+	}
+	if _, err := buildGrid(&options{sweepProts: "bogus", sweepCores: "1"}); err == nil {
+		t.Fatal("bogus protection accepted")
+	}
+	if _, err := buildGrid(&options{sweepProts: "unprotected", sweepCores: "two"}); err == nil {
+		t.Fatal("bogus core count accepted")
+	}
+	if _, err := buildGrid(&options{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+// sweepArgs is a tiny fast grid used by the end-to-end CLI tests.
+func sweepArgs(extra ...string) []string {
+	return append([]string{"-sweep",
+		"-sweep-protections", "unprotected,distributed",
+		"-sweep-workloads", "mix", "-sweep-cores", "1,2",
+		"-accesses", "8", "-compute", "2", "-max", "500000",
+	}, extra...)
+}
+
+func runCLISweep(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	o, err := parseFlags(sweepArgs(extra...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runSweep(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunSweepJSONL(t *testing.T) {
+	out := runCLISweep(t)
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("%d result lines, want 4", len(lines))
+	}
+	var r sweep.RunResult
+	if err := json.Unmarshal(lines[0], &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "unprotected/mix/internal/c1" {
+		t.Fatalf("first run %q", r.Name)
+	}
+}
+
+func TestRunSweepFormats(t *testing.T) {
+	csvOut := runCLISweep(t, "-format", "csv")
+	if !bytes.HasPrefix(csvOut, []byte("index,name,protection")) {
+		t.Fatalf("csv output: %.60s", csvOut)
+	}
+	jsonOut := runCLISweep(t, "-format", "json")
+	var rep sweep.Report
+	if err := json.Unmarshal(jsonOut, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.GridSize != 4 || len(rep.Results) != 4 {
+		t.Fatalf("report %d/%d", rep.GridSize, len(rep.Results))
+	}
+	o, err := parseFlags(sweepArgs("-format", "yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(o, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestShardMergeCLIRoundTrip drives the exact workflow the CI determinism
+// job runs: two shard processes, merged, must reproduce the unsharded
+// stream byte-for-byte.
+func TestShardMergeCLIRoundTrip(t *testing.T) {
+	full := runCLISweep(t, "-workers", "3")
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "shard0.jsonl")
+	p1 := filepath.Join(dir, "shard1.jsonl")
+	if err := os.WriteFile(p0, runCLISweep(t, "-shard", "0/2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p1, runCLISweep(t, "-shard", "1/2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	merged := runCLISweep(t, "-merge", p0+","+p1)
+	if !bytes.Equal(full, merged) {
+		t.Fatalf("merged shards != unsharded stream:\n%s\n---\n%s", full, merged)
+	}
+	o, err := parseFlags(sweepArgs("-merge", filepath.Join(dir, "missing.jsonl")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(o, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing shard file accepted")
+	}
+	// Merging only one of two shards is an incomplete dataset, not a
+	// success.
+	if o, err = parseFlags(sweepArgs("-merge", p1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(o, &bytes.Buffer{}); err == nil {
+		t.Fatal("partial merge accepted")
+	}
+	// -merge emits JSONL only; other formats must be rejected, not
+	// silently ignored.
+	if o, err = parseFlags(sweepArgs("-merge", p0+","+p1, "-format", "csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(o, &bytes.Buffer{}); err == nil {
+		t.Fatal("-merge with -format csv accepted")
+	}
+}
+
+func TestBadShardRejected(t *testing.T) {
+	o, err := parseFlags(sweepArgs("-shard", "2/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(o, &bytes.Buffer{}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

@@ -51,6 +51,22 @@ type pendingCheck struct {
 	viol    core.Violation
 }
 
+// getPending pops a recycled check record (or allocates the first time), so
+// the SEM does not allocate per transfer in steady state.
+func (s *SEM) getPending() *pendingCheck {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return p
+	}
+	return &pendingCheck{}
+}
+
+func (s *SEM) putPending(p *pendingCheck) {
+	s.free = append(s.free, p)
+}
+
 // SEMStats counts the central module's activity.
 type SEMStats struct {
 	Checks   uint64
@@ -78,6 +94,7 @@ type SEM struct {
 
 	freeAt  uint64
 	pending map[string][]*pendingCheck
+	free    []*pendingCheck
 
 	stats SEMStats
 }
@@ -110,6 +127,23 @@ func (s *SEM) Config() *core.ConfigMemory { return s.cm }
 // Stats returns the SEM counters.
 func (s *SEM) Stats() SEMStats { return s.stats }
 
+// StatsSnapshot implements core.Snapshotter: the SEM's counters in the
+// uniform per-enforcement-point form. CheckCycles is the serial checker's
+// total busy time; the stall and queue fields expose the centralized
+// bottleneck the distributed scheme avoids.
+func (s *SEM) StatsSnapshot() core.Snapshot {
+	return core.Snapshot{
+		ID:             s.name,
+		Kind:           core.KindSEM,
+		Checked:        s.stats.Checks,
+		Allowed:        s.stats.Checks - s.stats.Denied,
+		Blocked:        s.stats.Denied,
+		CheckCycles:    s.stats.Checks * s.CheckCycles,
+		SEMStallCycles: s.stats.StallCycles,
+		SEMMaxQueue:    s.stats.MaxQueue,
+	}
+}
+
 // QueueLen returns the number of checks awaiting verdict pickup.
 func (s *SEM) QueueLen() int {
 	n := 0
@@ -129,7 +163,8 @@ func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
 		if s.freeAt > start {
 			start = s.freeAt
 		}
-		p := &pendingCheck{addr: tx.Data[0], meta: tx.Data[1], readyAt: start + s.CheckCycles}
+		p := s.getPending()
+		p.addr, p.meta, p.readyAt = tx.Data[0], tx.Data[1], start+s.CheckCycles
 		s.freeAt = p.readyAt
 		isWrite, size, burst := unpackMeta(p.meta)
 		pol, viol := s.cm.Check(tx.Master, isWrite, p.addr, size, burst)
@@ -138,6 +173,12 @@ func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
 		p.viol = viol
 		s.pending[tx.Master] = append(s.pending[tx.Master], p)
 		s.stats.Checks++
+		// Denials count at check time, not verdict pickup, so stats
+		// snapshots taken while verdicts are still pending (e.g. a run
+		// that exhausted its cycle budget) stay accurate.
+		if !p.verdict {
+			s.stats.Denied++
+		}
 		if q := s.QueueLen(); q > s.stats.MaxQueue {
 			s.stats.MaxQueue = q
 		}
@@ -149,8 +190,13 @@ func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
 			tx.Data[0] = 0
 			return 1, bus.RespSlaveErr
 		}
+		// Pop by copying down rather than re-slicing forward, so appends
+		// keep reusing the same backing array instead of allocating once
+		// its remaining capacity runs out.
 		p := q[0]
-		s.pending[tx.Master] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		s.pending[tx.Master] = q[:len(q)-1]
 		wait := uint64(1)
 		if p.readyAt > now {
 			wait += p.readyAt - now
@@ -158,9 +204,9 @@ func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
 		}
 		if p.verdict {
 			tx.Data[0] = 1
+			s.putPending(p)
 		} else {
 			tx.Data[0] = 0
-			s.stats.Denied++
 			isWrite, size, _ := unpackMeta(p.meta)
 			op := bus.Read
 			if isWrite {
@@ -176,6 +222,7 @@ func (s *SEM) Access(now uint64, tx *bus.Transaction) (uint64, bus.Resp) {
 				Addr:       p.addr,
 				Size:       size,
 			})
+			s.putPending(p)
 		}
 		return wait, bus.RespOK
 	}
@@ -201,6 +248,50 @@ type SEI struct {
 	inner   bus.Conn
 	semBase uint32
 	stats   SEIStats
+
+	// free is a free list of in-flight protocol records, so Submit does
+	// not allocate per transfer in steady state (matching the zero-alloc
+	// distributed firewalls, for a fair benchmark comparison).
+	free []*seiCall
+}
+
+// seiCall carries one transfer through the request/verdict/forward protocol.
+// The protocol's own transactions, their data buffers and the two completion
+// callbacks are embedded so a recycled record re-runs the protocol without
+// any heap allocation.
+type seiCall struct {
+	i    *SEI
+	tx   *bus.Transaction
+	done func(*bus.Transaction)
+
+	req     bus.Transaction
+	verdict bus.Transaction
+	reqData [2]uint32
+	vData   [1]uint32
+
+	// Method values bound once at record creation and reused across
+	// recycles.
+	onReq     func(*bus.Transaction)
+	onVerdict func(*bus.Transaction)
+}
+
+func (i *SEI) getCall(tx *bus.Transaction, done func(*bus.Transaction)) *seiCall {
+	if n := len(i.free); n > 0 {
+		c := i.free[n-1]
+		i.free[n-1] = nil
+		i.free = i.free[:n-1]
+		c.tx, c.done = tx, done
+		return c
+	}
+	c := &seiCall{i: i, tx: tx, done: done}
+	c.onReq = c.reqDone
+	c.onVerdict = c.verdictDone
+	return c
+}
+
+func (i *SEI) putCall(c *seiCall) {
+	c.tx, c.done = nil, nil
+	i.free = append(i.free, c)
 }
 
 // NewSEI wraps conn; semBase is the SEM's bus address.
@@ -214,52 +305,79 @@ func (i *SEI) Name() string { return i.name }
 // Stats returns the decision counters.
 func (i *SEI) Stats() SEIStats { return i.stats }
 
+// StatsSnapshot implements core.Snapshotter. The SEI adds no check latency
+// of its own (the SEM does the checking); its cost shows up as the two
+// protocol transactions per access instead.
+func (i *SEI) StatsSnapshot() core.Snapshot {
+	return core.Snapshot{
+		ID:           i.name,
+		Kind:         core.KindSEI,
+		Checked:      i.stats.Checked,
+		Allowed:      i.stats.Allowed,
+		Blocked:      i.stats.Blocked,
+		ProtocolTxns: i.stats.ProtocolTxns,
+	}
+}
+
 // Submit implements bus.Conn: request-verdict-forward.
 func (i *SEI) Submit(tx *bus.Transaction, done func(*bus.Transaction)) {
 	i.stats.Checked++
 	if tx.Master == "" {
 		tx.Master = i.name
 	}
-	req := &bus.Transaction{
+	c := i.getCall(tx, done)
+	c.reqData[0] = tx.Addr
+	c.reqData[1] = packMeta(tx.Op == bus.Write, tx.Size, tx.Burst)
+	// Whole-struct assignment resets the transaction's internal state
+	// (done callback, queue stamp, issued flag) along with the fields.
+	c.req = bus.Transaction{
 		Master: tx.Master, Op: bus.Write, Addr: i.semBase + SEMRegAddr,
-		Size: 4, Burst: 2,
-		Data: []uint32{tx.Addr, packMeta(tx.Op == bus.Write, tx.Size, tx.Burst)},
+		Size: 4, Burst: 2, Data: c.reqData[:],
 	}
 	i.stats.ProtocolTxns++
-	i.inner.Submit(req, i.verdictPhase(tx, done))
+	i.inner.Submit(&c.req, c.onReq)
 	// The port stamped req synchronously with the current cycle; adopt it
 	// as the data transfer's end-to-end origin so centralized latency
 	// includes the whole SEM check protocol (and blocked transfers carry
 	// a real origin instead of zero).
-	tx.StampIssued(req.Issued)
+	tx.StampIssued(c.req.Issued)
 }
 
-func (i *SEI) verdictPhase(tx *bus.Transaction, done func(*bus.Transaction)) func(*bus.Transaction) {
-	return func(reqDone *bus.Transaction) {
-		if !reqDone.Resp.OK() {
-			tx.Resp = bus.RespSlaveErr
-			finish(tx, reqDone.Completed, done)
-			return
-		}
-		verdict := &bus.Transaction{
-			Master: tx.Master, Op: bus.Read, Addr: i.semBase + SEMRegVerdict,
-			Size: 4, Burst: 1,
-		}
-		i.stats.ProtocolTxns++
-		i.inner.Submit(verdict, func(vDone *bus.Transaction) {
-			if !vDone.Resp.OK() || vDone.Data[0] == 0 {
-				i.stats.Blocked++
-				tx.Resp = bus.RespSecurityErr
-				for j := range tx.Data {
-					tx.Data[j] = 0
-				}
-				finish(tx, vDone.Completed, done)
-				return
-			}
-			i.stats.Allowed++
-			i.inner.Submit(tx, done)
-		})
+// reqDone is the check-request completion: issue the verdict read.
+func (c *seiCall) reqDone(req *bus.Transaction) {
+	i := c.i
+	if !req.Resp.OK() {
+		tx, done, cycle := c.tx, c.done, req.Completed
+		i.putCall(c)
+		tx.Resp = bus.RespSlaveErr
+		finish(tx, cycle, done)
+		return
 	}
+	c.verdict = bus.Transaction{
+		Master: c.tx.Master, Op: bus.Read, Addr: i.semBase + SEMRegVerdict,
+		Size: 4, Burst: 1, Data: c.vData[:],
+	}
+	i.stats.ProtocolTxns++
+	i.inner.Submit(&c.verdict, c.onVerdict)
+}
+
+// verdictDone consumes the SEM's verdict: forward the data transfer or
+// discard it at the interface.
+func (c *seiCall) verdictDone(v *bus.Transaction) {
+	i, tx, done, cycle := c.i, c.tx, c.done, v.Completed
+	denied := !v.Resp.OK() || v.Data[0] == 0
+	i.putCall(c)
+	if denied {
+		i.stats.Blocked++
+		tx.Resp = bus.RespSecurityErr
+		for j := range tx.Data {
+			tx.Data[j] = 0
+		}
+		finish(tx, cycle, done)
+		return
+	}
+	i.stats.Allowed++
+	i.inner.Submit(tx, done)
 }
 
 func finish(tx *bus.Transaction, cycle uint64, done func(*bus.Transaction)) {

@@ -34,22 +34,24 @@ type Config struct {
 	DecodeErrCycles uint64
 }
 
-// Stats aggregates bus activity for the benchmark harness.
+// Stats aggregates bus activity for the benchmark harness. The JSON form
+// feeds the sweep pipeline's per-run bus breakdown.
 type Stats struct {
 	// Transactions completed, split by response class.
-	Completed   uint64
-	DecodeErrs  uint64
-	SlaveErrs   uint64
-	SecurityErr uint64
+	Completed   uint64 `json:"completed"`
+	DecodeErrs  uint64 `json:"decode_errs,omitempty"`
+	SlaveErrs   uint64 `json:"slave_errs,omitempty"`
+	SecurityErr uint64 `json:"security_errs,omitempty"`
 	// BusyCycles is the number of cycles the bus was occupied.
-	BusyCycles uint64
+	BusyCycles uint64 `json:"busy_cycles"`
 	// WaitCycles sums, over all transactions, cycles spent queued before
 	// grant (the contention signal used by experiment E3).
-	WaitCycles uint64
+	WaitCycles uint64 `json:"wait_cycles"`
 	// BitsMoved counts payload bits of successful transfers.
-	BitsMoved uint64
-	// PerMaster counts completed transactions per master index.
-	PerMaster []uint64
+	BitsMoved uint64 `json:"bits_moved"`
+	// PerMaster counts completed transactions per master index (creation
+	// order: see Bus.NewMaster).
+	PerMaster []uint64 `json:"per_master"`
 }
 
 // Utilization returns busy cycles divided by total cycles.

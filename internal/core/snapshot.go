@@ -1,0 +1,86 @@
+package core
+
+// Snapshot kinds: one string per enforcement-point flavour, so reports can
+// be filtered without knowing the concrete Go type.
+const (
+	KindMasterLF = "master-lf" // master-side Local Firewall (wraps a bus.Conn)
+	KindSlaveLF  = "slave-lf"  // slave-side Local Firewall (guards a bus target)
+	KindCipherLF = "cipher-lf" // Local Ciphering Firewall on the external memory
+	KindSEM      = "sem"       // centralized Security Enforcement Module
+	KindSEI      = "sei"       // per-IP Security Enforcement Interface
+)
+
+// Snapshot is the uniform statistics record of one security enforcement
+// point, whatever its architecture: a distributed firewall, the centralized
+// SEM, or a per-IP SEI. The sweep pipeline serializes these per run, which
+// is what makes the paper's distributed-vs-centralized argument visible in
+// the data instead of only in aggregate cycle counts.
+//
+// The first four counters are universal; the remaining fields are populated
+// only by the kinds they apply to and omitted from JSON otherwise.
+type Snapshot struct {
+	// ID is the enforcement point's identifier (the firewall_id in
+	// alerts).
+	ID string `json:"id"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+
+	// Checked/Allowed/Blocked count policy decisions (Allowed = rule hit,
+	// Blocked = denial).
+	Checked uint64 `json:"checked"`
+	Allowed uint64 `json:"allowed"`
+	Blocked uint64 `json:"blocked"`
+	// CheckCycles is the latency the point added to checked transfers
+	// (Security Builder time; for the SEM, serial-checker busy time).
+	CheckCycles uint64 `json:"check_cycles"`
+
+	// ProtocolTxns counts extra bus transactions spent on the centralized
+	// check protocol (SEI only: two per access).
+	ProtocolTxns uint64 `json:"protocol_txns,omitempty"`
+	// SEMStallCycles sums cycles verdict reads waited on the serial
+	// checker; SEMMaxQueue is the deepest pending-check queue observed
+	// (SEM only — the centralized-bottleneck measures).
+	SEMStallCycles uint64 `json:"sem_stall_cycles,omitempty"`
+	SEMMaxQueue    int    `json:"sem_max_queue,omitempty"`
+	// CryptoCycles is CC+IC latency and IntegrityFailures the inauthentic
+	// reads detected (cipher firewall only).
+	CryptoCycles      uint64 `json:"crypto_cycles,omitempty"`
+	IntegrityFailures uint64 `json:"integrity_failures,omitempty"`
+}
+
+// Snapshotter is implemented by every enforcement point that can report a
+// Snapshot. soc.System gathers these per platform; the sweep pipeline
+// embeds them in each RunResult.
+type Snapshotter interface {
+	StatsSnapshot() Snapshot
+}
+
+// snapshot lifts the basic decision counters into a Snapshot.
+func (s Stats) snapshot(id, kind string) Snapshot {
+	return Snapshot{
+		ID:          id,
+		Kind:        kind,
+		Checked:     s.Checked,
+		Allowed:     s.Allowed,
+		Blocked:     s.Blocked,
+		CheckCycles: s.CheckCyclesSpent,
+	}
+}
+
+// StatsSnapshot implements Snapshotter.
+func (f *LocalFirewall) StatsSnapshot() Snapshot {
+	return f.stats.snapshot(f.name, KindMasterLF)
+}
+
+// StatsSnapshot implements Snapshotter.
+func (f *SlaveFirewall) StatsSnapshot() Snapshot {
+	return f.stats.snapshot(f.name, KindSlaveLF)
+}
+
+// StatsSnapshot implements Snapshotter.
+func (f *CipherFirewall) StatsSnapshot() Snapshot {
+	sn := f.stats.snapshot(f.cfg.Name, KindCipherLF)
+	sn.CryptoCycles = f.crypto.CCCycles + f.crypto.ICCycles
+	sn.IntegrityFailures = f.crypto.IntegrityFailures
+	return sn
+}

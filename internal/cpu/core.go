@@ -72,14 +72,15 @@ type Config struct {
 	TrapOnBusError bool
 }
 
-// Stats exposes the core's performance counters.
+// Stats exposes the core's performance counters. The JSON form feeds the
+// sweep pipeline's per-core breakdowns.
 type Stats struct {
-	Cycles       uint64 // cycles the core was ticked while running
-	Instructions uint64 // retired instructions
-	StallCycles  uint64 // cycles spent waiting on the bus
-	LocalOps     uint64 // loads/stores satisfied by local memory
-	BusOps       uint64 // loads/stores sent to the bus
-	BusErrors    uint64 // error responses received (incl. security discards)
+	Cycles       uint64 `json:"cycles"`       // cycles the core was ticked while running
+	Instructions uint64 `json:"instructions"` // retired instructions
+	StallCycles  uint64 `json:"stall_cycles"` // cycles spent waiting on the bus
+	LocalOps     uint64 `json:"local_ops"`    // loads/stores satisfied by local memory
+	BusOps       uint64 `json:"bus_ops"`      // loads/stores sent to the bus
+	BusErrors    uint64 `json:"bus_errors"`   // error responses received (incl. security discards)
 }
 
 // CPI returns cycles per instruction.

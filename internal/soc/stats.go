@@ -1,0 +1,50 @@
+package soc
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// CoreStat is one core's performance counters labeled with its name, in the
+// shape the sweep pipeline serializes per run.
+type CoreStat struct {
+	Name string `json:"name"`
+	cpu.Stats
+}
+
+// CoreStats snapshots every core's counters in core-index order.
+func (s *System) CoreStats() []CoreStat {
+	out := make([]CoreStat, len(s.Cores))
+	for i, c := range s.Cores {
+		out[i] = CoreStat{Name: c.Name(), Stats: c.Stats()}
+	}
+	return out
+}
+
+// FirewallStats snapshots every security enforcement point on the platform
+// in a fixed, deterministic order (core-side interfaces first, then the
+// shared ones). The unprotected platform has none and returns nil.
+func (s *System) FirewallStats() []core.Snapshot {
+	var out []core.Snapshot
+	switch s.Cfg.Protection {
+	case Distributed:
+		for _, fw := range s.CoreFWs {
+			out = append(out, fw.StatsSnapshot())
+		}
+		out = append(out,
+			s.DMAFW.StatsSnapshot(),
+			s.BRAMFW.StatsSnapshot(),
+			s.DMARegFW.StatsSnapshot(),
+			s.MboxFW.StatsSnapshot(),
+			s.AlertFW.StatsSnapshot(),
+			s.LCF.StatsSnapshot(),
+		)
+	case Centralized:
+		out = append(out, s.SEM.StatsSnapshot())
+		for _, sei := range s.CoreSEIs {
+			out = append(out, sei.StatsSnapshot())
+		}
+		out = append(out, s.DMASEI.StatsSnapshot())
+	}
+	return out
+}

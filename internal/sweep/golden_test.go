@@ -1,0 +1,68 @@
+package sweep_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenGrid is a small fixed grid exercising all three protection
+// architectures, so the goldens pin the exact serialized shape of per-core
+// and per-firewall stats for each.
+func goldenGrid() []sweep.Config {
+	return sweep.Grid(
+		[]soc.Protection{soc.Unprotected, soc.Distributed, soc.Centralized},
+		[]string{"mix"},
+		[]string{"internal"},
+		[]int{1, 2},
+		8, 2, 1_000_000,
+	)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sweep -run TestGolden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, regenerate with -update.", name, got, want)
+	}
+}
+
+// TestGoldenJSONL and TestGoldenCSV pin the sweep output formats: any
+// change to the serialized schema or to simulation results shows up as a
+// reviewable golden diff instead of silently altering downstream plots.
+func TestGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sweep.WriteJSONL(&buf, goldenGrid(), sweep.Shard{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep.jsonl.golden", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sweep.WriteCSV(&buf, goldenGrid(), sweep.Shard{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep.csv.golden", buf.Bytes())
+}

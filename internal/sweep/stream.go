@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL runs this shard's portion of the grid and streams one compact
+// JSON object per line to w, in global grid index order, as runs complete —
+// the report is never buffered whole, and a failing writer cancels the
+// remaining grid. The byte stream is identical across worker counts, and
+// the concatenation of all shards' streams (via Merge) is identical to an
+// unsharded run.
+func WriteJSONL(w io.Writer, cfgs []Config, sh Shard, workers int) error {
+	return Each(cfgs, sh, workers, func(r RunResult) error {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	})
+}
+
+// CSVHeader is the column set of the CSV export. The format is long/tidy:
+// every run contributes one scope=run row (aggregates), one scope=core row
+// per core and one scope=firewall row per enforcement point, so per-core
+// and per-firewall series plot directly without un-nesting JSON.
+var CSVHeader = []string{
+	"index", "name", "protection", "workload", "target", "num_cores",
+	"scope", "entity", "kind",
+	"cycles", "all_halted",
+	"instructions", "stall_cycles", "local_ops", "bus_ops", "bus_errors",
+	"checked", "allowed", "blocked", "check_cycles",
+	"protocol_txns", "sem_stall_cycles", "sem_max_queue",
+	"crypto_cycles", "integrity_failures",
+	"bus_transactions", "bus_wait_cycles", "bus_utilization", "bits_moved",
+	"alerts", "error",
+}
+
+// WriteCSV runs this shard's portion of the grid and streams the long-form
+// CSV to w (header first), in global grid index order. Like WriteJSONL it
+// never buffers the whole report, cancels on a failing writer, and the
+// bytes are identical across worker counts.
+func WriteCSV(w io.Writer, cfgs []Config, sh Shard, workers int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	if err := Each(cfgs, sh, workers, func(r RunResult) error {
+		if err := writeCSVRows(cw, r); err != nil {
+			return err
+		}
+		// Flush per run so the stream is incremental, and surface sink
+		// errors now — csv.Writer otherwise swallows them until the end.
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeCSVRows emits one run's rows: run aggregate, then cores, then
+// firewalls.
+func writeCSVRows(cw *csv.Writer, r RunResult) error {
+	u := strconv.FormatUint
+	base := []string{
+		strconv.Itoa(r.Index), r.Name, r.Protection, r.Workload, r.Target,
+		strconv.Itoa(r.NumCores),
+	}
+	pad := func(cols ...string) []string {
+		row := append(append([]string(nil), base...), cols...)
+		for len(row) < len(CSVHeader)-1 {
+			row = append(row, "")
+		}
+		return append(row, r.Err)
+	}
+	run := pad("run", "", "",
+		u(r.Cycles, 10), strconv.FormatBool(r.AllHalted),
+		u(r.Instructions, 10), u(r.StallCycles, 10), "", u(r.BusOps, 10), u(r.BusErrors, 10),
+		"", "", "", "",
+		"", "", "", "", "",
+		u(r.Bus.Completed, 10), u(r.Bus.WaitCycles, 10),
+		strconv.FormatFloat(r.BusUtilization, 'g', -1, 64), u(r.Bus.BitsMoved, 10),
+		strconv.Itoa(r.Alerts))
+	if err := cw.Write(run); err != nil {
+		return err
+	}
+	for _, c := range r.Cores {
+		row := pad("core", c.Name, "",
+			u(c.Cycles, 10), "",
+			u(c.Instructions, 10), u(c.StallCycles, 10), u(c.LocalOps, 10),
+			u(c.BusOps, 10), u(c.BusErrors, 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Firewalls {
+		row := pad("firewall", f.ID, f.Kind,
+			"", "",
+			"", "", "", "", "",
+			u(f.Checked, 10), u(f.Allowed, 10), u(f.Blocked, 10), u(f.CheckCycles, 10),
+			u(f.ProtocolTxns, 10), u(f.SEMStallCycles, 10), strconv.Itoa(f.SEMMaxQueue),
+			u(f.CryptoCycles, 10), u(f.IntegrityFailures, 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardStream is one shard's JSONL stream during a merge: a scanner plus
+// the current (not yet written) line and its parsed grid index.
+type shardStream struct {
+	id   int
+	sc   *bufio.Scanner
+	idx  int
+	line []byte
+	done bool
+}
+
+// advance loads the stream's next non-empty line, parsing its index.
+func (s *shardStream) advance() error {
+	for s.sc.Scan() {
+		raw := bytes.TrimSpace(s.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var hdr struct {
+			Index *int `json:"index"`
+		}
+		if err := json.Unmarshal(raw, &hdr); err != nil || hdr.Index == nil {
+			return fmt.Errorf("sweep: shard %d: line without a grid index: %.80s", s.id, raw)
+		}
+		if !s.done && s.line != nil && *hdr.Index <= s.idx {
+			return fmt.Errorf("sweep: shard %d: indices not strictly ascending (%d after %d)",
+				s.id, *hdr.Index, s.idx)
+		}
+		s.idx = *hdr.Index
+		s.line = append(s.line[:0], raw...)
+		return nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return fmt.Errorf("sweep: shard %d: %w", s.id, err)
+	}
+	s.done = true
+	return nil
+}
+
+// Merge recombines shard JSONL streams into the exact stream an unsharded
+// single-process sweep would have written: lines pass through byte-for-byte,
+// k-way merged on their global grid index. Each input must be ascending in
+// index (every stream WriteJSONL produces is), so only one buffered line
+// per shard is held — merging stays streaming no matter how large the
+// grid. Duplicate indices across shards are an error (overlapping shards),
+// and so is any gap in the merged sequence: the shards of a full partition
+// cover indices 0..N-1 contiguously, so a hole means a shard is missing
+// and the output would be a silently incomplete dataset.
+func Merge(w io.Writer, shards ...io.Reader) error {
+	streams := make([]*shardStream, 0, len(shards))
+	for i, r := range shards {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		s := &shardStream{id: i, sc: sc}
+		if err := s.advance(); err != nil {
+			return err
+		}
+		if !s.done {
+			streams = append(streams, s)
+		}
+	}
+	next := 0
+	for len(streams) > 0 {
+		min := 0
+		for i, s := range streams[1:] {
+			if s.idx < streams[min].idx {
+				min = i + 1
+			}
+		}
+		s := streams[min]
+		if s.idx < next {
+			return fmt.Errorf("sweep: duplicate grid index %d across shards", s.idx)
+		}
+		if s.idx > next {
+			return fmt.Errorf("sweep: grid index %d missing from merge inputs (is a shard file absent?)", next)
+		}
+		next++
+		if _, err := w.Write(append(s.line, '\n')); err != nil {
+			return err
+		}
+		if err := s.advance(); err != nil {
+			return err
+		}
+		if s.done {
+			streams = append(streams[:min], streams[min+1:]...)
+		}
+	}
+	return nil
+}

@@ -1,21 +1,32 @@
-// Package sweep is the scenario-sweep harness: it runs many independent,
-// deterministic soc.System instances across a worker pool and collects
-// per-run statistics into a reproducible JSON report.
+// Package sweep is the scenario-sweep pipeline: it runs many independent,
+// deterministic soc.System instances across a worker pool and streams
+// per-run statistics — aggregate, per-core and per-firewall — as they
+// complete.
 //
 // Each simulation owns its engine and every component hanging off it, so
 // runs share no mutable state and can execute on separate goroutines
-// without synchronization beyond the job queue. Results are written into a
-// slice indexed by grid position, which makes the report independent of
-// goroutine scheduling: two sweeps over the same grid produce byte-identical
-// JSON regardless of worker count.
+// without synchronization beyond the job queue. Completed runs pass through
+// an index-ordered reorder buffer before they reach the consumer, which
+// makes every output stream independent of goroutine scheduling: two sweeps
+// over the same grid produce byte-identical JSONL/CSV/JSON regardless of
+// worker count.
+//
+// Grids also shard deterministically across processes: Shard{i, n} selects
+// every n-th grid point starting at i, each shard's stream carries global
+// grid indices, and Merge recombines shard outputs into the exact stream a
+// single unsharded process would have written.
 package sweep
 
 import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
+	"repro/internal/bus"
+	"repro/internal/core"
 	"repro/internal/soc"
 	"repro/internal/workload"
 )
@@ -79,10 +90,14 @@ func (c Config) Name() string {
 	return fmt.Sprintf("%s/%s/%s/c%d", c.Protection, c.Workload, c.Target, c.NumCores)
 }
 
-// Result is the outcome of one run. Every field derives from the
-// deterministic simulation (no wall-clock values), so identical configs
-// yield identical results.
-type Result struct {
+// RunResult is the outcome of one run: the grid position, the aggregate
+// counters, and the per-core and per-firewall breakdowns snapshotted from
+// the platform. Every field derives from the deterministic simulation (no
+// wall-clock values), so identical configs yield identical results.
+type RunResult struct {
+	// Index is the run's global grid position — global even in sharded
+	// sweeps, which is what lets Merge reconstruct the unsharded stream.
+	Index      int    `json:"index"`
 	Name       string `json:"name"`
 	Protection string `json:"protection"`
 	Workload   string `json:"workload"`
@@ -92,25 +107,33 @@ type Result struct {
 	Cycles    uint64 `json:"cycles"`
 	AllHalted bool   `json:"all_halted"`
 
+	// Aggregates summed over all cores.
 	Instructions uint64 `json:"instructions"`
 	StallCycles  uint64 `json:"stall_cycles"`
 	BusOps       uint64 `json:"bus_ops"`
 	BusErrors    uint64 `json:"bus_errors"`
 
-	BusTransactions uint64  `json:"bus_transactions"`
-	BusWaitCycles   uint64  `json:"bus_wait_cycles"`
-	BusUtilization  float64 `json:"bus_utilization"`
-	BitsMoved       uint64  `json:"bits_moved"`
+	// Bus is the full interconnect breakdown (response classes, busy and
+	// wait cycles, per-master transaction counts).
+	Bus            bus.Stats `json:"bus"`
+	BusUtilization float64   `json:"bus_utilization"`
 
 	Alerts int `json:"alerts"`
+
+	// Cores breaks the aggregates down per core; Firewalls snapshots
+	// every security enforcement point (empty on the unprotected
+	// platform).
+	Cores     []soc.CoreStat  `json:"cores,omitempty"`
+	Firewalls []core.Snapshot `json:"firewalls,omitempty"`
 
 	Err string `json:"error,omitempty"`
 }
 
-// Report is a completed sweep.
+// Report is a completed, fully buffered sweep (the legacy JSON form; the
+// streaming formats in stream.go avoid holding the whole grid in memory).
 type Report struct {
-	GridSize int      `json:"grid_size"`
-	Results  []Result `json:"results"`
+	GridSize int         `json:"grid_size"`
+	Results  []RunResult `json:"results"`
 }
 
 // JSON renders the report with stable formatting: byte-identical for
@@ -144,40 +167,194 @@ func Grid(prots []soc.Protection, workloads, targets []string, coreCounts []int,
 	return grid
 }
 
-// Run executes every config on a pool of workers (GOMAXPROCS when workers
-// <= 0) and returns the report in grid order. Each worker builds complete,
-// private platforms, so no locking is needed around simulation state.
-func Run(cfgs []Config, workers int) Report {
+// Shard selects a deterministic subset of a grid for one process of a
+// multi-process sweep: the points whose global index i satisfies
+// i % Count == Index. The zero value selects the whole grid.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the mpsocsim -shard syntax "i/n". The empty string is
+// the whole grid.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	// Strict i/n syntax: Sscanf would silently ignore trailing garbage
+	// ("0/2,1/2" would run slice 0/2), and a mis-sharded sweep is a
+	// silently incomplete dataset.
+	is, cs, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want i/n)", s)
+	}
+	var sh Shard
+	var err error
+	if sh.Index, err = strconv.Atoi(is); err != nil {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want i/n)", s)
+	}
+	if sh.Count, err = strconv.Atoi(cs); err != nil {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want i/n)", s)
+	}
+	// Explicit syntax must name a real i-of-n slice — "0/0" is not the
+	// whole-grid shorthand, the empty string is.
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("sweep: shard %d/%d out of range", sh.Index, sh.Count)
+	}
+	return sh, nil
+}
+
+// normalized maps the zero value to the canonical whole-grid shard 0/1.
+func (s Shard) normalized() Shard {
+	if s.Count == 0 && s.Index == 0 {
+		return Shard{Index: 0, Count: 1}
+	}
+	return s
+}
+
+// Validate reports whether the shard designates a coherent i-of-n slice.
+func (s Shard) Validate() error {
+	s = s.normalized()
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: shard %d/%d out of range", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether grid index i belongs to this shard.
+func (s Shard) Owns(i int) bool {
+	s = s.normalized()
+	return i%s.Count == s.Index
+}
+
+// String renders the -shard syntax.
+func (s Shard) String() string {
+	s = s.normalized()
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Each executes this shard's portion of the grid on a pool of workers
+// (GOMAXPROCS when workers <= 0) and calls emit once per run, in ascending
+// global grid index order, from the calling goroutine. Runs completing out
+// of order wait in a reorder buffer bounded at 2x the worker count:
+// dispatch is credit-gated, so a slow run at the head of the grid stalls
+// the workers rather than letting completed runs pile up — the full grid
+// is never buffered, which is what lets sweeps stream arbitrarily large
+// grids.
+//
+// An error from emit cancels the sweep: no further grid points are
+// dispatched (in-flight runs finish and are discarded) and Each returns
+// that error, so a dead output sink does not burn the rest of the grid.
+func Each(cfgs []Config, sh Shard, workers int, emit func(RunResult) error) error {
+	if err := sh.Validate(); err != nil {
+		return err
+	}
+	var idxs []int
+	for i := range cfgs {
+		if sh.Owns(i) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	if workers > len(idxs) {
+		workers = len(idxs)
 	}
-	results := make([]Result, len(cfgs))
+
+	// Dispatch credits bound completed-but-not-yet-emitted runs: each
+	// dispatched grid point holds one credit until its result is emitted
+	// in order, so at most `window` results ever wait in the reorder
+	// buffer or the results channel.
+	window := 2 * workers
+	credits := make(chan struct{}, window)
+	for j := 0; j < window; j++ {
+		credits <- struct{}{}
+	}
+
 	jobs := make(chan int)
+	results := make(chan RunResult, workers)
+	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = RunOne(cfgs[i])
+				r := RunOne(cfgs[i])
+				r.Index = i
+				results <- r
 			}
 		}()
 	}
-	for i := range cfgs {
-		jobs <- i
+	go func() {
+		defer close(jobs)
+		for _, i := range idxs {
+			select {
+			case <-credits:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Index-ordered reorder buffer: emit strictly in grid order so every
+	// downstream encoding is independent of scheduling.
+	pending := make(map[int]RunResult, window)
+	next := 0
+	var emitErr error
+	for r := range results {
+		if emitErr != nil {
+			continue // draining in-flight runs after cancellation
+		}
+		pending[r.Index] = r
+		for next < len(idxs) {
+			rdy, ok := pending[idxs[next]]
+			if !ok {
+				break
+			}
+			delete(pending, idxs[next])
+			next++
+			if emitErr = emit(rdy); emitErr != nil {
+				close(stop)
+				break
+			}
+			credits <- struct{}{}
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	return Report{GridSize: len(cfgs), Results: results}
+	return emitErr
 }
 
-// RunOne builds and runs a single grid point.
-func RunOne(cfg Config) Result {
+// Run executes every config and returns the fully buffered report in grid
+// order (the legacy form; prefer the streaming writers for large grids).
+func Run(cfgs []Config, workers int) Report {
+	rep := Report{GridSize: len(cfgs), Results: make([]RunResult, 0, len(cfgs))}
+	// The whole-grid shard never fails validation and this emit never
+	// errors.
+	_ = Each(cfgs, Shard{}, workers, func(r RunResult) error {
+		rep.Results = append(rep.Results, r)
+		return nil
+	})
+	return rep
+}
+
+// RunOne builds and runs a single grid point. The caller owns Index; RunOne
+// leaves it zero.
+func RunOne(cfg Config) RunResult {
 	cfg = cfg.Normalize()
-	res := Result{
+	res := RunResult{
 		Name:       cfg.Name(),
 		Protection: cfg.Protection.String(),
 		Workload:   cfg.Workload,
@@ -199,19 +376,17 @@ func RunOne(cfg Config) Result {
 		return res
 	}
 	res.Cycles, res.AllHalted = s.Run(cfg.MaxCycles)
-	for _, c := range s.Cores {
-		st := c.Stats()
+	res.Cores = s.CoreStats()
+	for _, st := range res.Cores {
 		res.Instructions += st.Instructions
 		res.StallCycles += st.StallCycles
 		res.BusOps += st.BusOps
 		res.BusErrors += st.BusErrors
 	}
-	bst := s.Bus.Stats()
-	res.BusTransactions = bst.Completed
-	res.BusWaitCycles = bst.WaitCycles
-	res.BusUtilization = bst.Utilization(s.Eng.Now())
-	res.BitsMoved = bst.BitsMoved
+	res.Bus = s.Bus.Stats()
+	res.BusUtilization = res.Bus.Utilization(s.Eng.Now())
 	res.Alerts = s.Alerts.Len()
+	res.Firewalls = s.FirewallStats()
 	return res
 }
 

@@ -67,8 +67,43 @@ func TestSweepRunsComplete(t *testing.T) {
 		if !r.AllHalted {
 			t.Fatalf("%s did not halt within budget (cycles=%d)", r.Name, r.Cycles)
 		}
-		if r.Instructions == 0 || r.BusTransactions == 0 {
+		if r.Instructions == 0 || r.Bus.Completed == 0 {
 			t.Fatalf("%s reports empty stats: %+v", r.Name, r)
+		}
+		if len(r.Cores) != r.NumCores {
+			t.Fatalf("%s: %d core breakdowns for %d cores", r.Name, len(r.Cores), r.NumCores)
+		}
+	}
+}
+
+// TestPerFirewallBreakdown: the per-firewall evidence the paper's argument
+// rests on must be present — every distributed run carries snapshots for
+// each enforcement point, with the core firewalls actually checking
+// transfers, and unprotected runs carry none.
+func TestPerFirewallBreakdown(t *testing.T) {
+	rep := sweep.Run(smallGrid(), 2)
+	for _, r := range rep.Results {
+		switch r.Protection {
+		case "unprotected":
+			if len(r.Firewalls) != 0 {
+				t.Fatalf("%s: unexpected firewall stats %+v", r.Name, r.Firewalls)
+			}
+		case "distributed-firewalls":
+			// numCores master LFs + lf-dma + 4 slave LFs + the LCF.
+			want := r.NumCores + 6
+			if len(r.Firewalls) != want {
+				t.Fatalf("%s: %d firewall snapshots, want %d", r.Name, len(r.Firewalls), want)
+			}
+			var checked uint64
+			for _, f := range r.Firewalls {
+				if f.ID == "" || f.Kind == "" {
+					t.Fatalf("%s: unlabeled snapshot %+v", r.Name, f)
+				}
+				checked += f.Checked
+			}
+			if checked == 0 {
+				t.Fatalf("%s: firewalls checked nothing", r.Name)
+			}
 		}
 	}
 }
@@ -78,7 +113,7 @@ func TestSweepRunsComplete(t *testing.T) {
 // versus the unprotected platform on the same workload.
 func TestProtectionOverheadVisibleInSweep(t *testing.T) {
 	rep := sweep.Run(smallGrid(), 2)
-	byName := map[string]sweep.Result{}
+	byName := map[string]sweep.RunResult{}
 	for _, r := range rep.Results {
 		byName[r.Name] = r
 	}
