@@ -1,7 +1,8 @@
 # Tier-1 gate, CI pipeline and benchmark smoke for the repro module.
 #
 #   make verify       # gofmt, vet, build, full tests, race tests on the hot packages
-#   make determinism  # sweep twice (different worker counts) + shard/merge, fail on any byte diff
+#   make determinism  # sweep + attack campaign twice (different worker counts) + shard/merge, fail on any byte diff
+#   make attack       # the paper's detection matrix (one-command repro)
 #   make bench-smoke  # short throughput benchmark so regressions surface in CI logs
 #   make ci           # exactly what .github/workflows/ci.yml runs
 #   make bench        # one-shot BenchmarkEngineThroughput with allocation stats
@@ -15,9 +16,16 @@ SWEEP_GRID := -sweep-protections unprotected,distributed,centralized \
               -sweep-workloads mix,stream -sweep-cores 1,2 \
               -accesses 16 -compute 4 -max 2000000
 
-.PHONY: ci verify fmt vet build test race determinism bench-smoke bench clean
+# Campaign grid for the determinism gate: one attack per family plus the
+# DoS flood, under benign background load, against all three protections.
+ATTACK_GRID := -attack-scenarios tamper,zone-escape,dos-flood \
+               -sweep-protections unprotected,distributed,centralized \
+               -attack-cores 3 -attack-backgrounds stream \
+               -accesses 64 -inject-delay 100 -max 2000000
 
-ci: verify determinism bench-smoke
+.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench clean
+
+ci: verify determinism attack bench-smoke
 
 verify: fmt vet build test race
 
@@ -35,13 +43,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine, bus and sweep harness are the packages that run concurrently
-# (one engine per goroutine in sweeps); keep them race-clean.
+# The engine, bus, sweep harness and attack campaign are the packages that
+# run concurrently (one engine per goroutine in sweeps); keep them
+# race-clean.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign
 
-# determinism: the sweep stream must be byte-identical across worker counts,
-# and sharded runs merged back together must reproduce the unsharded stream.
+# determinism: the sweep and campaign streams must be byte-identical across
+# worker counts, and sharded runs merged back together must reproduce the
+# unsharded stream.
 determinism:
 	@mkdir -p $(BUILD)
 	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
@@ -52,7 +62,21 @@ determinism:
 	$(BUILD)/mpsocsim -sweep $(SWEEP_GRID) -shard 1/2 -sweep-out $(BUILD)/shard1.jsonl
 	$(BUILD)/mpsocsim -sweep -merge $(BUILD)/shard0.jsonl,$(BUILD)/shard1.jsonl -sweep-out $(BUILD)/merged.jsonl
 	cmp $(BUILD)/sweep-w1.jsonl $(BUILD)/merged.jsonl
-	@echo "determinism: OK (worker-count invariant, shard/merge byte-identical)"
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -workers 1 -sweep-out $(BUILD)/attack-w1.jsonl
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -workers 8 -sweep-out $(BUILD)/attack-w8.jsonl
+	cmp $(BUILD)/attack-w1.jsonl $(BUILD)/attack-w8.jsonl
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -shard 0/2 -sweep-out $(BUILD)/attack-s0.jsonl
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -shard 1/2 -sweep-out $(BUILD)/attack-s1.jsonl
+	$(BUILD)/mpsocsim -attack -merge $(BUILD)/attack-s0.jsonl,$(BUILD)/attack-s1.jsonl -sweep-out $(BUILD)/attack-merged.jsonl
+	cmp $(BUILD)/attack-w1.jsonl $(BUILD)/attack-merged.jsonl
+	@echo "determinism: OK (sweep + campaign worker-count invariant, shard/merge byte-identical)"
+
+# attack: the paper's detection matrix on your terminal — every default
+# scenario against all three architectures, under benign background load.
+attack:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
+	$(BUILD)/mpsocsim -attack -format table
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=100x -benchmem .

@@ -176,7 +176,7 @@ func BenchmarkAreaVsRuleCount(b *testing.B) {
 // bus; the victim's slowdown quantifies §III-C's containment requirement
 // ("the attack must not reach the communication architecture").
 func BenchmarkAttackContainment(b *testing.B) {
-	var rows [3]attack.DoSOutcome
+	var rows [3]attack.Outcome
 	for i := 0; i < b.N; i++ {
 		rows[0] = attack.DoS(soc.Unprotected)
 		rows[1] = attack.DoS(soc.Distributed)

@@ -34,31 +34,25 @@ func main() {
 	}
 
 	for _, p := range levels {
+		// DoS rides the same table as every other scenario now that the
+		// Outcome schema is unified; its victim-throughput numbers land in
+		// the notes column.
+		outs := attack.All(p)
+		if *dos {
+			outs = append(outs, attack.DoS(p))
+		}
 		tb := trace.NewTable(fmt.Sprintf("threat campaign — %s", p),
-			"scenario", "violation", "detected", "contained", "latency (cycles)", "notes")
-		for _, o := range attack.All(p) {
-			viol := "-"
+			"scenario", "violation", "caught by", "detected", "contained", "latency (cycles)", "notes")
+		for _, o := range outs {
+			viol, by := "-", "-"
 			if o.Detected {
-				viol = o.Violation.String()
+				viol, by = o.Violation.String(), o.DetectedBy
 			}
-			tb.AddRow(o.Scenario, viol,
+			tb.AddRow(o.Scenario, viol, by,
 				fmt.Sprintf("%v", o.Detected), fmt.Sprintf("%v", o.Contained),
 				fmt.Sprintf("%d", o.DetectLatency), o.Notes)
 		}
 		fmt.Print(tb.String())
 		fmt.Println()
-	}
-
-	if *dos {
-		tb := trace.NewTable("DoS flood containment (hijacked core 2 vs victim core 0)",
-			"protection", "victim slowdown", "flood bus share", "detected", "contained")
-		for _, p := range levels {
-			d := attack.DoS(p)
-			tb.AddRow(p.String(),
-				fmt.Sprintf("%.2fx", d.Slowdown()),
-				fmt.Sprintf("%.0f%%", d.FloodBusShare*100),
-				fmt.Sprintf("%v", d.Detected), fmt.Sprintf("%v", d.Contained))
-		}
-		fmt.Print(tb.String())
 	}
 }

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/soc"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// buildCampaignGrid constructs the attack-campaign grid from the axis
+// flags: scenario x protection x core-count x background.
+func buildCampaignGrid(o *options) ([]campaign.Config, error) {
+	var protections []soc.Protection
+	for _, s := range splitList(o.sweepProts) {
+		p, err := parseProtection(s)
+		if err != nil {
+			return nil, err
+		}
+		protections = append(protections, p)
+	}
+	var cores []int
+	for _, s := range splitList(o.attackCores) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q: %v", s, err)
+		}
+		cores = append(cores, n)
+	}
+	grid := campaign.Grid(splitList(o.attackScens), protections, cores,
+		splitList(o.attackBgs), o.accesses, o.compute, o.injectDelay, o.maxCycles)
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("empty campaign grid")
+	}
+	return grid, nil
+}
+
+// runAttack executes the campaign grid (or merges shard files) and streams
+// the report to w.
+func runAttack(o *options, w io.Writer) error {
+	if o.merge != "" {
+		if o.format != "jsonl" {
+			return fmt.Errorf("-merge only supports JSONL shard streams (got -format %s)", o.format)
+		}
+		return mergeShards(o.merge, w)
+	}
+	grid, err := buildCampaignGrid(o)
+	if err != nil {
+		return err
+	}
+	sh, err := sweep.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "attack: shard %s of %d campaign runs (%s)\n", sh, len(grid), o.format)
+	switch o.format {
+	case "jsonl":
+		return campaign.WriteJSONL(w, grid, sh, o.workers)
+	case "csv":
+		return campaign.WriteCSV(w, grid, sh, o.workers)
+	case "table":
+		return writeAttackTables(w, grid, sh, o.workers)
+	default:
+		return fmt.Errorf("unknown attack format %q (want jsonl, csv or table)", o.format)
+	}
+}
+
+// writeAttackTables renders the paper's detection matrix: one row per
+// (scenario, background, cores) grid line, one column per protection,
+// each cell summarizing detection, attribution and containment — plus a
+// bystander-cost table from the twin-run measurements.
+func writeAttackTables(w io.Writer, grid []campaign.Config, sh sweep.Shard, workers int) error {
+	// The matrix needs the whole (sharded) grid in hand; campaign grids
+	// are small (scenarios x protections x a few axes), so buffering here
+	// is fine — large runs should use jsonl/csv.
+	var recs []campaign.Record
+	if err := campaign.Each(grid, sh, workers, func(r campaign.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Preserve first-seen axis order from the deterministic grid.
+	type line struct {
+		scenario, background string
+		cores                int
+	}
+	var lines []line
+	var prots []string
+	seenLine := map[line]bool{}
+	seenProt := map[string]bool{}
+	cell := map[line]map[string]campaign.Record{}
+	for _, r := range recs {
+		l := line{r.Scenario, r.Background, r.NumCores}
+		if !seenLine[l] {
+			seenLine[l] = true
+			lines = append(lines, l)
+			cell[l] = map[string]campaign.Record{}
+		}
+		if !seenProt[r.Protection] {
+			seenProt[r.Protection] = true
+			prots = append(prots, r.Protection)
+		}
+		cell[l][r.Protection] = r
+	}
+
+	cols := append([]string{"scenario", "background", "cores"}, prots...)
+	dt := trace.NewTable("containment matrix — detection / attribution", cols...)
+	st := trace.NewTable("bystander cost — background slowdown vs attack-free twin", cols...)
+	for _, l := range lines {
+		drow := []string{l.scenario, l.background, strconv.Itoa(l.cores)}
+		srow := []string{l.scenario, l.background, strconv.Itoa(l.cores)}
+		for _, p := range prots {
+			r, ok := cell[l][p]
+			if !ok {
+				drow, srow = append(drow, "-"), append(srow, "-")
+				continue
+			}
+			drow = append(drow, verdictCell(r))
+			if r.TwinCycles == 0 {
+				srow = append(srow, "-")
+			} else {
+				srow = append(srow, fmt.Sprintf("%.2fx", r.Slowdown))
+			}
+		}
+		dt.AddRow(drow...)
+		st.AddRow(srow...)
+	}
+	if _, err := io.WriteString(w, dt.String()); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, st.String())
+	return err
+}
+
+// verdictCell compresses one record into a matrix cell.
+func verdictCell(r campaign.Record) string {
+	switch {
+	case r.Err != "":
+		return "error: " + r.Err
+	case r.Detected && r.Contained:
+		return fmt.Sprintf("caught by %s +%dcy", r.DetectedBy, r.DetectLatency)
+	case r.Detected:
+		return fmt.Sprintf("alert only (%s) — goal met", r.DetectedBy)
+	case r.Contained:
+		return "contained (no alert)"
+	default:
+		return "ATTACK SUCCEEDED"
+	}
+}

@@ -11,6 +11,9 @@
 //	mpsocsim -sweep -shard 0/2 -sweep-out shard0.jsonl   # half the grid...
 //	mpsocsim -sweep -shard 1/2 -sweep-out shard1.jsonl   # ...the other half
 //	mpsocsim -sweep -merge shard0.jsonl,shard1.jsonl     # == the unsharded stream
+//	mpsocsim -attack                           # attack campaign under benign load, JSONL
+//	mpsocsim -attack -format table             # the paper's detection matrix
+//	mpsocsim -attack -format csv -sweep-out campaign.csv # for tools/plot/containment.gp
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/soc"
 	"repro/internal/sweep"
@@ -52,6 +57,12 @@ type options struct {
 	format     string
 	shard      string
 	merge      string
+
+	doAttack    bool
+	attackScens string
+	attackBgs   string
+	attackCores string
+	injectDelay uint64
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -80,6 +91,15 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.format, "format", "jsonl", "sweep output format: jsonl | csv | json")
 	fs.StringVar(&o.shard, "shard", "", "sweep: run only grid slice i/n of the full grid (e.g. 0/2)")
 	fs.StringVar(&o.merge, "merge", "", "sweep: merge comma-separated shard JSONL files instead of running")
+
+	fs.BoolVar(&o.doAttack, "attack", false, "run the attack campaign: scenario x protection x cores x background, streamed like -sweep")
+	fs.StringVar(&o.attackScens, "attack-scenarios", strings.Join(attack.DefaultNames(), ","),
+		"attack: scenario axis")
+	fs.StringVar(&o.attackBgs, "attack-backgrounds", campaign.DefaultBackground,
+		"attack: benign background kernels on non-attacker cores (stream | mix | memcopy | none)")
+	fs.StringVar(&o.attackCores, "attack-cores", "3", "attack: core-count axis")
+	fs.Uint64Var(&o.injectDelay, "inject-delay", campaign.DefaultInjectDelay,
+		"attack: cycles after background start at which the attack fires; must be shorter than the background's runtime (0 selects the default, use 1 to fire at start)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -102,14 +122,21 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	if o.doSweep {
-		if err := runSweepOut(o); err != nil {
+	switch {
+	case o.doSweep && o.doAttack:
+		fatal(fmt.Errorf("-sweep and -attack are mutually exclusive"))
+	case o.doAttack:
+		if err := withOutput(o, runAttack); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := runSingle(o); err != nil {
-		fatal(err)
+	case o.doSweep:
+		if err := withOutput(o, runSweep); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := runSingle(o); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -201,17 +228,17 @@ func buildGrid(o *options) ([]sweep.Config, error) {
 	return grid, nil
 }
 
-// runSweepOut resolves the output destination and runs the sweep (or merge)
-// into it.
-func runSweepOut(o *options) error {
+// withOutput resolves the -sweep-out destination (stdout when empty) and
+// runs the given mode into it.
+func withOutput(o *options, run func(*options, io.Writer) error) error {
 	if o.sweepOut == "" {
-		return runSweep(o, os.Stdout)
+		return run(o, os.Stdout)
 	}
 	f, err := os.Create(o.sweepOut)
 	if err != nil {
 		return err
 	}
-	if err := runSweep(o, f); err != nil {
+	if err := run(o, f); err != nil {
 		f.Close()
 		return err
 	}
@@ -243,14 +270,11 @@ func runSweep(o *options, w io.Writer) error {
 		return sweep.WriteCSV(w, grid, sh, o.workers)
 	case "json":
 		// Legacy buffered report; sharding applies all the same, and
-		// GridSize counts this shard's points so len(results) == grid_size
-		// holds for sharded reports too.
+		// GridSize counts this shard's points (under the cost-aware
+		// slicing Each uses) so len(results) == grid_size holds for
+		// sharded reports too.
 		var rep sweep.Report
-		for i := range grid {
-			if sh.Owns(i) {
-				rep.GridSize++
-			}
-		}
+		rep.GridSize = len(sh.Slice(len(grid), sweep.Weights(grid)))
 		if err := sweep.Each(grid, sh, o.workers, func(r sweep.RunResult) error {
 			rep.Results = append(rep.Results, r)
 			return nil

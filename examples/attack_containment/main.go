@@ -36,8 +36,8 @@ func main() {
 		if !o.Detected || !o.Contained {
 			status = "MISSED"
 		}
-		fmt.Printf("  %-14s %-9s violation=%-9s reaction=%d cycles  (%s)\n",
-			o.Scenario, status, o.Violation, o.DetectLatency, o.Notes)
+		fmt.Printf("  %-14s %-9s violation=%-9s by=%-10s reaction=%d cycles  (%s)\n",
+			o.Scenario, status, o.Violation, o.DetectedBy, o.DetectLatency, o.Notes)
 	}
 
 	fmt.Println()

@@ -1,14 +1,18 @@
-// Package attack implements the paper's threat model (§III) as executable
+// Package attack implements the paper's threat model (§III) as injectable
 // scenarios: logical attacks on the external bus/memory (replay,
 // relocation, spoofing, tampering) and hijacked-IP attacks from inside the
 // FPGA (zone escapes, format abuse, DMA hijacking, DoS floods).
 //
-// Every scenario builds a fresh platform at the requested protection
-// level, injects the attack, and reports whether the platform detected it
-// (an alert was raised), whether the effect was contained (the attacker's
-// goal failed), and how quickly. Running the same scenario against
-// soc.Unprotected shows the attack actually works when nothing defends —
-// keeping the detection results honest.
+// Every scenario separates its build / inject / verdict phases (the
+// Scenario interface in scenario.go), so the same attack runs both
+// one-shot on a quiet platform (Run, and the named wrappers below) and
+// inside internal/campaign's sweeps, where it fires at a chosen cycle
+// under concurrent benign load. Either way the report says whether the
+// platform detected it (an alert was raised, and by which firewall),
+// whether the effect was contained (the attacker's goal failed), and how
+// quickly. Running the same scenario against soc.Unprotected shows the
+// attack actually works when nothing defends — keeping the detection
+// results honest.
 package attack
 
 import (
@@ -20,13 +24,17 @@ import (
 	"repro/internal/workload"
 )
 
-// Outcome reports one scenario run.
+// Outcome reports one scenario run. It is the unified schema for every
+// scenario including the DoS flood: the victim-throughput fields are zero
+// for attacks without a bystander-cost measurement.
 type Outcome struct {
 	// Scenario and Protection identify the run.
 	Scenario   string
 	Protection soc.Protection
 	// Detected: at least one firewall alert attributable to the attack.
-	Detected bool
+	// DetectedBy names the enforcement point that raised the first one.
+	Detected   bool
+	DetectedBy string
 	// Violation is the first attributed alert's class.
 	Violation core.Violation
 	// DetectLatency is the cycle distance from injection to first alert
@@ -35,8 +43,24 @@ type Outcome struct {
 	// Contained: the attacker's goal failed (data suppressed, write
 	// discarded, victim unaffected).
 	Contained bool
+	// VictimCycles / BaselineCycles are the victim workload's duration
+	// under attack and with the attacker idle; FloodBusShare is the
+	// fraction of completed bus transactions issued by the attacker.
+	// Populated by DoS-style scenarios only.
+	VictimCycles   uint64
+	BaselineCycles uint64
+	FloodBusShare  float64
 	// Notes carries scenario-specific measurements.
 	Notes string
+}
+
+// Slowdown returns VictimCycles / BaselineCycles (0 when no victim
+// throughput was measured).
+func (o Outcome) Slowdown() float64 {
+	if o.BaselineCycles == 0 {
+		return 0
+	}
+	return float64(o.VictimCycles) / float64(o.BaselineCycles)
 }
 
 func (o Outcome) String() string {
@@ -58,244 +82,53 @@ func probe(s *soc.System, m *bus.MasterPort, op bus.Op, addr uint32, data uint32
 	return tx
 }
 
-// newSystem builds a quiet platform (all cores halted) for direct-bus
-// scenarios.
-func newSystem(p soc.Protection) *soc.System {
-	s := soc.MustNew(soc.Config{Protection: p})
-	s.HaltIdleCores()
-	return s
-}
-
-// externalOutcome classifies an external-memory scenario from the victim
-// read and the alert log.
-func externalOutcome(s *soc.System, name string, injectCycle uint64, rd *bus.Transaction, goalMet bool) Outcome {
-	o := Outcome{Scenario: name, Protection: s.Cfg.Protection, Contained: !goalMet}
-	alerts := s.Alerts.Since(injectCycle)
-	if len(alerts) > 0 {
-		o.Detected = true
-		o.Violation = alerts[0].Violation
-		o.DetectLatency = alerts[0].Cycle - injectCycle
-	}
-	o.Notes = fmt.Sprintf("read resp=%v data=%#x", rd.Resp, rd.Data[0])
-	return o
-}
-
 // Tamper flips one ciphertext/data bit in external memory, then the victim
 // reads it back (threat: arbitrary modification of external code/data).
-func Tamper(p soc.Protection) Outcome {
-	s := newSystem(p)
-	m := s.Bus.NewMaster("victim")
-	const addr = soc.SecureBase + 0x40
-	probe(s, m, bus.Write, addr, 0x0DDC0FFE)
-	raw := s.DDR.Store().Peek(addr, 1)
-	inject := s.Eng.Now()
-	s.DDR.Store().Poke(addr, []byte{raw[0] ^ 0x20})
-	rd := probe(s, m, bus.Read, addr, 0)
-	goalMet := rd.Resp.OK() && rd.Data[0] != 0x0DDC0FFE // attacker altered what software sees
-	return externalOutcome(s, "tamper", inject, rd, goalMet)
-}
+func Tamper(p soc.Protection) Outcome { return Run(mustNew("tamper"), p) }
 
 // Replay snapshots external memory (data and tree nodes), lets the victim
 // overwrite a value, restores the stale image, and reads back (threat:
 // reverting a security-critical update, e.g. a decremented credit).
-func Replay(p soc.Protection) Outcome {
-	s := newSystem(p)
-	m := s.Bus.NewMaster("victim")
-	const addr = soc.SecureBase + 0x80
-	probe(s, m, bus.Write, addr, 0x0001_0000) // old balance
-	snap := s.DDR.Store().Snapshot()
-	probe(s, m, bus.Write, addr, 0x0000_0001) // spent: new balance
-	inject := s.Eng.Now()
-	s.DDR.Store().Restore(snap)
-	rd := probe(s, m, bus.Read, addr, 0)
-	goalMet := rd.Resp.OK() && rd.Data[0] == 0x0001_0000 // stale value accepted
-	return externalOutcome(s, "replay", inject, rd, goalMet)
-}
+func Replay(p soc.Protection) Outcome { return Run(mustNew("replay"), p) }
 
 // Relocation copies a valid ciphertext block (and its stored leaf digest)
 // to a different address (threat: splicing privileged code/data to another
 // location).
-func Relocation(p soc.Protection) Outcome {
-	s := newSystem(p)
-	m := s.Bus.NewMaster("victim")
-	const src = soc.SecureBase + 0x100
-	const dst = soc.SecureBase + 0x300
-	probe(s, m, bus.Write, src, 0xA11C0DE5)
-	probe(s, m, bus.Write, dst, 0x00000000)
-	inject := s.Eng.Now()
-	blk := s.DDR.Store().Peek(src&^31, 32)
-	s.DDR.Store().Poke(dst&^31, blk)
-	if s.LCF != nil {
-		// A thorough attacker also relocates the stored leaf digest.
-		const leaves = uint32(soc.SecureSize / soc.LeafSizeBytes)
-		const srcLeaf = uint32((src - soc.SecureBase) / soc.LeafSizeBytes)
-		const dstLeaf = uint32((dst - soc.SecureBase) / soc.LeafSizeBytes)
-		d := s.DDR.Store().Peek(soc.NodeBase+(leaves+srcLeaf-1)*16, 16)
-		s.DDR.Store().Poke(soc.NodeBase+(leaves+dstLeaf-1)*16, d)
-	}
-	rd := probe(s, m, bus.Read, dst, 0)
-	goalMet := rd.Resp.OK() && rd.Data[0] == 0xA11C0DE5
-	return externalOutcome(s, "relocation", inject, rd, goalMet)
-}
+func Relocation(p soc.Protection) Outcome { return Run(mustNew("relocation"), p) }
 
 // Spoof fabricates ciphertext at a fresh address (threat: injecting
 // attacker-chosen data/code into the protected region).
-func Spoof(p soc.Protection) Outcome {
-	s := newSystem(p)
-	m := s.Bus.NewMaster("victim")
-	const addr = soc.SecureBase + 0x400
-	probe(s, m, bus.Write, addr, 0x600D_DA7A)
-	inject := s.Eng.Now()
-	fake := make([]byte, 32)
-	for i := range fake {
-		fake[i] = byte(0xE0 ^ i*7)
-	}
-	s.DDR.Store().Poke(addr&^31, fake)
-	rd := probe(s, m, bus.Read, addr, 0)
-	goalMet := rd.Resp.OK() && rd.Data[0] != 0x600D_DA7A
-	return externalOutcome(s, "spoof", inject, rd, goalMet)
-}
+func Spoof(p soc.Protection) Outcome { return Run(mustNew("spoof"), p) }
 
-// CipherOnlyTamper targets the *ciphered-but-not-integrity-checked* zone,
-// the configuration §III-B of the paper calls out: "When the memory is
-// only ciphered it is more difficult for an attacker but he can still
-// target a DoS attack by randomly changing some data." Confidentiality
-// holds (the attacker learns nothing, writes garbage) but the corruption
-// is undetected — delivered data silently changes. The distributed
-// platform is *expected* not to detect this: it is the documented cost of
-// choosing CM without IM for a zone.
-func CipherOnlyTamper(p soc.Protection) Outcome {
-	s := newSystem(p)
-	m := s.Bus.NewMaster("victim")
-	const addr = soc.CipherBase + 0x40
-	probe(s, m, bus.Write, addr, 0x0DDF00D5)
-	inject := s.Eng.Now()
-	raw := s.DDR.Store().Peek(addr, 1)
-	s.DDR.Store().Poke(addr, []byte{raw[0] ^ 0x40})
-	rd := probe(s, m, bus.Read, addr, 0)
-	// The attacker's goal here is corruption-as-DoS: delivered data
-	// differs from what was stored, without an alert.
-	goalMet := rd.Resp.OK() && rd.Data[0] != 0x0DDF00D5
-	o := externalOutcome(s, "cipher-only-tamper", inject, rd, goalMet)
-	return o
-}
+// CipherOnlyTamper targets the ciphered-but-not-integrity-checked zone;
+// see cipherOnlyScenario for why non-detection is the expected result.
+func CipherOnlyTamper(p soc.Protection) Outcome { return Run(mustNew("cipher-only-tamper"), p) }
 
 // ZoneEscape hijacks core 1 with a program that reads and writes addresses
-// its security policy does not grant: another IP's restricted registers
-// (the DMA, programmable only by cpu0) and the LCF's tree-node region.
-func ZoneEscape(p soc.Protection) Outcome {
-	s := soc.MustNew(soc.Config{Protection: p})
-	s.HaltIdleCores(1)
-	const errsOut = soc.LocalBase + 0xF000
-	targets := []uint32{
-		soc.DMABase + 0x0C, // DMA CTRL from the wrong core
-		soc.NodeBase,       // integrity metadata
-	}
-	s.MustLoad(1, workload.ZoneEscape(targets, errsOut))
-	inject := s.Eng.Now()
-	s.Run(2_000_000)
-	errs := s.Cores[1].Local().ReadWord(errsOut)
-	o := Outcome{Scenario: "zone-escape", Protection: p}
-	alerts := s.Alerts.Since(inject)
-	if len(alerts) > 0 {
-		o.Detected = true
-		o.Violation = alerts[0].Violation
-		o.DetectLatency = alerts[0].Cycle - inject
-	}
-	// Contained when every attempted access failed.
-	o.Contained = errs == uint32(2*len(targets))
-	o.Notes = fmt.Sprintf("busErrs=%d/%d", errs, 2*len(targets))
-	return o
-}
+// its security policy does not grant.
+func ZoneEscape(p soc.Protection) Outcome { return Run(mustNew("zone-escape"), p) }
 
 // DMAHijack programs the DMA from an unauthorized core (cpu1) to copy
 // external plain memory over the shared BRAM (confused deputy).
-func DMAHijack(p soc.Protection) Outcome {
-	s := soc.MustNew(soc.Config{Protection: p})
-	s.HaltIdleCores(1)
-	s.DDR.Store().WriteWord(soc.PlainBase, 0xBAD0_0BAD)
-	s.MustLoad(1, fmt.Sprintf(`
-		li r1, %#x        ; DMA base
-		li r2, %#x
-		sw r2, 0(r1)      ; src = plain DDR
-		li r2, %#x
-		sw r2, 4(r1)      ; dst = shared BRAM
-		li r2, 32
-		sw r2, 8(r1)      ; len
-		li r2, 1
-		sw r2, 12(r1)     ; go
-		halt
-	`, soc.DMABase, soc.PlainBase, soc.BRAMBase))
-	inject := s.Eng.Now()
-	s.Run(2_000_000)
-	s.Eng.Run(20_000) // let any DMA transfer finish
-	o := Outcome{Scenario: "dma-hijack", Protection: p}
-	alerts := s.Alerts.Since(inject)
-	if len(alerts) > 0 {
-		o.Detected = true
-		o.Violation = alerts[0].Violation
-		o.DetectLatency = alerts[0].Cycle - inject
-	}
-	copied := s.BRAM.Store().ReadWord(soc.BRAMBase)
-	o.Contained = copied == 0
-	o.Notes = fmt.Sprintf("bram[0]=%#x dmaCopies=%d", copied, s.DMA.Copies)
-	return o
-}
+func DMAHijack(p soc.Protection) Outcome { return Run(mustNew("dma-hijack"), p) }
 
 // FormatAbuse drives byte/halfword stores at the DMA register file, whose
-// ADF rule (and register hardware) require 32-bit accesses (threat:
-// partial-word writes corrupting protected control state).
-func FormatAbuse(p soc.Protection) Outcome {
-	s := soc.MustNew(soc.Config{Protection: p})
-	s.HaltIdleCores(0)
-	const errsOut = soc.LocalBase + 0xF000
-	const probes = 4
-	s.MustLoad(0, workload.FormatAbuse(soc.DMABase+0x00, probes, errsOut))
-	inject := s.Eng.Now()
-	s.Run(2_000_000)
-	o := Outcome{Scenario: "format-abuse", Protection: p}
-	alerts := s.Alerts.Since(inject)
-	if len(alerts) > 0 {
-		o.Detected = true
-		o.Violation = alerts[0].Violation
-		o.DetectLatency = alerts[0].Cycle - inject
-	}
-	errs := s.Cores[0].Local().ReadWord(errsOut)
-	o.Contained = errs == probes*2
-	o.Notes = fmt.Sprintf("busErrs=%d/%d", errs, probes*2)
-	return o
-}
+// ADF rule (and register hardware) require 32-bit accesses.
+func FormatAbuse(p soc.Protection) Outcome { return Run(mustNew("format-abuse"), p) }
 
-// DoSOutcome extends Outcome with the victim-side throughput measurements
-// of experiment E3.
-type DoSOutcome struct {
-	Outcome
-	// VictimCycles is how long the victim workload took under attack.
-	VictimCycles uint64
-	// BaselineCycles is the same workload with the attacker idle.
-	BaselineCycles uint64
-	// FloodBusShare is the fraction of completed bus transactions issued
-	// by the attacker.
-	FloodBusShare float64
-}
-
-// Slowdown returns VictimCycles / BaselineCycles.
-func (d DoSOutcome) Slowdown() float64 {
-	if d.BaselineCycles == 0 {
-		return 0
-	}
-	return float64(d.VictimCycles) / float64(d.BaselineCycles)
-}
-
-// dosVictim is the victim workload: stream 512 words from shared BRAM.
+// dosVictim is the victim workload of the dedicated DoS experiment:
+// stream 512 words from shared BRAM.
 func dosVictim() string {
 	return workload.Stream(soc.BRAMBase, 512, 4, 0)
 }
 
-// DoS hijacks core 2 with an unauthorized store flood while core 0 runs a
-// legitimate BRAM workload. With distributed firewalls the flood dies in
-// core 2's own interface; without them it competes for the shared bus.
-func DoS(p soc.Protection) DoSOutcome {
+// DoS is experiment E3 in its dedicated form: core 2 floods while core 0
+// runs a fixed victim workload, and the same workload runs on an
+// attack-free twin platform for the baseline. With distributed firewalls
+// the flood dies in core 2's own interface; without them it competes for
+// the shared bus. (The campaign generalizes this: there the "victim" is
+// whatever background load runs on the non-attacker cores.)
+func DoS(p soc.Protection) Outcome {
 	// Baseline: victim alone.
 	base := soc.MustNew(soc.Config{Protection: p})
 	base.HaltIdleCores(0)
@@ -308,34 +141,24 @@ func DoS(p soc.Protection) DoSOutcome {
 	s.MustLoad(0, dosVictim())
 	s.MustLoad(2, workload.DoSFlood(soc.NodeBase)) // outside core 2's policy
 	inject := s.Eng.Now()
-	victimDone := func() bool { h, _ := s.Cores[0].Halted(); return h }
-	cycles, _ := s.Eng.RunUntil(victimDone, 50_000_000)
+	cycles, _ := s.RunUntilCores(50_000_000, 0)
 
-	out := DoSOutcome{
-		Outcome:        Outcome{Scenario: "dos-flood", Protection: p},
+	out := Outcome{
+		Scenario:       "dos-flood",
+		Protection:     p,
 		VictimCycles:   cycles,
 		BaselineCycles: baseCycles,
+		FloodBusShare:  floodBusShare(s, 2),
 	}
-	alerts := s.Alerts.Since(inject)
-	if len(alerts) > 0 {
-		out.Detected = true
-		out.Violation = alerts[0].Violation
-		out.DetectLatency = alerts[0].Cycle - inject
-	}
-	// Master ports are created in a fixed order: dma first, then the
-	// cores, so the attacker (core 2) arbitrates on port index 3.
-	st := s.Bus.Stats()
-	if st.Completed > 0 && len(st.PerMaster) > 3 {
-		out.FloodBusShare = float64(st.PerMaster[3]) / float64(st.Completed)
-	}
-	out.Contained = out.Slowdown() < 1.10 // victim within 10% of baseline
+	out.classify(s, inject)
+	out.Contained = out.Slowdown() < DoSSlowdownGoal // victim within 10% of baseline
 	out.Notes = fmt.Sprintf("victim %d vs %d cycles (%.2fx), flood bus share %.0f%%",
 		cycles, baseCycles, out.Slowdown(), out.FloodBusShare*100)
 	return out
 }
 
-// All runs every detection scenario (DoS excluded: it returns the richer
-// DoSOutcome) at the given protection level.
+// All runs every detection scenario (DoS excluded: it measures victim
+// throughput, see DoS) at the given protection level.
 func All(p soc.Protection) []Outcome {
 	return []Outcome{
 		Tamper(p),

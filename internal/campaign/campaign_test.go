@@ -1,0 +1,284 @@
+package campaign_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+// smallGrid is the fast grid the determinism and streaming tests share:
+// one external-memory attack, one hijacked-IP attack and the DoS flood
+// against all three architectures.
+func smallGrid() []campaign.Config {
+	return campaign.Grid(
+		[]string{"tamper", "zone-escape", "dos-flood"},
+		[]soc.Protection{soc.Unprotected, soc.Distributed, soc.Centralized},
+		[]int{3},
+		[]string{"stream"},
+		24, 2, 100, 1_000_000,
+	)
+}
+
+func TestGridCrossProduct(t *testing.T) {
+	grid := campaign.Grid(
+		[]string{"tamper", "dos-flood"},
+		[]soc.Protection{soc.Unprotected, soc.Distributed},
+		[]int{2, 3},
+		[]string{"stream", "none"},
+		0, 0, 0, 0,
+	)
+	if len(grid) != 16 {
+		t.Fatalf("grid size = %d, want 16", len(grid))
+	}
+	// Deterministic order: scenario outermost, background innermost.
+	if grid[0].Name() != "tamper/unprotected/stream/c2" {
+		t.Fatalf("grid[0] = %s", grid[0].Name())
+	}
+	if grid[15].Name() != "dos-flood/distributed-firewalls/none/c3" {
+		t.Fatalf("grid[15] = %s", grid[15].Name())
+	}
+}
+
+// TestContainmentMatrix is the acceptance check for the campaign's core
+// claim: under concurrent benign load, the unprotected platform lets
+// attacks succeed silently while the distributed firewalls detect them —
+// with per-firewall attribution — and contain them.
+func TestContainmentMatrix(t *testing.T) {
+	for _, sc := range []string{"tamper", "replay", "zone-escape", "dma-hijack", "dos-flood"} {
+		un := campaign.RunOne(campaign.Config{Scenario: sc, Protection: soc.Unprotected})
+		if un.Err != "" {
+			t.Fatalf("%s unprotected: %s", sc, un.Err)
+		}
+		if un.Detected || un.Contained {
+			t.Errorf("%s on unprotected: detected=%v contained=%v (goal %s) — attack should succeed silently",
+				sc, un.Detected, un.Contained, un.Goal)
+		}
+		di := campaign.RunOne(campaign.Config{Scenario: sc, Protection: soc.Distributed})
+		if di.Err != "" {
+			t.Fatalf("%s distributed: %s", sc, di.Err)
+		}
+		if !di.Detected || !di.Contained {
+			t.Errorf("%s on distributed: detected=%v contained=%v (goal %s)",
+				sc, di.Detected, di.Contained, di.Goal)
+		}
+		if di.DetectedBy == "" || di.Violation == "" {
+			t.Errorf("%s on distributed: no per-firewall attribution (%+v)", sc, di)
+		}
+	}
+}
+
+// TestDoSEconomics pins the paper's §III-C containment argument in the
+// twin-run numbers: the flood starves bystanders on the unprotected bus,
+// the centralized SEM detects it but cannot keep it off the shared bus,
+// and the distributed firewall absorbs it in the attacker's own interface.
+func TestDoSEconomics(t *testing.T) {
+	run := func(p soc.Protection) campaign.Record {
+		r := campaign.RunOne(campaign.Config{Scenario: "dos-flood", Protection: p})
+		if r.Err != "" {
+			t.Fatalf("%v: %s", p, r.Err)
+		}
+		if !r.Completed || r.TwinCycles == 0 {
+			t.Fatalf("%v: background window not measured: %+v", p, r)
+		}
+		return r
+	}
+	un, ce, di := run(soc.Unprotected), run(soc.Centralized), run(soc.Distributed)
+	if un.Slowdown < 1.10 {
+		t.Errorf("unprotected bystanders barely slowed (%.2fx) — flood not reaching the bus?", un.Slowdown)
+	}
+	if !ce.Detected || ce.Contained {
+		t.Errorf("centralized: detected=%v contained=%v — the SEM should see the flood but fail to contain it",
+			ce.Detected, ce.Contained)
+	}
+	if ce.Slowdown <= di.Slowdown {
+		t.Errorf("centralized slowdown %.2fx not worse than distributed %.2fx", ce.Slowdown, di.Slowdown)
+	}
+	if !di.Contained || di.Slowdown >= 1.10 {
+		t.Errorf("distributed: contained=%v slowdown=%.2fx — flood should die in the attacker's interface",
+			di.Contained, di.Slowdown)
+	}
+}
+
+// TestExternalAttackCostsBystandersNothing: poking external memory is
+// instantaneous, so the attacked half and the twin stay cycle-identical —
+// the twin plumbing itself is what this pins.
+func TestExternalAttackCostsBystandersNothing(t *testing.T) {
+	r := campaign.RunOne(campaign.Config{Scenario: "tamper", Protection: soc.Distributed})
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if r.AttackCycles != r.TwinCycles || r.Slowdown != 1.0 {
+		t.Fatalf("twin diverged without cause: attack=%d twin=%d slowdown=%v",
+			r.AttackCycles, r.TwinCycles, r.Slowdown)
+	}
+}
+
+func TestRecordBreakdownsPresent(t *testing.T) {
+	r := campaign.RunOne(campaign.Config{Scenario: "zone-escape", Protection: soc.Distributed})
+	if len(r.Cores) != r.NumCores {
+		t.Fatalf("%d core breakdowns for %d cores", len(r.Cores), r.NumCores)
+	}
+	// numCores master LFs + lf-dma + 4 slave LFs + the LCF.
+	if want := r.NumCores + 6; len(r.Firewalls) != want {
+		t.Fatalf("%d firewall snapshots, want %d", len(r.Firewalls), want)
+	}
+	var blocked uint64
+	for _, f := range r.Firewalls {
+		blocked += f.Blocked
+	}
+	if blocked == 0 {
+		t.Fatal("attack run shows no blocked transfers in the firewall breakdown")
+	}
+}
+
+// TestErrorRecords: invalid grid points must come back as structured error
+// records (the stream stays intact), not panics or silence.
+func TestErrorRecords(t *testing.T) {
+	for name, cfg := range map[string]campaign.Config{
+		"unknown scenario":   {Scenario: "heist"},
+		"too few cores":      {Scenario: "zone-escape", NumCores: 1},
+		"unknown background": {Scenario: "tamper", Background: "disco"},
+		// The background must still be running when the attack fires —
+		// otherwise the record would claim containment of an attack
+		// nothing witnessed.
+		"background dead at injection": {Scenario: "dos-flood", Accesses: 8, InjectDelay: 50_000},
+	} {
+		if r := campaign.RunOne(cfg); r.Err == "" {
+			t.Errorf("%s: accepted (%+v)", name, r)
+		}
+	}
+}
+
+func jsonl(t *testing.T, sh sweep.Shard, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := campaign.WriteJSONL(&buf, smallGrid(), sh, workers); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJSONLWorkerCountInvariant: the campaign stream must be byte-identical
+// across worker counts, like the benign sweep's.
+func TestJSONLWorkerCountInvariant(t *testing.T) {
+	serial := jsonl(t, sweep.Shard{}, 1)
+	parallel := jsonl(t, sweep.Shard{}, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("JSONL differs across worker counts:\n%s\n---\n%s", serial, parallel)
+	}
+	lines := bytes.Split(bytes.TrimSpace(serial), []byte("\n"))
+	if len(lines) != len(smallGrid()) {
+		t.Fatalf("%d lines for %d grid points", len(lines), len(smallGrid()))
+	}
+	for i, l := range lines {
+		var r campaign.Record
+		if err := json.Unmarshal(l, &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r.Index != i {
+			t.Fatalf("line %d carries index %d — not grid-ordered", i, r.Index)
+		}
+		if r.Err != "" {
+			t.Fatalf("%s failed: %s", r.Name, r.Err)
+		}
+	}
+}
+
+// TestShardMergeByteIdentical: campaign shards recombined by sweep.Merge
+// must reproduce the unsharded stream byte-for-byte — campaign records
+// carry the same global "index" key the merger orders on.
+func TestShardMergeByteIdentical(t *testing.T) {
+	full := jsonl(t, sweep.Shard{}, 4)
+	s0 := jsonl(t, sweep.Shard{Index: 0, Count: 2}, 2)
+	s1 := jsonl(t, sweep.Shard{Index: 1, Count: 2}, 3)
+	if bytes.Equal(s0, s1) {
+		t.Fatal("shards produced identical streams — sharding is not partitioning")
+	}
+	var merged bytes.Buffer
+	if err := sweep.Merge(&merged, bytes.NewReader(s1), bytes.NewReader(s0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, merged.Bytes()) {
+		t.Fatalf("merged shards differ from unsharded stream:\n%s\n---\n%s", full, merged.Bytes())
+	}
+}
+
+// TestCostAwareShardsBalance: the campaign's weighted slicing must spread
+// the expensive (centralized, dos) grid points instead of letting one
+// process inherit them all round-robin.
+func TestCostAwareShardsBalance(t *testing.T) {
+	grid := smallGrid()
+	weights := campaign.Weights(grid)
+	loads := make([]float64, 2)
+	var max float64
+	for _, w := range weights {
+		if w > max {
+			max = w
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for _, idx := range (sweep.Shard{Index: i, Count: 2}).Slice(len(grid), weights) {
+			loads[i] += weights[idx]
+		}
+	}
+	diff := loads[0] - loads[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > max {
+		t.Fatalf("shard loads %.1f vs %.1f differ by more than the largest grid point (%.1f)",
+			loads[0], loads[1], max)
+	}
+}
+
+func TestCSVDeterministicAndTidy(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := campaign.WriteCSV(&a, smallGrid(), sweep.Shard{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.WriteCSV(&b, smallGrid(), sweep.Shard{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("CSV differs across worker counts")
+	}
+	if !strings.HasPrefix(a.String(), strings.Join(campaign.CSVHeader, ",")+"\n") {
+		t.Fatalf("CSV header: %.80s", a.String())
+	}
+	scopes := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(a.String()), "\n")[1:] {
+		scopes[strings.Split(line, ",")[6]]++
+	}
+	if scopes["attack"] != len(smallGrid()) {
+		t.Fatalf("%d attack rows for %d grid points", scopes["attack"], len(smallGrid()))
+	}
+	if scopes["core"] == 0 || scopes["firewall"] == 0 {
+		t.Fatalf("missing breakdown rows: %+v", scopes)
+	}
+}
+
+// TestEmitErrorCancelsCampaign: a failing sink stops the campaign instead
+// of simulating the rest of the grid into a dead writer.
+func TestEmitErrorCancelsCampaign(t *testing.T) {
+	sinkErr := errors.New("sink full")
+	emitted := 0
+	err := campaign.Each(smallGrid(), sweep.Shard{}, 2, func(r campaign.Record) error {
+		emitted++
+		if emitted == 2 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("Each returned %v, want the emit error", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("emit called %d times after cancellation, want 2", emitted)
+	}
+}

@@ -1,0 +1,70 @@
+package campaign_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenGrid pins the serialized schema of the -attack stream across all
+// three protection architectures: one external-memory attack (LCF
+// attribution, crypto counters) and one hijacked-IP attack (bus-rule
+// attribution) is enough to cover every field.
+func goldenGrid() []campaign.Config {
+	return campaign.Grid(
+		[]string{"tamper", "zone-escape"},
+		[]soc.Protection{soc.Unprotected, soc.Distributed, soc.Centralized},
+		[]int{3},
+		[]string{"stream"},
+		64, 2, 100, 1_000_000,
+	)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/campaign -run TestGolden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, regenerate with -update.", name, got, want)
+	}
+}
+
+// TestGoldenJSONL and TestGoldenCSV pin the -attack output formats: any
+// change to the record schema or to simulation results shows up as a
+// reviewable golden diff instead of silently altering downstream plots.
+func TestGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := campaign.WriteJSONL(&buf, goldenGrid(), sweep.Shard{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign.jsonl.golden", buf.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := campaign.WriteCSV(&buf, goldenGrid(), sweep.Shard{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "campaign.csv.golden", buf.Bytes())
+}

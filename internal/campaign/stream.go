@@ -1,0 +1,109 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/sweep"
+)
+
+// WriteJSONL runs this shard's portion of the campaign grid and streams
+// one compact JSON record per line to w, in global grid index order, as
+// runs complete. Like the benign sweep the report is never buffered whole,
+// a failing writer cancels the remaining grid, the byte stream is
+// identical across worker counts, and the concatenation of all shards'
+// streams (via sweep.Merge — campaign records carry the same "index" key)
+// is identical to an unsharded run.
+func WriteJSONL(w io.Writer, cfgs []Config, sh sweep.Shard, workers int) error {
+	return Each(cfgs, sh, workers, sweep.EmitJSONL[Record](w))
+}
+
+// CSVHeader is the column set of the campaign CSV export. The format is
+// long/tidy like the benign sweep's: every run contributes one
+// scope=attack row (the containment verdict and twin-run economics), one
+// scope=core row per core and one scope=firewall row per enforcement
+// point, so detection-latency and per-firewall series plot directly.
+var CSVHeader = []string{
+	"index", "name", "scenario", "protection", "background", "num_cores",
+	"scope", "entity", "kind",
+	"detected", "detected_by", "violation", "detect_latency", "contained", "goal",
+	"inject_cycle", "attack_cycles", "twin_cycles", "slowdown", "completed", "alerts",
+	"cycles", "instructions", "stall_cycles", "local_ops", "bus_ops", "bus_errors",
+	"checked", "allowed", "blocked", "check_cycles",
+	"crypto_cycles", "integrity_failures",
+	"error",
+}
+
+// WriteCSV runs this shard's portion of the grid and streams the
+// long-form CSV to w (header first), in global grid index order, with the
+// same streaming/cancellation/determinism contract as WriteJSONL.
+func WriteCSV(w io.Writer, cfgs []Config, sh sweep.Shard, workers int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	if err := Each(cfgs, sh, workers, func(r Record) error {
+		if err := writeCSVRows(cw, r); err != nil {
+			return err
+		}
+		// Flush per run so the stream is incremental, and surface sink
+		// errors now — csv.Writer otherwise swallows them until the end.
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeCSVRows emits one record's rows: attack verdict, then cores, then
+// firewalls.
+func writeCSVRows(cw *csv.Writer, r Record) error {
+	u := strconv.FormatUint
+	base := []string{
+		strconv.Itoa(r.Index), r.Name, r.Scenario, r.Protection, r.Background,
+		strconv.Itoa(r.NumCores),
+	}
+	pad := func(cols ...string) []string {
+		row := append(append([]string(nil), base...), cols...)
+		for len(row) < len(CSVHeader)-1 {
+			row = append(row, "")
+		}
+		return append(row, r.Err)
+	}
+	verdict := pad("attack", "", "",
+		strconv.FormatBool(r.Detected), r.DetectedBy, r.Violation,
+		u(r.DetectLatency, 10), strconv.FormatBool(r.Contained), r.Goal,
+		u(r.InjectCycle, 10), u(r.AttackCycles, 10), u(r.TwinCycles, 10),
+		strconv.FormatFloat(r.Slowdown, 'g', -1, 64),
+		strconv.FormatBool(r.Completed), strconv.Itoa(r.Alerts))
+	if err := cw.Write(verdict); err != nil {
+		return err
+	}
+	for _, c := range r.Cores {
+		row := pad("core", c.Name, "",
+			"", "", "", "", "", "",
+			"", "", "", "", "", "",
+			u(c.Cycles, 10),
+			u(c.Instructions, 10), u(c.StallCycles, 10), u(c.LocalOps, 10),
+			u(c.BusOps, 10), u(c.BusErrors, 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Firewalls {
+		row := pad("firewall", f.ID, f.Kind,
+			"", "", "", "", "", "",
+			"", "", "", "", "", "",
+			"",
+			"", "", "", "", "",
+			u(f.Checked, 10), u(f.Allowed, 10), u(f.Blocked, 10), u(f.CheckCycles, 10),
+			u(f.CryptoCycles, 10), u(f.IntegrityFailures, 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package soc
+
+// Twin-run plumbing: the campaign engine (internal/campaign) measures what
+// an attack costs bystander traffic by running the same platform twice —
+// once attacked, once not — and comparing cycle counts. Config fully
+// determines a platform, and the simulation is deterministic, so two
+// systems built from the same Config stay cycle-identical for as long as
+// they receive identical stimuli; the first divergence is exactly the
+// injected attack.
+
+// Pair is an attacked platform and its attack-free twin.
+type Pair struct {
+	Attacked *System
+	Twin     *System
+}
+
+// NewPair builds two identical platforms from one configuration.
+func NewPair(cfg Config) (*Pair, error) {
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{Attacked: a, Twin: t}, nil
+}
+
+// Both applies fn to the attacked system and then the twin, stopping at
+// the first error. Everything up to injection must go through Both (or an
+// equivalent mirrored call) to keep the pair cycle-identical.
+func (p *Pair) Both(fn func(*System) error) error {
+	if err := fn(p.Attacked); err != nil {
+		return err
+	}
+	return fn(p.Twin)
+}
+
+// RunToCycle advances the platform to the given absolute cycle (a no-op
+// when already there or past it) and returns the cycles executed. It is
+// how a harness lines both halves of a Pair up on the injection cycle.
+func (s *System) RunToCycle(cycle uint64) uint64 {
+	now := s.Eng.Now()
+	if cycle <= now {
+		return 0
+	}
+	return s.Eng.Run(cycle - now)
+}
+
+// CoresHalted reports whether every listed core has halted (every core
+// when none are listed).
+func (s *System) CoresHalted(cores ...int) bool {
+	if len(cores) == 0 {
+		return s.AllHalted()
+	}
+	for _, i := range cores {
+		if h, _ := s.Cores[i].Halted(); !h {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilCores advances the platform until every listed core halts (every
+// core when none are listed) or max cycles elapse, returning the cycles
+// executed and whether the cores halted. Unlike Run it keeps going while
+// unrelated cores — say, a flooding attacker — never halt, which is what a
+// bystander-throughput measurement needs.
+func (s *System) RunUntilCores(max uint64, cores ...int) (uint64, bool) {
+	return s.Eng.RunUntil(func() bool { return s.CoresHalted(cores...) }, max)
+}

@@ -1,0 +1,91 @@
+package soc_test
+
+import (
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// TestPairStaysCycleIdentical: two systems built from one Config and fed
+// identical stimuli through Both must agree cycle-for-cycle — the property
+// every campaign slowdown measurement rests on.
+func TestPairStaysCycleIdentical(t *testing.T) {
+	pair, err := soc.NewPair(soc.Config{Protection: soc.Distributed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Both(func(s *soc.System) error {
+		s.HaltIdleCores(0)
+		return s.Load(0, workload.Stream(soc.BRAMBase, 64, 4, 0))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, oka := pair.Attacked.Run(1_000_000)
+	ct, okt := pair.Twin.Run(1_000_000)
+	if !oka || !okt || ca != ct {
+		t.Fatalf("twins diverged: %d (%v) vs %d (%v)", ca, oka, ct, okt)
+	}
+	if a, b := pair.Attacked.Cores[0].Stats(), pair.Twin.Cores[0].Stats(); a != b {
+		t.Fatalf("twin core stats diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunToCycleIsAbsolute(t *testing.T) {
+	s := soc.MustNew(soc.Config{})
+	s.HaltIdleCores()
+	s.RunToCycle(137)
+	if s.Eng.Now() != 137 {
+		t.Fatalf("RunToCycle(137) left engine at %d", s.Eng.Now())
+	}
+	// No-op when already past the target.
+	if ran := s.RunToCycle(100); ran != 0 || s.Eng.Now() != 137 {
+		t.Fatalf("backward RunToCycle ran %d cycles to %d", ran, s.Eng.Now())
+	}
+}
+
+// TestLoadRevivesHaltedCore pins the injection primitive: loading a
+// program onto a core that already executed halt must start it again —
+// that is how a campaign hijacks an idle IP mid-run.
+func TestLoadRevivesHaltedCore(t *testing.T) {
+	s := soc.MustNew(soc.Config{})
+	s.HaltIdleCores()
+	s.Run(100)
+	if !s.AllHalted() {
+		t.Fatal("cores did not halt")
+	}
+	const out = soc.LocalBase + 0xF100
+	s.MustLoad(1, `
+		li r1, 0xF100
+		li r2, 42
+		sw r2, 0(r1)
+		halt
+	`)
+	if s.CoresHalted(1) {
+		t.Fatal("Load left the core halted")
+	}
+	s.Run(100)
+	if got := s.Cores[1].Local().ReadWord(out); got != 42 {
+		t.Fatalf("revived core published %d, want 42", got)
+	}
+}
+
+// TestRunUntilCoresIgnoresStragglers: the bounded run must end when the
+// listed cores halt even while an unlisted one (a flooding attacker)
+// never does.
+func TestRunUntilCoresIgnoresStragglers(t *testing.T) {
+	s := soc.MustNew(soc.Config{})
+	s.HaltIdleCores(0, 2)
+	s.MustLoad(0, workload.Stream(soc.BRAMBase, 16, 4, 0))
+	s.MustLoad(2, workload.DoSFlood(soc.PlainBase)) // spins forever
+	cycles, ok := s.RunUntilCores(1_000_000, 0)
+	if !ok {
+		t.Fatalf("victim did not halt within budget (%d cycles)", cycles)
+	}
+	if h, _ := s.Cores[2].Halted(); h {
+		t.Fatal("flooding core halted?!")
+	}
+	if cycles == 0 || cycles >= 1_000_000 {
+		t.Fatalf("suspicious cycle count %d", cycles)
+	}
+}

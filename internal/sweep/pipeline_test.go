@@ -1,0 +1,138 @@
+package sweep_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+// TestSliceUniformIsRoundRobin: with no weights the balanced assignment
+// must degenerate to the historical round-robin rule (i % Count == Index).
+func TestSliceUniformIsRoundRobin(t *testing.T) {
+	const n, shards = 17, 3
+	for s := 0; s < shards; s++ {
+		sh := sweep.Shard{Index: s, Count: shards}
+		for _, i := range sh.Slice(n, nil) {
+			if i%shards != s {
+				t.Fatalf("uniform Slice gave shard %s index %d", sh, i)
+			}
+		}
+	}
+}
+
+// TestSlicePartitions: whatever the weights, every index lands in exactly
+// one shard — a mis-partitioned sweep is a silently incomplete dataset.
+func TestSlicePartitions(t *testing.T) {
+	weights := make([]float64, 23)
+	for i := range weights {
+		weights[i] = float64(1 + i%5)
+	}
+	seen := map[int]int{}
+	for s := 0; s < 4; s++ {
+		prev := -1
+		for _, i := range (sweep.Shard{Index: s, Count: 4}).Slice(len(weights), weights) {
+			seen[i]++
+			if i <= prev {
+				t.Fatalf("shard %d indices not strictly ascending: %d after %d", s, i, prev)
+			}
+			prev = i
+		}
+	}
+	if len(seen) != len(weights) {
+		t.Fatalf("shards covered %d of %d indices", len(seen), len(weights))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d assigned %d times", i, c)
+		}
+	}
+}
+
+// TestSliceBalancesWeights: the point of cost-aware sharding — shard loads
+// must stay within one grid point of each other even when weights are
+// skewed 3x, where round-robin can concentrate the expensive points.
+func TestSliceBalancesWeights(t *testing.T) {
+	// Alternating cheap/expensive, the shape a protection-outermost grid
+	// produces after interleaving: round-robin with 2 shards would give
+	// one shard all the 3x points.
+	weights := make([]float64, 24)
+	var max float64
+	for i := range weights {
+		weights[i] = 1
+		if i%2 == 1 {
+			weights[i] = 3
+		}
+		if weights[i] > max {
+			max = weights[i]
+		}
+	}
+	loads := make([]float64, 2)
+	for s := range loads {
+		for _, i := range (sweep.Shard{Index: s, Count: 2}).Slice(len(weights), weights) {
+			loads[s] += weights[i]
+		}
+	}
+	diff := loads[0] - loads[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > max {
+		t.Fatalf("balanced slice loads %v differ by %.0f (> max weight %.0f)", loads, diff, max)
+	}
+	// And round-robin on the same weights really is worse — otherwise this
+	// test proves nothing.
+	rr := make([]float64, 2)
+	for i, w := range weights {
+		rr[i%2] += w
+	}
+	rrDiff := rr[0] - rr[1]
+	if rrDiff < 0 {
+		rrDiff = -rrDiff
+	}
+	if rrDiff <= diff {
+		t.Fatalf("round-robin (%v) not worse than balanced (%v) on this fixture", rr, loads)
+	}
+}
+
+// TestConfigWeightOrdersProtections pins the cost model's shape rather
+// than its constants: centralized > distributed > unprotected.
+func TestConfigWeightOrdersProtections(t *testing.T) {
+	un := sweep.Config{Protection: soc.Unprotected}.Weight()
+	di := sweep.Config{Protection: soc.Distributed}.Weight()
+	ce := sweep.Config{Protection: soc.Centralized}.Weight()
+	if !(ce > di && di > un && un > 0) {
+		t.Fatalf("weights not ordered: unprotected=%v distributed=%v centralized=%v", un, di, ce)
+	}
+}
+
+// TestStreamGenericRecord: the streaming core must work for any record
+// type — ordered emission, worker independence — since the campaign rides
+// it with its own Record.
+func TestStreamGenericRecord(t *testing.T) {
+	type rec struct {
+		idx int
+		val string
+	}
+	for _, workers := range []int{1, 4} {
+		var got []rec
+		err := sweep.Stream(9, sweep.Shard{}, nil, workers, func(i int) rec {
+			return rec{idx: i, val: fmt.Sprintf("r%d", i)}
+		}, func(r rec) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 9 {
+			t.Fatalf("emitted %d of 9", len(got))
+		}
+		for i, r := range got {
+			if r.idx != i || r.val != fmt.Sprintf("r%d", i) {
+				t.Fatalf("workers=%d: position %d holds %+v", workers, i, r)
+			}
+		}
+	}
+}

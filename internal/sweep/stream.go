@@ -17,14 +17,7 @@ import (
 // the concatenation of all shards' streams (via Merge) is identical to an
 // unsharded run.
 func WriteJSONL(w io.Writer, cfgs []Config, sh Shard, workers int) error {
-	return Each(cfgs, sh, workers, func(r RunResult) error {
-		data, err := json.Marshal(r)
-		if err != nil {
-			return err
-		}
-		_, err = w.Write(append(data, '\n'))
-		return err
-	})
+	return Each(cfgs, sh, workers, EmitJSONL[RunResult](w))
 }
 
 // CSVHeader is the column set of the CSV export. The format is long/tidy:

@@ -88,9 +88,15 @@ func TestShardsPartitionTheGrid(t *testing.T) {
 	seen := map[int]int{}
 	for i := 0; i < 3; i++ {
 		sh := sweep.Shard{Index: i, Count: 3}
+		// Shards slice cost-aware (protection-weighted), so ownership is
+		// defined by Slice, not the round-robin Owns rule.
+		owned := map[int]bool{}
+		for _, idx := range sh.Slice(len(grid), sweep.Weights(grid)) {
+			owned[idx] = true
+		}
 		if err := sweep.Each(grid, sh, 2, func(r sweep.RunResult) error {
 			seen[r.Index]++
-			if !sh.Owns(r.Index) {
+			if !owned[r.Index] {
 				t.Fatalf("shard %s emitted foreign index %d", sh, r.Index)
 			}
 			return nil

@@ -20,10 +20,8 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/bus"
 	"repro/internal/core"
@@ -168,8 +166,9 @@ func Grid(prots []soc.Protection, workloads, targets []string, coreCounts []int,
 }
 
 // Shard selects a deterministic subset of a grid for one process of a
-// multi-process sweep: the points whose global index i satisfies
-// i % Count == Index. The zero value selects the whole grid.
+// multi-process sweep: shard Index of Count under the cost-balanced
+// assignment computed by Slice (exact round-robin when all grid points
+// weigh the same). The zero value selects the whole grid.
 type Shard struct {
 	Index int
 	Count int
@@ -221,120 +220,50 @@ func (s Shard) Validate() error {
 	return nil
 }
 
-// Owns reports whether grid index i belongs to this shard.
-func (s Shard) Owns(i int) bool {
-	s = s.normalized()
-	return i%s.Count == s.Index
-}
-
 // String renders the -shard syntax.
 func (s Shard) String() string {
 	s = s.normalized()
 	return fmt.Sprintf("%d/%d", s.Index, s.Count)
 }
 
+// Weight estimates the grid point's relative cost for shard balancing.
+// The dominant driver is the protection architecture: a centralized run
+// pays two extra protocol transactions per access against a serialized
+// checker (~3x a generic run), a distributed run pays the per-interface
+// Security Builder latency (~1.5x).
+func (c Config) Weight() float64 {
+	switch c.Protection {
+	case soc.Centralized:
+		return 3
+	case soc.Distributed:
+		return 1.5
+	default:
+		return 1
+	}
+}
+
+// Weights maps Config.Weight over a grid, in the form Shard.Slice and
+// Stream consume.
+func Weights(cfgs []Config) []float64 {
+	w := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		w[i] = c.Weight()
+	}
+	return w
+}
+
 // Each executes this shard's portion of the grid on a pool of workers
 // (GOMAXPROCS when workers <= 0) and calls emit once per run, in ascending
-// global grid index order, from the calling goroutine. Runs completing out
-// of order wait in a reorder buffer bounded at 2x the worker count:
-// dispatch is credit-gated, so a slow run at the head of the grid stalls
-// the workers rather than letting completed runs pile up — the full grid
-// is never buffered, which is what lets sweeps stream arbitrarily large
-// grids.
-//
-// An error from emit cancels the sweep: no further grid points are
-// dispatched (in-flight runs finish and are discarded) and Each returns
-// that error, so a dead output sink does not burn the rest of the grid.
+// global grid index order, from the calling goroutine — see Stream for the
+// reorder-buffer and cancellation contract. Shards slice the grid
+// cost-aware (Weights), so multi-process sweeps balance wall-clock even
+// though centralized grid points run ~3x longer.
 func Each(cfgs []Config, sh Shard, workers int, emit func(RunResult) error) error {
-	if err := sh.Validate(); err != nil {
-		return err
-	}
-	var idxs []int
-	for i := range cfgs {
-		if sh.Owns(i) {
-			idxs = append(idxs, i)
-		}
-	}
-	if len(idxs) == 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(idxs) {
-		workers = len(idxs)
-	}
-
-	// Dispatch credits bound completed-but-not-yet-emitted runs: each
-	// dispatched grid point holds one credit until its result is emitted
-	// in order, so at most `window` results ever wait in the reorder
-	// buffer or the results channel.
-	window := 2 * workers
-	credits := make(chan struct{}, window)
-	for j := 0; j < window; j++ {
-		credits <- struct{}{}
-	}
-
-	jobs := make(chan int)
-	results := make(chan RunResult, workers)
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				r := RunOne(cfgs[i])
-				r.Index = i
-				results <- r
-			}
-		}()
-	}
-	go func() {
-		defer close(jobs)
-		for _, i := range idxs {
-			select {
-			case <-credits:
-			case <-stop:
-				return
-			}
-			select {
-			case jobs <- i:
-			case <-stop:
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	// Index-ordered reorder buffer: emit strictly in grid order so every
-	// downstream encoding is independent of scheduling.
-	pending := make(map[int]RunResult, window)
-	next := 0
-	var emitErr error
-	for r := range results {
-		if emitErr != nil {
-			continue // draining in-flight runs after cancellation
-		}
-		pending[r.Index] = r
-		for next < len(idxs) {
-			rdy, ok := pending[idxs[next]]
-			if !ok {
-				break
-			}
-			delete(pending, idxs[next])
-			next++
-			if emitErr = emit(rdy); emitErr != nil {
-				close(stop)
-				break
-			}
-			credits <- struct{}{}
-		}
-	}
-	return emitErr
+	return Stream(len(cfgs), sh, Weights(cfgs), workers, func(i int) RunResult {
+		r := RunOne(cfgs[i])
+		r.Index = i
+		return r
+	}, emit)
 }
 
 // Run executes every config and returns the fully buffered report in grid

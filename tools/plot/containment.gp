@@ -1,0 +1,51 @@
+# containment.gp — the paper-style detection-latency chart from a campaign
+# CSV: one cluster of bars per attack scenario, one bar per protection
+# architecture, height = cycles from injection to the first attributed
+# firewall alert. Undetected attacks plot at zero — visibly absent bars are
+# the point: the unprotected and centralized platforms have no bar to show
+# for the external-memory attacks.
+#
+# Usage:
+#   mpsocsim -attack -format csv -sweep-out campaign.csv
+#   gnuplot -e "csv='campaign.csv'" tools/plot/containment.gp
+#   # writes containment.svg (override with -e "out='...'")
+#
+# Column map of the campaign CSV (see internal/campaign CSVHeader):
+#   3=scenario 4=protection 7=scope 10=detected 13=detect_latency
+#   14=contained 19=slowdown
+# Only scope==attack rows carry the verdict; core/firewall breakdown rows
+# are filtered out below.
+
+if (!exists("csv")) csv = 'campaign.csv'
+if (!exists("out")) out = 'containment.svg'
+
+set terminal svg size 960,520 dynamic background rgb 'white'
+set output out
+set datafile separator ','
+
+set title 'Detection latency by scenario and protection architecture'
+set ylabel 'cycles from injection to first firewall alert'
+set style data histogram
+set style histogram clustered gap 2
+set style fill solid 0.85 border rgb 'black'
+set boxwidth 0.9
+set xtics rotate by -25 scale 0
+set grid ytics
+set key top left
+
+# One filtered stream per protection: scope==attack rows only; undetected
+# runs contribute latency 0.
+rows(p) = sprintf("< awk -F, '$7==\"attack\" && $4==\"%s\" {print}' %s", p, csv)
+
+# Note: the goal column (15) may contain quoted commas, but every column
+# read here (3, 4, 7, 10, 13) comes before it, so naive comma splitting in
+# awk and gnuplot stays aligned.
+lat(det, cycles) = (det eq "true") ? cycles : 0
+
+plot \
+  rows('unprotected')           using (lat(strcol(10), $13)):xtic(3) \
+      title 'unprotected'           linecolor rgb '#b0b0b0', \
+  rows('centralized-sem')       using (lat(strcol(10), $13)) \
+      title 'centralized SEM'       linecolor rgb '#e08214', \
+  rows('distributed-firewalls') using (lat(strcol(10), $13)) \
+      title 'distributed firewalls' linecolor rgb '#2c7bb6'
