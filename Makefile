@@ -3,7 +3,8 @@
 #   make verify       # gofmt, vet, build, full tests, race tests on the hot packages
 #   make determinism  # sweep + attack campaign twice (different worker counts) + shard/merge, fail on any byte diff
 #   make attack       # the paper's detection matrix (one-command repro)
-#   make bench-smoke  # short throughput benchmark so regressions surface in CI logs
+#   make bench-smoke  # short throughput benchmarks so regressions surface in CI logs
+#   make bench-json   # benchmark suite -> build/BENCH_<pr>.json (perf trajectory; CI artifact)
 #   make ci           # exactly what .github/workflows/ci.yml runs
 #   make bench        # one-shot BenchmarkEngineThroughput with allocation stats
 
@@ -17,15 +18,19 @@ SWEEP_GRID := -sweep-protections unprotected,distributed,centralized \
               -accesses 16 -compute 4 -max 2000000
 
 # Campaign grid for the determinism gate: one attack per family plus the
-# DoS flood, under benign background load, against all three protections.
+# DoS flood, under benign background load — internal (stream) and
+# external-memory (secure-stream/secure-scrub through the CM+IM zone,
+# cipher-mix through the CM zone, all crossing the LCF) — against all
+# three protections.
 ATTACK_GRID := -attack-scenarios tamper,zone-escape,dos-flood \
                -sweep-protections unprotected,distributed,centralized \
-               -attack-cores 3 -attack-backgrounds stream \
+               -attack-cores 3 \
+               -attack-backgrounds stream,secure-stream,secure-scrub,cipher-mix \
                -accesses 64 -inject-delay 100 -max 2000000
 
-.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench clean
+.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench bench-json clean
 
-ci: verify determinism attack bench-smoke
+ci: verify determinism attack bench-smoke bench-json
 
 verify: fmt vet build test race
 
@@ -72,17 +77,43 @@ determinism:
 	@echo "determinism: OK (sweep + campaign worker-count invariant, shard/merge byte-identical)"
 
 # attack: the paper's detection matrix on your terminal — every default
-# scenario against all three architectures, under benign background load.
+# scenario against all three architectures, under internal and
+# external-memory benign background load.
 attack:
 	@mkdir -p $(BUILD)
 	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
-	$(BUILD)/mpsocsim -attack -format table
+	$(BUILD)/mpsocsim -attack -format table \
+		-attack-backgrounds stream,secure-scrub,cipher-mix
 
+# bench-smoke: short end-to-end benchmarks so regressions on the engine
+# and the secured memory path surface in CI logs (the crypto-stack
+# microbenchmarks ride along from internal/hashtree).
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=100x -benchmem .
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEngineThroughput|BenchmarkSecureMemoryThroughput' \
+		-benchtime=100x -benchmem .
+	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem ./internal/hashtree
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineThroughput -benchtime=1x -benchmem .
+
+# bench-json: the perf trajectory. Runs the host-speed benchmark suite
+# (headline throughput numbers plus the crypto-stack micro set) and
+# converts the output to $(BUILD)/BENCH_$(PR).json — benchmark name ->
+# ns/op, allocs/op and custom metrics — which CI uploads as an artifact so
+# future PRs can diff against it. CI always overrides PR= with the pull
+# request (or run) number; the default only labels local runs.
+PR ?= 4
+bench-json:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/benchjson ./tools/benchjson
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEngineThroughput|BenchmarkSecureMemoryThroughput' \
+		-benchtime=100x -benchmem . > $(BUILD)/bench.txt
+	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem \
+		./internal/aes ./internal/hashtree ./internal/core >> $(BUILD)/bench.txt
+	$(BUILD)/benchjson < $(BUILD)/bench.txt > $(BUILD)/BENCH_$(PR).json
+	@echo "wrote $(BUILD)/BENCH_$(PR).json"
 
 clean:
 	rm -rf $(BUILD)

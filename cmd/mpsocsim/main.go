@@ -71,7 +71,7 @@ func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("mpsocsim", flag.ContinueOnError)
 	fs.StringVar(&o.protection, "protection", "distributed", "unprotected | distributed | centralized")
 	fs.BoolVar(&o.topology, "topology", false, "print the platform topology (Figure 1) and exit")
-	fs.StringVar(&o.workload, "workload", "matmul", "matmul | memcopy | stream | mix | producer-consumer")
+	fs.StringVar(&o.workload, "workload", "matmul", "matmul | memcopy | stream | scrub | mix | producer-consumer")
 	fs.IntVar(&o.compute, "compute", 16, "mix: compute iterations per access")
 	fs.IntVar(&o.accesses, "accesses", 200, "mix/stream: number of accesses")
 	fs.StringVar(&o.target, "target", "internal", "mix/stream target: internal | external | cipher | plain")
@@ -96,7 +96,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.attackScens, "attack-scenarios", strings.Join(attack.DefaultNames(), ","),
 		"attack: scenario axis")
 	fs.StringVar(&o.attackBgs, "attack-backgrounds", campaign.DefaultBackground,
-		"attack: benign background kernels on non-attacker cores (stream | mix | memcopy | none)")
+		"attack: benign background kernels on non-attacker cores ("+
+			strings.Join(campaign.BackgroundNames(), " | ")+" | none); the secure-*/cipher-* kernels run in external memory, through the LCF")
 	fs.StringVar(&o.attackCores, "attack-cores", "3", "attack: core-count axis")
 	fs.Uint64Var(&o.injectDelay, "inject-delay", campaign.DefaultInjectDelay,
 		"attack: cycles after background start at which the attack fires; must be shorter than the background's runtime (0 selects the default, use 1 to fire at start)")

@@ -8,6 +8,16 @@
 // (11-cycle block latency, ≈450 Mb/s sustained throughput at 100 MHz,
 // Table II). The functional and timing halves are deliberately separate:
 // the LCF consumes both.
+//
+// Host-side speed matters independently of the modeled cycles: the
+// simulator executes one real AES per modeled CC operation and one per
+// Davies–Meyer step of the Integrity Core, so the round function is
+// implemented with the standard T-table formulation (four 256-entry tables
+// merging SubBytes, ShiftRows and MixColumns per column) and key schedules
+// live in caller-provided fixed arrays (Schedule / InvSchedule) so hashing
+// with a fresh key per block — the IC's access pattern — allocates nothing.
+// None of this changes any simulated-cycle accounting, which comes solely
+// from the Timing descriptors.
 package aes
 
 import "fmt"
@@ -21,10 +31,22 @@ const KeySize = 16
 // rounds for AES-128.
 const rounds = 10
 
+// nrk is the number of 32-bit round-key words for AES-128.
+const nrk = 4 * (rounds + 1)
+
 // sbox is the FIPS-197 substitution table, generated from the finite-field
 // inverse at init time (no hard-coded table to transcribe wrongly).
 var sbox [256]byte
 var invSbox [256]byte
+
+// T-tables: each entry is one column's worth of SubBytes+MixColumns for a
+// single input byte; the four tables are byte-rotations of each other so
+// the four bytes of a state column each index their own table.
+var te0, te1, te2, te3 [256]uint32
+var td0, td1, td2, td3 [256]uint32
+
+// Inverse MixColumns coefficient tables (9, 11, 13, 14), filled by init.
+var mul9, mul11, mul13, mul14 [256]byte
 
 func init() {
 	// Multiplicative inverse in GF(2^8) via 3 being a generator:
@@ -54,6 +76,29 @@ func init() {
 		mul13[i] = gmul(byte(i), 13)
 		mul14[i] = gmul(byte(i), 14)
 	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		w = w>>8 | w<<24
+		te1[i] = w
+		w = w>>8 | w<<24
+		te2[i] = w
+		w = w>>8 | w<<24
+		te3[i] = w
+
+		is := invSbox[i]
+		w = uint32(mul14[is])<<24 | uint32(mul9[is])<<16 | uint32(mul13[is])<<8 | uint32(mul11[is])
+		td0[i] = w
+		w = w>>8 | w<<24
+		td1[i] = w
+		w = w>>8 | w<<24
+		td2[i] = w
+		w = w>>8 | w<<24
+		td3[i] = w
+	}
 }
 
 func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
@@ -80,9 +125,134 @@ func gmul(a, b byte) byte {
 	return p
 }
 
-// Cipher is an expanded AES-128 key. It is immutable after New.
+// Schedule is an expanded AES-128 encryption key. The zero value is not a
+// valid schedule; call Expand first. It lives wherever the caller puts it —
+// on the stack, embedded in a struct — so per-block rekeying (the Integrity
+// Core's Davies–Meyer compression) costs no heap allocation.
+type Schedule struct {
+	rk [nrk]uint32 // round keys, big-endian words as in FIPS-197
+}
+
+// Expand fills the schedule from a 16-byte key.
+func (s *Schedule) Expand(key *[16]byte) {
+	rk := &s.rk
+	for i := 0; i < 4; i++ {
+		rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := 4; i < nrk; i++ {
+		t := rk[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ rcon
+			rcon = uint32(xtime(byte(rcon>>24))) << 24
+		}
+		rk[i] = rk[i-4] ^ t
+	}
+}
+
+// Encrypt enciphers one block; dst and src may be the same array.
+func (s *Schedule) Encrypt(dst, src *[16]byte) {
+	rk := &s.rk
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+	k := 4
+	for r := 1; r < rounds; r++ {
+		t0 := rk[k] ^ te0[s0>>24] ^ te1[s1>>16&0xFF] ^ te2[s2>>8&0xFF] ^ te3[s3&0xFF]
+		t1 := rk[k+1] ^ te0[s1>>24] ^ te1[s2>>16&0xFF] ^ te2[s3>>8&0xFF] ^ te3[s0&0xFF]
+		t2 := rk[k+2] ^ te0[s2>>24] ^ te1[s3>>16&0xFF] ^ te2[s0>>8&0xFF] ^ te3[s1&0xFF]
+		t3 := rk[k+3] ^ te0[s3>>24] ^ te1[s0>>16&0xFF] ^ te2[s1>>8&0xFF] ^ te3[s2&0xFF]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xFF])<<16 | uint32(sbox[s2>>8&0xFF])<<8 | uint32(sbox[s3&0xFF])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xFF])<<16 | uint32(sbox[s3>>8&0xFF])<<8 | uint32(sbox[s0&0xFF])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xFF])<<16 | uint32(sbox[s0>>8&0xFF])<<8 | uint32(sbox[s1&0xFF])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xFF])<<16 | uint32(sbox[s1>>8&0xFF])<<8 | uint32(sbox[s2&0xFF])
+	o0 ^= rk[k]
+	o1 ^= rk[k+1]
+	o2 ^= rk[k+2]
+	o3 ^= rk[k+3]
+	putWord(dst, 0, o0)
+	putWord(dst, 4, o1)
+	putWord(dst, 8, o2)
+	putWord(dst, 12, o3)
+}
+
+// InvSchedule is an expanded AES-128 decryption key (the "equivalent
+// inverse cipher" of FIPS-197 §5.3.5: encryption round keys reversed, with
+// InvMixColumns applied to the middle rounds so the decryption round can
+// use the same table-merged formulation as encryption).
+type InvSchedule struct {
+	rk [nrk]uint32
+}
+
+// Expand derives the decryption schedule from an encryption schedule.
+func (s *InvSchedule) Expand(enc *Schedule) {
+	for i := 0; i < nrk; i += 4 {
+		ei := nrk - i - 4
+		for j := 0; j < 4; j++ {
+			x := enc.rk[ei+j]
+			if i > 0 && i+4 < nrk {
+				// InvMixColumns via the td tables: td0[sbox[b]]
+				// is the inverse-mixed column of byte b.
+				x = td0[sbox[x>>24]] ^ td1[sbox[x>>16&0xFF]] ^ td2[sbox[x>>8&0xFF]] ^ td3[sbox[x&0xFF]]
+			}
+			s.rk[i+j] = x
+		}
+	}
+}
+
+// Decrypt deciphers one block; dst and src may be the same array.
+func (s *InvSchedule) Decrypt(dst, src *[16]byte) {
+	rk := &s.rk
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+	k := 4
+	for r := 1; r < rounds; r++ {
+		t0 := rk[k] ^ td0[s0>>24] ^ td1[s3>>16&0xFF] ^ td2[s2>>8&0xFF] ^ td3[s1&0xFF]
+		t1 := rk[k+1] ^ td0[s1>>24] ^ td1[s0>>16&0xFF] ^ td2[s3>>8&0xFF] ^ td3[s2&0xFF]
+		t2 := rk[k+2] ^ td0[s2>>24] ^ td1[s1>>16&0xFF] ^ td2[s0>>8&0xFF] ^ td3[s3&0xFF]
+		t3 := rk[k+3] ^ td0[s3>>24] ^ td1[s2>>16&0xFF] ^ td2[s1>>8&0xFF] ^ td3[s0&0xFF]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	o0 := uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xFF])<<16 | uint32(invSbox[s2>>8&0xFF])<<8 | uint32(invSbox[s1&0xFF])
+	o1 := uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xFF])<<16 | uint32(invSbox[s3>>8&0xFF])<<8 | uint32(invSbox[s2&0xFF])
+	o2 := uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xFF])<<16 | uint32(invSbox[s0>>8&0xFF])<<8 | uint32(invSbox[s3&0xFF])
+	o3 := uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xFF])<<16 | uint32(invSbox[s1>>8&0xFF])<<8 | uint32(invSbox[s0&0xFF])
+	o0 ^= rk[k]
+	o1 ^= rk[k+1]
+	o2 ^= rk[k+2]
+	o3 ^= rk[k+3]
+	putWord(dst, 0, o0)
+	putWord(dst, 4, o1)
+	putWord(dst, 8, o2)
+	putWord(dst, 12, o3)
+}
+
+func putWord(dst *[16]byte, i int, w uint32) {
+	dst[i], dst[i+1], dst[i+2], dst[i+3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+}
+
+// Cipher is an expanded AES-128 key pair (encryption + decryption
+// schedules). It is immutable after New.
 type Cipher struct {
-	rk [4 * (rounds + 1)]uint32 // round keys, big-endian words as in FIPS-197
+	enc Schedule
+	dec InvSchedule
 }
 
 // New expands a 16-byte key. It returns an error for any other length.
@@ -91,19 +261,8 @@ func New(key []byte) (*Cipher, error) {
 		return nil, fmt.Errorf("aes: key length %d, want %d", len(key), KeySize)
 	}
 	c := &Cipher{}
-	for i := 0; i < 4; i++ {
-		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
-			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
-	}
-	rcon := uint32(1) << 24
-	for i := 4; i < len(c.rk); i++ {
-		t := c.rk[i-1]
-		if i%4 == 0 {
-			t = subWord(rotWord(t)) ^ rcon
-			rcon = uint32(xtime(byte(rcon>>24))) << 24
-		}
-		c.rk[i] = c.rk[i-4] ^ t
-	}
+	c.enc.Expand((*[16]byte)(key))
+	c.dec.Expand(&c.enc)
 	return c, nil
 }
 
@@ -123,116 +282,13 @@ func subWord(w uint32) uint32 {
 		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
 }
 
-// state is the 4x4 byte state in column-major order (FIPS-197 layout):
-// s[r][c] = in[r + 4c].
-type state [4][4]byte
-
-func load(dst *state, src []byte) {
-	for c := 0; c < 4; c++ {
-		for r := 0; r < 4; r++ {
-			dst[r][c] = src[4*c+r]
-		}
-	}
-}
-
-func store(dst []byte, s *state) {
-	for c := 0; c < 4; c++ {
-		for r := 0; r < 4; r++ {
-			dst[4*c+r] = s[r][c]
-		}
-	}
-}
-
-func (c *Cipher) addRoundKey(s *state, round int) {
-	for col := 0; col < 4; col++ {
-		w := c.rk[4*round+col]
-		s[0][col] ^= byte(w >> 24)
-		s[1][col] ^= byte(w >> 16)
-		s[2][col] ^= byte(w >> 8)
-		s[3][col] ^= byte(w)
-	}
-}
-
-func subBytes(s *state) {
-	for r := 0; r < 4; r++ {
-		for c := 0; c < 4; c++ {
-			s[r][c] = sbox[s[r][c]]
-		}
-	}
-}
-
-func invSubBytes(s *state) {
-	for r := 0; r < 4; r++ {
-		for c := 0; c < 4; c++ {
-			s[r][c] = invSbox[s[r][c]]
-		}
-	}
-}
-
-func shiftRows(s *state) {
-	for r := 1; r < 4; r++ {
-		var tmp [4]byte
-		for c := 0; c < 4; c++ {
-			tmp[c] = s[r][(c+r)%4]
-		}
-		s[r] = tmp
-	}
-}
-
-func invShiftRows(s *state) {
-	for r := 1; r < 4; r++ {
-		var tmp [4]byte
-		for c := 0; c < 4; c++ {
-			tmp[(c+r)%4] = s[r][c]
-		}
-		s[r] = tmp
-	}
-}
-
-func mixColumns(s *state) {
-	for c := 0; c < 4; c++ {
-		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
-		// 2·a = xtime(a), 3·a = xtime(a) ^ a: no general multiply needed.
-		x0, x1, x2, x3 := xtime(a0), xtime(a1), xtime(a2), xtime(a3)
-		s[0][c] = x0 ^ x1 ^ a1 ^ a2 ^ a3
-		s[1][c] = a0 ^ x1 ^ x2 ^ a2 ^ a3
-		s[2][c] = a0 ^ a1 ^ x2 ^ x3 ^ a3
-		s[3][c] = x0 ^ a0 ^ a1 ^ a2 ^ x3
-	}
-}
-
-// Inverse MixColumns coefficient tables (9, 11, 13, 14), filled by init.
-var mul9, mul11, mul13, mul14 [256]byte
-
-func invMixColumns(s *state) {
-	for c := 0; c < 4; c++ {
-		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
-		s[0][c] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
-		s[1][c] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
-		s[2][c] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
-		s[3][c] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
-	}
-}
-
 // Encrypt enciphers one 16-byte block; dst and src may overlap. It panics
 // on short slices (programming error, not data error).
 func (c *Cipher) Encrypt(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: short block")
 	}
-	var s state
-	load(&s, src)
-	c.addRoundKey(&s, 0)
-	for round := 1; round < rounds; round++ {
-		subBytes(&s)
-		shiftRows(&s)
-		mixColumns(&s)
-		c.addRoundKey(&s, round)
-	}
-	subBytes(&s)
-	shiftRows(&s)
-	c.addRoundKey(&s, rounds)
-	store(dst, &s)
+	c.enc.Encrypt((*[16]byte)(dst), (*[16]byte)(src))
 }
 
 // Decrypt deciphers one 16-byte block; dst and src may overlap.
@@ -240,34 +296,17 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: short block")
 	}
-	var s state
-	load(&s, src)
-	c.addRoundKey(&s, rounds)
-	invShiftRows(&s)
-	invSubBytes(&s)
-	for round := rounds - 1; round >= 1; round-- {
-		c.addRoundKey(&s, round)
-		invMixColumns(&s)
-		invShiftRows(&s)
-		invSubBytes(&s)
-	}
-	c.addRoundKey(&s, 0)
-	store(dst, &s)
+	c.dec.Decrypt((*[16]byte)(dst), (*[16]byte)(src))
 }
 
-// EncryptBlock is a convenience returning a fresh ciphertext slice.
-func (c *Cipher) EncryptBlock(src []byte) []byte {
-	out := make([]byte, BlockSize)
-	c.Encrypt(out, src)
-	return out
-}
+// EncryptBlock enciphers one block between fixed arrays — the zero-
+// allocation entry point for hot callers (the LCF's XEX block loop). dst
+// and src may be the same array.
+func (c *Cipher) EncryptBlock(dst, src *[16]byte) { c.enc.Encrypt(dst, src) }
 
-// DecryptBlock is a convenience returning a fresh plaintext slice.
-func (c *Cipher) DecryptBlock(src []byte) []byte {
-	out := make([]byte, BlockSize)
-	c.Decrypt(out, src)
-	return out
-}
+// DecryptBlock deciphers one block between fixed arrays; dst and src may
+// be the same array.
+func (c *Cipher) DecryptBlock(dst, src *[16]byte) { c.dec.Decrypt(dst, src) }
 
 // Timing describes the hardware Confidentiality Core implementation
 // measured in the paper: a block enters the core and emerges Latency

@@ -7,6 +7,20 @@ import (
 	"testing/quick"
 )
 
+// encryptBlock / decryptBlock are slice-convenience wrappers for the
+// fixed-array block ops, test-local so production callers stay zero-alloc.
+func encryptBlock(c *Cipher, src []byte) []byte {
+	out := make([]byte, BlockSize)
+	c.Encrypt(out, src)
+	return out
+}
+
+func decryptBlock(c *Cipher, src []byte) []byte {
+	out := make([]byte, BlockSize)
+	c.Decrypt(out, src)
+	return out
+}
+
 func unhex(t *testing.T, s string) []byte {
 	t.Helper()
 	b, err := hex.DecodeString(s)
@@ -22,11 +36,11 @@ func TestFIPS197AppendixB(t *testing.T) {
 	pt := unhex(t, "3243f6a8885a308d313198a2e0370734")
 	want := unhex(t, "3925841d02dc09fbdc118597196a0b32")
 	c := MustNew(key)
-	got := c.EncryptBlock(pt)
+	got := encryptBlock(c, pt)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("Encrypt = %x, want %x", got, want)
 	}
-	back := c.DecryptBlock(got)
+	back := decryptBlock(c, got)
 	if !bytes.Equal(back, pt) {
 		t.Fatalf("Decrypt = %x, want %x", back, pt)
 	}
@@ -38,7 +52,7 @@ func TestFIPS197AppendixC1(t *testing.T) {
 	pt := unhex(t, "00112233445566778899aabbccddeeff")
 	want := unhex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
 	c := MustNew(key)
-	if got := c.EncryptBlock(pt); !bytes.Equal(got, want) {
+	if got := encryptBlock(c, pt); !bytes.Equal(got, want) {
 		t.Fatalf("Encrypt = %x, want %x", got, want)
 	}
 }
@@ -55,7 +69,7 @@ func TestNISTSP800_38A_ECB(t *testing.T) {
 		{"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
 	}
 	for i, v := range vectors {
-		if got := c.EncryptBlock(unhex(t, v.pt)); !bytes.Equal(got, unhex(t, v.ct)) {
+		if got := encryptBlock(c, unhex(t, v.pt)); !bytes.Equal(got, unhex(t, v.ct)) {
 			t.Errorf("vector %d: got %x, want %s", i, got, v.ct)
 		}
 	}
@@ -94,8 +108,8 @@ func TestSboxIsPermutationAndMatchesKnownEntries(t *testing.T) {
 func TestEncryptDecryptRoundTripProperty(t *testing.T) {
 	prop := func(key, pt [16]byte) bool {
 		c := MustNew(key[:])
-		ct := c.EncryptBlock(pt[:])
-		back := c.DecryptBlock(ct)
+		ct := encryptBlock(c, pt[:])
+		back := decryptBlock(c, ct)
 		return bytes.Equal(back, pt[:]) && !bytes.Equal(ct, pt[:])
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
@@ -107,9 +121,9 @@ func TestAvalancheOnPlaintextBitFlip(t *testing.T) {
 	key := unhex(t, "000102030405060708090a0b0c0d0e0f")
 	c := MustNew(key)
 	pt := make([]byte, 16)
-	base := c.EncryptBlock(pt)
+	base := encryptBlock(c, pt)
 	pt[0] ^= 1
-	flipped := c.EncryptBlock(pt)
+	flipped := encryptBlock(c, pt)
 	diff := 0
 	for i := range base {
 		diff += popcount(base[i] ^ flipped[i])

@@ -1,0 +1,96 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDifferentialAgainstCryptoAES cross-checks the T-table core against
+// the standard library on random keys and blocks: encrypt must match
+// crypto/aes bit for bit, decrypt must match and round-trip, and the
+// zero-alloc Schedule/InvSchedule entry points must agree with the Cipher
+// wrapper. This is the guard that keeps the host-speed rewrite pinned to
+// FIPS-197: any divergence in the table generation, the round function or
+// the equivalent-inverse key schedule fails here before it can corrupt a
+// sealed memory image.
+func TestDifferentialAgainstCryptoAES(t *testing.T) {
+	rng := sim.NewRNG(0xAE5)
+	var key, pt [16]byte
+	for trial := 0; trial < 2000; trial++ {
+		rng.Bytes(key[:])
+		rng.Bytes(pt[:])
+
+		ref, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt[:])
+
+		c := MustNew(key[:])
+		got := encryptBlock(c, pt[:])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: Encrypt(key=%x, pt=%x) = %x, want %x", trial, key, pt, got, want)
+		}
+
+		// Decrypt of the reference ciphertext must return the plaintext,
+		// and match crypto/aes's own decryption.
+		wantPt := make([]byte, 16)
+		ref.Decrypt(wantPt, want)
+		if !bytes.Equal(wantPt, pt[:]) {
+			t.Fatalf("trial %d: crypto/aes round-trip broken", trial)
+		}
+		back := decryptBlock(c, want)
+		if !bytes.Equal(back, pt[:]) {
+			t.Fatalf("trial %d: Decrypt(%x) = %x, want %x", trial, want, back, pt)
+		}
+
+		// The fixed-array block methods must agree with the slice API.
+		var actt, acpt [16]byte
+		copy(acpt[:], pt[:])
+		c.EncryptBlock(&actt, &acpt)
+		if !bytes.Equal(actt[:], want) {
+			t.Fatalf("trial %d: EncryptBlock diverged from Encrypt", trial)
+		}
+		c.DecryptBlock(&actt, &actt)
+		if actt != pt {
+			t.Fatalf("trial %d: DecryptBlock did not invert EncryptBlock", trial)
+		}
+
+		// The raw schedule entry points (the Integrity Core's path) must
+		// agree with the wrapper, in-place included.
+		var ks Schedule
+		ks.Expand(&key)
+		var buf [16]byte = pt
+		ks.Encrypt(&buf, &buf)
+		if !bytes.Equal(buf[:], want) {
+			t.Fatalf("trial %d: Schedule.Encrypt diverged from Cipher", trial)
+		}
+		var iks InvSchedule
+		iks.Expand(&ks)
+		iks.Decrypt(&buf, &buf)
+		if buf != pt {
+			t.Fatalf("trial %d: InvSchedule.Decrypt did not invert", trial)
+		}
+	}
+}
+
+// TestScheduleAllocFree pins the zero-allocation property of the stack
+// schedule path (expand + encrypt + decrypt).
+func TestScheduleAllocFree(t *testing.T) {
+	var key, blk [16]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		var ks Schedule
+		ks.Expand(&key)
+		ks.Encrypt(&blk, &blk)
+		var iks InvSchedule
+		iks.Expand(&ks)
+		iks.Decrypt(&blk, &blk)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule path allocates %v per run, want 0", allocs)
+	}
+}

@@ -21,8 +21,8 @@ func TestKeyExpansionFIPS197AppendixA(t *testing.T) {
 		43: 0xb6630ca6,
 	}
 	for i, w := range want {
-		if c.rk[i] != w {
-			t.Errorf("rk[%d] = %#08x, want %#08x", i, c.rk[i], w)
+		if c.enc.rk[i] != w {
+			t.Errorf("rk[%d] = %#08x, want %#08x", i, c.enc.rk[i], w)
 		}
 	}
 }
@@ -35,8 +35,8 @@ func TestKeyScheduleDistinct(t *testing.T) {
 	bKey[15] = 1
 	b := MustNew(bKey)
 	same := 0
-	for i := range a.rk {
-		if a.rk[i] == b.rk[i] {
+	for i := range a.enc.rk {
+		if a.enc.rk[i] == b.enc.rk[i] {
 			same++
 		}
 	}

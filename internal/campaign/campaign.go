@@ -49,7 +49,11 @@ type Config struct {
 	// NumCores is the processor count (soc default when zero).
 	NumCores int `json:"num_cores"`
 	// Background is the benign kernel streamed on every core the scenario
-	// does not reserve: stream, mix, memcopy, or none.
+	// does not reserve (BackgroundNames, or none): stream/mix/memcopy on
+	// internal BRAM, or the external-memory set — secure-stream and
+	// secure-scrub through the CM+IM zone, cipher-mix through the CM-only
+	// zone — which routes benign traffic through the Local Ciphering
+	// Firewall so it contends with the attack inside the CC/IC pipeline.
 	Background string `json:"background"`
 	// Accesses and Compute parameterize the background kernel.
 	Accesses int `json:"accesses"`
@@ -97,10 +101,14 @@ func (c Config) Name() string {
 // Weight estimates the grid point's relative cost for shard balancing: the
 // protection factor of the benign sweep, doubled for the DoS flood (its
 // attacker never halts, so the attacked half runs the background out on a
-// congested bus).
+// congested bus), doubled again for external-memory backgrounds (every
+// benign access crosses the LCF's crypto pipeline).
 func (c Config) Weight() float64 {
 	w := sweep.Config{Protection: c.Protection}.Weight()
 	if c.Scenario == "dos-flood" {
+		w *= 2
+	}
+	if BackgroundExternal(c.Background) {
 		w *= 2
 	}
 	return w
@@ -193,11 +201,35 @@ type Record struct {
 
 // Background kernels run in a per-core slice of shared BRAM well clear of
 // the scratch addresses the scenarios probe (dma-hijack checks BRAM word
-// 0; the legacy DoS victim streams the first 2 KiB).
+// 0; the legacy DoS victim streams the first 2 KiB). External-memory
+// backgrounds get per-core slices of the DDR's protected zones instead,
+// above the first leaves the memory-attack scenarios target
+// (tamper/replay/relocate/spoof probe SecureBase+0x40..0x400, the cipher
+// probe CipherBase+0x40).
 const (
 	bgBase = soc.BRAMBase + 0x4000
 	bgSpan = uint32(0x800)
+
+	extBgSecure = soc.SecureBase + 0x1000
+	extBgCipher = soc.CipherBase + 0x1000
+	extBgSpan   = uint32(0x400) // 16 cores x 1 KiB fits either 32 KiB zone
 )
+
+// BackgroundNames lists the accepted benign kernels, internal first.
+func BackgroundNames() []string {
+	return []string{"stream", "mix", "memcopy", "secure-stream", "secure-scrub", "cipher-mix"}
+}
+
+// BackgroundExternal reports whether the named background runs in external
+// memory, i.e. routes its traffic through the Local Ciphering Firewall on
+// protected platforms.
+func BackgroundExternal(name string) bool {
+	switch name {
+	case "secure-stream", "secure-scrub", "cipher-mix":
+		return true
+	}
+	return false
+}
 
 // backgroundCores returns the cores carrying benign load: everything the
 // scenario did not reserve.
@@ -235,8 +267,25 @@ func backgroundSource(name string, core int, accesses, compute int) (string, err
 			words = max
 		}
 		return workload.MemCopy(base, base+bgSpan/2, words), nil
+	case "secure-stream":
+		ext := extBgSecure + uint32(core)*extBgSpan
+		words := accesses
+		if max := int(extBgSpan / 4); words > max {
+			words = max
+		}
+		return workload.Stream(ext, words, 4, 0), nil
+	case "secure-scrub":
+		ext := extBgSecure + uint32(core)*extBgSpan
+		words := accesses
+		if max := int(extBgSpan / 4); words > max {
+			words = max
+		}
+		return workload.Scrub(ext, words, 4), nil
+	case "cipher-mix":
+		ext := extBgCipher + uint32(core)*extBgSpan
+		return workload.Mix(ext, extBgSpan, 4, accesses, compute), nil
 	default:
-		return "", fmt.Errorf("campaign: unknown background %q", name)
+		return "", fmt.Errorf("campaign: unknown background %q (want one of %v or none)", name, BackgroundNames())
 	}
 }
 

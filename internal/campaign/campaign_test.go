@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/soc"
 	"repro/internal/sweep"
 )
@@ -134,6 +135,69 @@ func TestRecordBreakdownsPresent(t *testing.T) {
 	}
 	if blocked == 0 {
 		t.Fatal("attack run shows no blocked transfers in the firewall breakdown")
+	}
+}
+
+// TestExternalBackgroundsRouteThroughLCF: the external-memory background
+// kernels must put benign traffic through the Local Ciphering Firewall —
+// visible as CC/IC cycles in its snapshot — while the attack still gets
+// detected and contained. This is the campaign axis the secured-memory
+// path speedup opens: attack and benign traffic contending inside the LCF.
+func TestExternalBackgroundsRouteThroughLCF(t *testing.T) {
+	lcfOf := func(r campaign.Record) (core.Snapshot, bool) {
+		for _, f := range r.Firewalls {
+			if f.Kind == core.KindCipherLF {
+				return f, true
+			}
+		}
+		return core.Snapshot{}, false
+	}
+	baseline := campaign.RunOne(campaign.Config{
+		Scenario: "zone-escape", Protection: soc.Distributed, Background: "stream"})
+	if baseline.Err != "" {
+		t.Fatal(baseline.Err)
+	}
+	base, ok := lcfOf(baseline)
+	if !ok {
+		t.Fatal("no LCF snapshot in baseline record")
+	}
+	for _, bg := range []string{"secure-stream", "secure-scrub", "cipher-mix"} {
+		if !campaign.BackgroundExternal(bg) {
+			t.Fatalf("%s not classified external", bg)
+		}
+		r := campaign.RunOne(campaign.Config{
+			Scenario: "zone-escape", Protection: soc.Distributed, Background: bg})
+		if r.Err != "" {
+			t.Fatalf("%s: %s", bg, r.Err)
+		}
+		if !r.Detected || !r.Contained {
+			t.Errorf("%s: detected=%v contained=%v — background changed the verdict", bg, r.Detected, r.Contained)
+		}
+		lcf, ok := lcfOf(r)
+		if !ok {
+			t.Fatalf("%s: no LCF snapshot", bg)
+		}
+		if lcf.Checked <= base.Checked {
+			t.Errorf("%s: LCF checked %d transfers, baseline %d — background not routed through it",
+				bg, lcf.Checked, base.Checked)
+		}
+		if lcf.CryptoCycles <= base.CryptoCycles {
+			t.Errorf("%s: LCF crypto cycles %d, baseline %d — background skipped the CC/IC",
+				bg, lcf.CryptoCycles, base.CryptoCycles)
+		}
+		if r.Slowdown == 0 || !r.Completed {
+			t.Errorf("%s: slowdown=%v completed=%v — twin economics missing", bg, r.Slowdown, r.Completed)
+		}
+	}
+	if !campaign.BackgroundExternal("secure-scrub") || campaign.BackgroundExternal("stream") {
+		t.Fatal("BackgroundExternal misclassifies kernels")
+	}
+	// External backgrounds weigh heavier for shard balancing.
+	in := campaign.Config{Scenario: "tamper", Protection: soc.Distributed, Background: "stream"}
+	ex := in
+	ex.Background = "secure-scrub"
+	if ex.Weight() <= in.Weight() {
+		t.Fatalf("external background weight %v <= internal %v", ex.Weight(), in.Weight())
 	}
 }
 

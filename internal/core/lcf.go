@@ -69,7 +69,19 @@ type CipherFirewall struct {
 	log   *AlertLog
 	tree  *hashtree.Tree
 
-	ciphers map[[16]byte]*aes.Cipher
+	// Per-key expanded schedules, linear-scanned: a platform has a
+	// handful of keys (one per CM zone), so comparing [16]byte values
+	// beats hashing the key on every protected access.
+	cipherKeys [][16]byte
+	cipherVals []*aes.Cipher
+
+	// Pooled per-access state: the covering DDR transaction, its word
+	// buffer and the plaintext scratch buffer are reused across Access
+	// calls (the engine drives one access at a time per platform), so the
+	// steady-state protected path allocates nothing.
+	covTx    bus.Transaction
+	covWords []uint32
+	covBuf   []byte
 
 	stats  Stats
 	crypto CryptoStats
@@ -96,12 +108,11 @@ func NewCipherFirewall(cfg LCFConfig, inner bus.Slave, store *mem.Store, cm *Con
 		cfg.CacheSize = 0
 	}
 	f := &CipherFirewall{
-		cfg:     cfg,
-		inner:   inner,
-		store:   store,
-		cm:      cm,
-		log:     log,
-		ciphers: make(map[[16]byte]*aes.Cipher),
+		cfg:   cfg,
+		inner: inner,
+		store: store,
+		cm:    cm,
+		log:   log,
 	}
 	// Validate policy crypto expectations.
 	for _, p := range cm.Policies() {
@@ -159,12 +170,25 @@ func (f *CipherFirewall) Crypto() CryptoStats { return f.crypto }
 func (f *CipherFirewall) Tree() *hashtree.Tree { return f.tree }
 
 func (f *CipherFirewall) cipherFor(key [16]byte) *aes.Cipher {
-	if c, ok := f.ciphers[key]; ok {
-		return c
+	for i, k := range f.cipherKeys {
+		if k == key {
+			return f.cipherVals[i]
+		}
 	}
 	c := aes.MustNew(key[:])
-	f.ciphers[key] = c
+	f.cipherKeys = append(f.cipherKeys, key)
+	f.cipherVals = append(f.cipherVals, c)
 	return c
+}
+
+// scratch returns the pooled plaintext buffer and word buffer sized for
+// nBytes (nBytes is a multiple of CipherBlock, hence of 4).
+func (f *CipherFirewall) scratch(nBytes int) ([]byte, []uint32) {
+	if cap(f.covBuf) < nBytes {
+		f.covBuf = make([]byte, nBytes)
+		f.covWords = make([]uint32, nBytes/4)
+	}
+	return f.covBuf[:nBytes], f.covWords[:nBytes/4]
 }
 
 // Seal prepares the external memory for protected operation: every CM
@@ -248,40 +272,45 @@ func (f *CipherFirewall) PeekPlaintext(addr uint32, n int) []byte {
 	return out
 }
 
-// xexTweak derives the address-bound tweak block: T = AES_K(addr || ...).
-func (f *CipherFirewall) xexTweak(c *aes.Cipher, addr uint32) [16]byte {
-	var in [16]byte
-	in[0], in[1], in[2], in[3] = byte(addr), byte(addr>>8), byte(addr>>16), byte(addr>>24)
-	var t [16]byte
-	c.Encrypt(t[:], in[:])
-	return t
+// cipherRange is the single implementation of the CC's XEX mode
+// (C = AES_K(P xor T) xor T with T = AES_K(addr || ...)): it runs the
+// block loop over buf (covering [lo, lo+len)) in place — decrypting when
+// dec is true, enciphering otherwise — with the tweak derivation fused
+// into the loop so per-block state stays in two stack arrays. Address
+// binding means identical plaintext at different addresses yields
+// unrelated ciphertext, which is the CC's contribution against
+// relocation/spoofing even before the IC weighs in.
+func cipherRange(c *aes.Cipher, lo uint32, buf []byte, dec bool) {
+	var in, t [16]byte
+	addr := lo
+	for off := 0; off < len(buf); off += CipherBlock {
+		b := (*[16]byte)(buf[off:])
+		in[0], in[1], in[2], in[3] = byte(addr), byte(addr>>8), byte(addr>>16), byte(addr>>24)
+		c.EncryptBlock(&t, &in)
+		for i := range b {
+			b[i] ^= t[i]
+		}
+		if dec {
+			c.DecryptBlock(b, b)
+		} else {
+			c.EncryptBlock(b, b)
+		}
+		for i := range b {
+			b[i] ^= t[i]
+		}
+		addr += CipherBlock
+	}
 }
 
-// encryptBlock enciphers blk (16 bytes) in place, bound to addr (XEX:
-// C = AES_K(P xor T) xor T). Address binding means identical plaintext at
-// different addresses yields unrelated ciphertext, which is the CC's
-// contribution against relocation/spoofing even before the IC weighs in.
+// encryptBlock enciphers one block in place, bound to addr (Seal,
+// RotateKey and PeekPlaintext use the single-block form).
 func (f *CipherFirewall) encryptBlock(c *aes.Cipher, addr uint32, blk []byte) {
-	t := f.xexTweak(c, addr)
-	for i := range blk {
-		blk[i] ^= t[i]
-	}
-	c.Encrypt(blk, blk)
-	for i := range blk {
-		blk[i] ^= t[i]
-	}
+	cipherRange(c, addr, blk[:CipherBlock], false)
 }
 
 // decryptBlock inverts encryptBlock.
 func (f *CipherFirewall) decryptBlock(c *aes.Cipher, addr uint32, blk []byte) {
-	t := f.xexTweak(c, addr)
-	for i := range blk {
-		blk[i] ^= t[i]
-	}
-	c.Decrypt(blk, blk)
-	for i := range blk {
-		blk[i] ^= t[i]
-	}
+	cipherRange(c, addr, blk[:CipherBlock], true)
 }
 
 // Access implements bus.Slave: the full LCF pipeline.
@@ -309,12 +338,14 @@ func (f *CipherFirewall) Access(now uint64, tx *bus.Transaction) (uint64, bus.Re
 	lo := tx.Addr &^ (CipherBlock - 1)
 	hi := (tx.End() + CipherBlock - 1) &^ (CipherBlock - 1)
 	nBlocks := int((hi - lo) / CipherBlock)
+	buf, words := f.scratch(nBlocks * CipherBlock)
 
-	// 1. Fetch covering ciphertext from the DDR (functional + timing).
-	raw := &bus.Transaction{
+	// 1. Fetch covering ciphertext from the DDR (functional + timing),
+	// through the pooled covering transaction.
+	raw := &f.covTx
+	*raw = bus.Transaction{
 		Master: tx.Master, Op: bus.Read, Addr: lo, Size: 4,
-		Burst: nBlocks * CipherBlock / 4,
-		Data:  make([]uint32, nBlocks*CipherBlock/4),
+		Burst: len(words), Data: words,
 	}
 	ddrCycles, resp := f.inner.Access(now, raw)
 	cycles += ddrCycles
@@ -351,13 +382,12 @@ func (f *CipherFirewall) Access(now uint64, tx *bus.Transaction) (uint64, bus.Re
 		}
 	}
 
-	// 3. Confidentiality: decrypt covering blocks into a scratch buffer.
-	buf := f.store.Peek(lo, nBlocks*CipherBlock)
+	// 3. Confidentiality: decrypt covering blocks into the scratch
+	// buffer (the write path merges beats into it and re-encrypts, so
+	// the store itself only ever holds ciphertext).
+	copy(buf, f.store.View(lo, len(buf)))
 	if pol.CM {
-		c := f.cipherFor(pol.Key)
-		for b := 0; b < nBlocks; b++ {
-			f.decryptBlock(c, lo+uint32(b*CipherBlock), buf[b*CipherBlock:(b+1)*CipherBlock])
-		}
+		cipherRange(f.cipherFor(pol.Key), lo, buf, true)
 		f.crypto.BlocksDeciphered += uint64(nBlocks)
 		cc := f.cfg.CC.BlockCycles(nBlocks)
 		f.crypto.CCCycles += cc
@@ -386,19 +416,19 @@ func (f *CipherFirewall) Access(now uint64, tx *bus.Transaction) (uint64, bus.Re
 		}
 	}
 	if pol.CM {
-		c := f.cipherFor(pol.Key)
-		for b := 0; b < nBlocks; b++ {
-			f.encryptBlock(c, lo+uint32(b*CipherBlock), buf[b*CipherBlock:(b+1)*CipherBlock])
-		}
+		cipherRange(f.cipherFor(pol.Key), lo, buf, false)
 		f.crypto.BlocksEnciphered += uint64(nBlocks)
 		cc := f.cfg.CC.BlockCycles(nBlocks)
 		f.crypto.CCCycles += cc
 		cycles += cc
 	}
-	wr := &bus.Transaction{
+	// The covering read is complete, so its pooled word buffer can carry
+	// the write-back.
+	bytesToWords(buf, words)
+	wr := &f.covTx
+	*wr = bus.Transaction{
 		Master: tx.Master, Op: bus.Write, Addr: lo, Size: 4,
-		Burst: nBlocks * CipherBlock / 4,
-		Data:  bytesToWords(buf),
+		Burst: len(words), Data: words,
 	}
 	ddrCycles, resp = f.inner.Access(now, wr)
 	cycles += ddrCycles
@@ -493,10 +523,8 @@ func zero(ws []uint32) {
 	}
 }
 
-func bytesToWords(b []byte) []uint32 {
-	ws := make([]uint32, len(b)/4)
+func bytesToWords(b []byte, ws []uint32) {
 	for i := range ws {
 		ws[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
 	}
-	return ws
 }

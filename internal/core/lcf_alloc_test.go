@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// allocLCF builds a sealed CipherFirewall over a DDR store with the full
+// CM+IM policy, bypassing bus and engine so AllocsPerRun sees only the
+// firewall's own work.
+func allocLCF(t *testing.T) *core.CipherFirewall {
+	t.Helper()
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: secBase, Size: secSize},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{Base: secBase, Size: secSize}, NodeBase: nodeBase,
+	}, ddr, ddr.Store(), cm, core.NewAlertLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	return lcf
+}
+
+// TestSecureReadAllocFree pins 0 allocs/op on the steady-state protected
+// read path: SB check + covering DDR fetch + IC verify + CC decrypt.
+func TestSecureReadAllocFree(t *testing.T) {
+	lcf := allocLCF(t)
+	tx := &bus.Transaction{Master: "cpu0", Op: bus.Read, Addr: secBase + 64, Size: 4, Burst: 1,
+		Data: make([]uint32, 1)}
+	if _, resp := lcf.Access(0, tx); resp != bus.RespOK {
+		t.Fatalf("warmup read failed: %v", resp)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, resp := lcf.Access(0, tx); resp != bus.RespOK {
+			t.Fatal("read failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("secure read allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSecureWriteAllocFree pins 0 allocs/op on the steady-state protected
+// write path: read-merge-encrypt-writeback plus the tree update.
+func TestSecureWriteAllocFree(t *testing.T) {
+	lcf := allocLCF(t)
+	tx := &bus.Transaction{Master: "cpu0", Op: bus.Write, Addr: secBase + 128, Size: 4, Burst: 1,
+		Data: []uint32{0xDEADBEEF}}
+	if _, resp := lcf.Access(0, tx); resp != bus.RespOK {
+		t.Fatalf("warmup write failed: %v", resp)
+	}
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		tx.Data[0] = i
+		if _, resp := lcf.Access(0, tx); resp != bus.RespOK {
+			t.Fatal("write failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("secure write allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestCipherOnlyAccessAllocFree covers the CM-without-IM zone flavour
+// (no tree in the loop).
+func TestCipherOnlyAccessAllocFree(t *testing.T) {
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: secBase, Size: secSize},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{}, ddr, ddr.Store(), cm, core.NewAlertLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	rd := &bus.Transaction{Master: "cpu0", Op: bus.Read, Addr: secBase, Size: 4, Burst: 4,
+		Data: make([]uint32, 4)}
+	wr := &bus.Transaction{Master: "cpu0", Op: bus.Write, Addr: secBase, Size: 4, Burst: 4,
+		Data: make([]uint32, 4)}
+	lcf.Access(0, rd)
+	lcf.Access(0, wr)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, resp := lcf.Access(0, rd); resp != bus.RespOK {
+			t.Fatal("read failed")
+		}
+		if _, resp := lcf.Access(0, wr); resp != bus.RespOK {
+			t.Fatal("write failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cipher-only access allocates %v per op, want 0", allocs)
+	}
+}

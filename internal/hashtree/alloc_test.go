@@ -1,0 +1,136 @@
+package hashtree
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestVerifyLeafAllocFree pins 0 allocs/op on warm-cache verification —
+// the IC's steady-state read path.
+func TestVerifyLeafAllocFree(t *testing.T) {
+	tr, _ := testTree(t, 64)
+	tr.VerifyLeaf(5) // warm the path
+	allocs := testing.AllocsPerRun(200, func() {
+		if ok, _ := tr.VerifyLeaf(5); !ok {
+			t.Fatal("verify failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm VerifyLeaf allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestVerifyLeafColdAllocFree pins 0 allocs/op even on full-path walks
+// (cache disabled): the fixed path arrays and stack schedules mean cold
+// verification costs hashing, never heap.
+func TestVerifyLeafColdAllocFree(t *testing.T) {
+	tr, _ := testTree(t, 0)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		if ok, _ := tr.VerifyLeaf(i % 16); !ok {
+			t.Fatal("verify failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cold VerifyLeaf allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestUpdateLeafAllocFree pins 0 allocs/op on warm-cache updates — the
+// IC's steady-state write path.
+func TestUpdateLeafAllocFree(t *testing.T) {
+	tr, st := testTree(t, 64)
+	tr.VerifyLeaf(3)
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		st.WriteWord(0x4000_0000+3*LeafSize, i)
+		if ok, _ := tr.UpdateLeaf(3); !ok {
+			t.Fatal("update failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm UpdateLeaf allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestHashAllocFree: the general-purpose hash also runs entirely on the
+// stack.
+func TestHashAllocFree(t *testing.T) {
+	data := make([]byte, 48)
+	allocs := testing.AllocsPerRun(200, func() {
+		Hash(data)
+	})
+	if allocs != 0 {
+		t.Fatalf("Hash allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestMapCacheFlavourOnGiantTree: past denseCacheNodes the verified-node
+// cache switches to the map flavour so host memory stays O(CacheSize);
+// semantics (hits, eviction bound, tamper detection, reset) must match
+// the dense flavour.
+func TestMapCacheFlavourOnGiantTree(t *testing.T) {
+	const leaves = denseCacheNodes // 2*leaves > denseCacheNodes -> map flavour
+	st := mem.NewStore(0, leaves*LeafSize+NodesSize(leaves*LeafSize))
+	tr := MustNew(Config{Store: st, DataBase: 0, DataSize: leaves * LeafSize,
+		NodeBase: leaves * LeafSize, CacheSize: 8})
+	if tr.cacheMap == nil || tr.cacheStamp != nil {
+		t.Fatal("giant tree did not select the map cache flavour")
+	}
+	tr.Build()
+	for _, leaf := range []int{0, 1, leaves / 2, leaves - 1} {
+		if ok, _ := tr.VerifyLeaf(leaf); !ok {
+			t.Fatalf("leaf %d failed", leaf)
+		}
+	}
+	if tr.CachedNodes() > 8 || len(tr.cacheMap) != tr.CachedNodes() {
+		t.Fatalf("cache occupancy %d (map %d), cap 8", tr.CachedNodes(), len(tr.cacheMap))
+	}
+	tr.VerifyLeaf(7)
+	if _, checks := tr.VerifyLeaf(7); checks >= tr.Depth()+1 {
+		t.Fatalf("warm verify cost %d, no cache effect", checks)
+	}
+	st.Poke(7*LeafSize, []byte{0xFF})
+	if ok, _ := tr.VerifyLeaf(7); ok {
+		t.Fatal("map-flavour cache masked tampering")
+	}
+	st.Poke(7*LeafSize, []byte{0x00})
+	if ok, _ := tr.UpdateLeaf(7); !ok {
+		t.Fatal("update failed")
+	}
+	tr.Build()
+	if tr.CachedNodes() != 0 || len(tr.cacheMap) != 0 {
+		t.Fatal("Build did not reset the map cache")
+	}
+}
+
+// TestUpdateReusesVerifiedSiblings: the rehash after a warm update must
+// not re-read external memory for siblings the pre-verify walk already
+// authenticated — observable as the update making exactly one store write
+// per path level plus the leaf, with no extra node reads changing counts.
+func TestUpdateReusesVerifiedSiblings(t *testing.T) {
+	st := mem.NewStore(0, 0x4000)
+	tr := MustNew(Config{Store: st, DataBase: 0, DataSize: 16 * LeafSize, NodeBase: 0x2000})
+	tr.Build()
+	st.Poke(0, []byte{7})
+	before := tr.NodeUpdates
+	ok, ops := tr.UpdateLeaf(0)
+	if !ok {
+		t.Fatal("update failed")
+	}
+	// Cache disabled: the walk costs depth checks, the rehash depth+1
+	// updates; ops is their sum and NodeUpdates advanced by depth+1.
+	wantOps := tr.Depth() + tr.Depth() + 1
+	if ops != wantOps {
+		t.Fatalf("ops = %d, want %d", ops, wantOps)
+	}
+	if got := tr.NodeUpdates - before; got != uint64(tr.Depth()+1) {
+		t.Fatalf("NodeUpdates advanced %d, want %d", got, tr.Depth()+1)
+	}
+	if bad := tr.VerifyAll(); bad != -1 {
+		t.Fatalf("leaf %d fails after update", bad)
+	}
+}

@@ -22,10 +22,21 @@
 // (H' = AES_H(M) xor M), which is also why the hardware Integrity Core
 // shares the CC's timing descriptor type: the paper's IC costs 20 cycles
 // per node check (Table II).
+//
+// Host-side cost discipline: one modeled node check is a handful of
+// Davies–Meyer steps, each of which re-keys AES with the chaining value.
+// The tree therefore hashes through stack-resident aes.Schedule values
+// (zero heap traffic), reads leaf data and node digests through
+// mem.Store.View (no copies), walks paths in fixed-size arrays, and keeps
+// the verified-node cache in slice-indexed arrays with a FIFO ring instead
+// of a map. Leaf and internal-node digests use fixed-length, domain-
+// separated compression chains (leafIV/nodeIV), so no length block is
+// needed on the hot path; the general Hash remains for variable-length
+// callers. None of this affects modeled IC cycles, which derive only from
+// the returned node-operation counts.
 package hashtree
 
 import (
-	"bytes"
 	"fmt"
 
 	"repro/internal/aes"
@@ -46,24 +57,44 @@ type Digest [DigestSize]byte
 // throughput at 100 MHz is ≈131 Mb/s.
 var DefaultTiming = aes.Timing{Latency: 20, Interval: 98}
 
-// iv is the fixed initial chaining value of the Davies–Meyer construction.
+// iv is the fixed initial chaining value of the Davies–Meyer construction
+// used by the general-purpose Hash.
 var iv = Digest{0x52, 0x45, 0x50, 0x52, 0x4f, 0x2d, 0x49, 0x43, 0x2d, 0x49, 0x56, 0x30, 0x30, 0x30, 0x31, 0x00}
 
-// Compress is one Davies–Meyer step: AES_chain(block) xor block.
-func Compress(chain Digest, block [16]byte) Digest {
-	c := aes.MustNew(chain[:])
+// leafIV and nodeIV are the domain-separated chaining values of the tree's
+// fixed-length digests: a leaf absorbs exactly three blocks (32 data bytes
+// plus the address/version block), an internal node exactly two (left and
+// right child digests), so distinct IVs — not a length block — keep the two
+// domains from colliding.
+var (
+	leafIV = Digest{0x52, 0x45, 0x50, 0x52, 0x4f, 0x2d, 0x49, 0x43, 0x2d, 0x4c, 0x45, 0x41, 0x46, 0x30, 0x31, 0x00}
+	nodeIV = Digest{0x52, 0x45, 0x50, 0x52, 0x4f, 0x2d, 0x49, 0x43, 0x2d, 0x4e, 0x4f, 0x44, 0x45, 0x30, 0x31, 0x00}
+)
+
+// compress is one Davies–Meyer step through a caller-provided schedule:
+// chain' = AES_chain(block) xor block. The schedule is scratch space; it is
+// re-expanded from the chaining value on every step.
+func compress(ks *aes.Schedule, chain Digest, block *[16]byte) Digest {
+	ks.Expand((*[16]byte)(&chain))
 	var out Digest
-	c.Encrypt(out[:], block[:])
+	ks.Encrypt((*[16]byte)(&out), block)
 	for i := range out {
 		out[i] ^= block[i]
 	}
 	return out
 }
 
+// Compress is one Davies–Meyer step: AES_chain(block) xor block.
+func Compress(chain Digest, block [16]byte) Digest {
+	var ks aes.Schedule
+	return compress(&ks, chain, &block)
+}
+
 // Hash absorbs the concatenation of the given byte slices in 16-byte
 // blocks (zero-padded) and finishes with a length block, Merkle–Damgård
 // style.
 func Hash(parts ...[]byte) Digest {
+	var ks aes.Schedule
 	h := iv
 	var block [16]byte
 	fill := 0
@@ -75,21 +106,42 @@ func Hash(parts ...[]byte) Digest {
 			fill += n
 			p = p[n:]
 			if fill == 16 {
-				h = Compress(h, block)
+				h = compress(&ks, h, &block)
 				fill = 0
 				block = [16]byte{}
 			}
 		}
 	}
 	if fill > 0 {
-		h = Compress(h, block)
+		h = compress(&ks, h, &block)
 		block = [16]byte{}
 	}
 	// Length block defeats trivial concatenation ambiguity.
 	for i := 0; i < 8; i++ {
 		block[i] = byte(total >> (8 * i))
 	}
-	return Compress(h, block)
+	return compress(&ks, h, &block)
+}
+
+// hashLeaf computes the fixed-length leaf digest: three compression steps
+// over the 32 data bytes and the address/version binding block.
+func hashLeaf(data []byte, addr, version uint32) Digest {
+	_ = data[LeafSize-1]
+	var ks aes.Schedule
+	h := compress(&ks, leafIV, (*[16]byte)(data[0:16]))
+	h = compress(&ks, h, (*[16]byte)(data[16:32]))
+	var meta [16]byte
+	putU32(meta[0:], addr)
+	putU32(meta[4:], version)
+	return compress(&ks, h, &meta)
+}
+
+// hashNode computes the fixed-length internal-node digest from the two
+// child digests: two compression steps.
+func hashNode(l, r *Digest) Digest {
+	var ks aes.Schedule
+	h := compress(&ks, nodeIV, (*[16]byte)(l))
+	return compress(&ks, h, (*[16]byte)(r))
 }
 
 // Config parameterizes a Tree.
@@ -115,6 +167,25 @@ func NodesSize(dataSize uint32) uint32 {
 	return (2*leaves - 1) * DigestSize
 }
 
+// maxDepth bounds the tree height: a 32-bit data region holds at most
+// 2^27 leaves, so fixed path arrays of 2*maxDepth+2 steps cover any legal
+// configuration.
+const maxDepth = 27
+
+// denseCacheNodes bounds the dense (slice-indexed) verified-node cache:
+// up to this many heap nodes — 1.25 MiB of stamp+digest arrays — lookups
+// are plain array indexing; larger trees fall back to the map-backed
+// cache so host memory stays proportional to CacheSize rather than the
+// tree.
+const denseCacheNodes = 1 << 16
+
+// pathStep is one (node, digest) pair collected during a verification
+// walk, kept in fixed arrays so walks allocate nothing.
+type pathStep struct {
+	node int32
+	dig  Digest
+}
+
 // Tree is the integrity engine state. The exported behaviour distinguishes
 // on-chip state (root, versions, cache — trusted) from external state
 // (node digests in Store — untrusted).
@@ -125,9 +196,21 @@ type Tree struct {
 	root   Digest
 	// versions are the paper's on-chip time stamp tags, one per leaf.
 	versions []uint32
-	// cache maps node index -> verified digest (on-chip).
-	cache     map[int]Digest
-	cacheFifo []int
+	// Verified-node cache (on-chip): slice-indexed by heap node number
+	// when the tree is small enough for dense arrays (entry n is valid
+	// when cacheStamp[n] == cacheGen; Build invalidates everything by
+	// bumping the generation, eviction by zeroing the stamp), or a map
+	// keyed by node number beyond denseCacheNodes so host memory stays
+	// O(CacheSize) for giant protected regions. Both flavours share the
+	// FIFO ring that replays the insertion order the eviction policy
+	// needs, and both implement identical hit/evict semantics.
+	cacheDig   []Digest
+	cacheStamp []uint32
+	cacheGen   uint32
+	cacheMap   map[int32]Digest
+	fifo       []int32
+	fifoHead   int
+	fifoLen    int
 	// Stats.
 	NodeChecks  uint64 // hash computations during verification
 	NodeUpdates uint64 // hash computations during updates
@@ -163,10 +246,22 @@ func New(cfg Config) (*Tree, error) {
 		cfg:      cfg,
 		leaves:   int(leaves),
 		versions: make([]uint32, leaves),
-		cache:    make(map[int]Digest),
+		cacheGen: 1,
 	}
 	for l := t.leaves; l > 1; l >>= 1 {
 		t.depth++
+	}
+	if t.depth > maxDepth {
+		return nil, fmt.Errorf("hashtree: depth %d exceeds maximum %d", t.depth, maxDepth)
+	}
+	if cfg.CacheSize > 0 {
+		if 2*t.leaves <= denseCacheNodes {
+			t.cacheDig = make([]Digest, 2*t.leaves)
+			t.cacheStamp = make([]uint32, 2*t.leaves)
+		} else {
+			t.cacheMap = make(map[int32]Digest, cfg.CacheSize)
+		}
+		t.fifo = make([]int32, cfg.CacheSize)
 	}
 	return t, nil
 }
@@ -193,6 +288,10 @@ func (t *Tree) Root() Digest { return t.root }
 // Version returns the on-chip version (time stamp tag) of leaf idx.
 func (t *Tree) Version(idx int) uint32 { return t.versions[idx] }
 
+// CachedNodes returns how many verified digests the on-chip cache
+// currently holds (diagnostics and tests).
+func (t *Tree) CachedNodes() int { return t.fifoLen }
+
 // OnChipBits returns the trusted state size for the area model: root plus
 // version tags plus the verified-node cache.
 func (t *Tree) OnChipBits() uint64 {
@@ -216,7 +315,7 @@ func (t *Tree) nodeAddr(n int) uint32 {
 
 func (t *Tree) readNode(n int) Digest {
 	var d Digest
-	copy(d[:], t.cfg.Store.Peek(t.nodeAddr(n), DigestSize))
+	copy(d[:], t.cfg.Store.View(t.nodeAddr(n), DigestSize))
 	return d
 }
 
@@ -228,11 +327,7 @@ func (t *Tree) writeNode(n int, d Digest) {
 // on-chip address/version binding.
 func (t *Tree) leafDigest(idx int) Digest {
 	addr := t.cfg.DataBase + uint32(idx)*LeafSize
-	data := t.cfg.Store.Peek(addr, LeafSize)
-	var meta [8]byte
-	putU32(meta[0:], addr)
-	putU32(meta[4:], t.versions[idx])
-	return Hash(data, meta[:])
+	return hashLeaf(t.cfg.Store.View(addr, LeafSize), addr, t.versions[idx])
 }
 
 func putU32(b []byte, v uint32) {
@@ -243,24 +338,36 @@ func putU32(b []byte, v uint32) {
 // the resulting root. Called once at boot after the LCF initializes the
 // protected region.
 func (t *Tree) Build() {
-	t.cache = make(map[int]Digest)
-	t.cacheFifo = nil
+	t.cacheReset()
 	for i := 0; i < t.leaves; i++ {
 		t.writeNode(t.leaves+i, t.leafDigest(i))
 	}
 	for n := t.leaves - 1; n >= 1; n-- {
 		t.writeNode(n, t.combine(2*n, 2*n+1))
 	}
-	if t.leaves == 1 {
-		t.root = t.readNode(1)
-	} else {
-		t.root = t.readNode(1)
-	}
+	t.root = t.readNode(1)
 }
 
 func (t *Tree) combine(left, right int) Digest {
 	l, r := t.readNode(left), t.readNode(right)
-	return Hash(l[:], r[:])
+	return hashNode(&l, &r)
+}
+
+// cacheReset empties the verified-node cache — by advancing the
+// generation on the dense flavour, by clearing the map otherwise.
+func (t *Tree) cacheReset() {
+	t.fifoHead, t.fifoLen = 0, 0
+	if t.cacheMap != nil {
+		clear(t.cacheMap)
+		return
+	}
+	t.cacheGen++
+	if t.cacheGen == 0 { // generation wrapped: stale stamps could collide
+		for i := range t.cacheStamp {
+			t.cacheStamp[i] = 0
+		}
+		t.cacheGen = 1
+	}
 }
 
 // cachePut installs a verified digest, evicting FIFO beyond CacheSize.
@@ -268,15 +375,41 @@ func (t *Tree) cachePut(n int, d Digest) {
 	if t.cfg.CacheSize <= 0 {
 		return
 	}
-	if _, ok := t.cache[n]; !ok {
-		t.cacheFifo = append(t.cacheFifo, n)
-		for len(t.cacheFifo) > t.cfg.CacheSize {
-			victim := t.cacheFifo[0]
-			t.cacheFifo = t.cacheFifo[1:]
-			delete(t.cache, victim)
+	present := false
+	if t.cacheMap != nil {
+		_, present = t.cacheMap[int32(n)]
+	} else {
+		present = t.cacheStamp[n] == t.cacheGen
+	}
+	if !present {
+		if t.fifoLen == t.cfg.CacheSize {
+			victim := t.fifo[t.fifoHead]
+			if t.cacheMap != nil {
+				delete(t.cacheMap, victim)
+			} else {
+				t.cacheStamp[victim] = 0
+			}
+			t.fifoHead++
+			if t.fifoHead == len(t.fifo) {
+				t.fifoHead = 0
+			}
+			t.fifoLen--
+		}
+		tail := t.fifoHead + t.fifoLen
+		if tail >= len(t.fifo) {
+			tail -= len(t.fifo)
+		}
+		t.fifo[tail] = int32(n)
+		t.fifoLen++
+		if t.cacheMap == nil {
+			t.cacheStamp[n] = t.cacheGen
 		}
 	}
-	t.cache[n] = d
+	if t.cacheMap != nil {
+		t.cacheMap[int32(n)] = d
+	} else {
+		t.cacheDig[n] = d
+	}
 }
 
 // cacheGet returns the trusted digest for node n if present. The root is
@@ -285,8 +418,17 @@ func (t *Tree) cacheGet(n int) (Digest, bool) {
 	if n == 1 {
 		return t.root, true
 	}
-	d, ok := t.cache[n]
-	return d, ok
+	if t.cfg.CacheSize <= 0 {
+		return Digest{}, false
+	}
+	if t.cacheMap != nil {
+		d, ok := t.cacheMap[int32(n)]
+		return d, ok
+	}
+	if t.cacheStamp[n] == t.cacheGen {
+		return t.cacheDig[n], true
+	}
+	return Digest{}, false
 }
 
 // VerifyLeaf authenticates leaf idx against the on-chip root. It returns
@@ -301,13 +443,10 @@ func (t *Tree) VerifyLeaf(idx int) (ok bool, nodeChecks int) {
 	nodeChecks = 1
 	t.NodeChecks++
 	n := t.leaves + idx
-	// Collect the siblings used so they can be cache-installed on success.
-	type step struct {
-		node int
-		dig  Digest
-	}
-	var verified []step
-	verified = append(verified, step{n, d})
+	// Collect the walked nodes so they can be cache-installed on success.
+	var verified [2*maxDepth + 2]pathStep
+	verified[0] = pathStep{int32(n), d}
+	cnt := 1
 	for {
 		if trusted, hit := t.cacheGet(n); hit {
 			if trusted != d {
@@ -316,8 +455,8 @@ func (t *Tree) VerifyLeaf(idx int) (ok bool, nodeChecks int) {
 			if n != 1 {
 				t.CacheHits++
 			}
-			for _, s := range verified {
-				t.cachePut(s.node, s.dig)
+			for i := 0; i < cnt; i++ {
+				t.cachePut(int(verified[i].node), verified[i].dig)
 			}
 			return true, nodeChecks
 		}
@@ -325,15 +464,17 @@ func (t *Tree) VerifyLeaf(idx int) (ok bool, nodeChecks int) {
 		sd := t.readNode(sib) // untrusted external read
 		var parent Digest
 		if n < sib { // n is the left child
-			parent = Hash(d[:], sd[:])
+			parent = hashNode(&d, &sd)
 		} else {
-			parent = Hash(sd[:], d[:])
+			parent = hashNode(&sd, &d)
 		}
 		nodeChecks++
 		t.NodeChecks++
 		n >>= 1
 		d = parent
-		verified = append(verified, step{sib, sd}, step{n, d})
+		verified[cnt] = pathStep{int32(sib), sd}
+		verified[cnt+1] = pathStep{int32(n), d}
+		cnt += 2
 	}
 }
 
@@ -346,7 +487,9 @@ func (t *Tree) VerifyLeaf(idx int) (ok bool, nodeChecks int) {
 //
 // Note the order: the LCF performs read-verify before accepting a write to
 // a block it has not verified, so UpdateLeaf trusts the *sibling* path via
-// the same verification walk, not the leaf data (which just changed).
+// the same verification walk, not the leaf data (which just changed). The
+// sibling digests authenticated by that walk are reused directly when the
+// path is rehashed — no second read of external memory for them.
 func (t *Tree) UpdateLeaf(idx int) (ok bool, nodeOps int) {
 	if idx < 0 || idx >= t.leaves {
 		return false, 0
@@ -358,12 +501,13 @@ func (t *Tree) UpdateLeaf(idx int) (ok bool, nodeOps int) {
 	n := t.leaves + idx
 	d := t.readNode(n)
 	checks := 0
-	type step struct {
-		node int
-		dig  Digest
-	}
-	var path []step
-	path = append(path, step{n, d})
+	var path [2*maxDepth + 2]pathStep
+	path[0] = pathStep{int32(n), d}
+	cnt := 1
+	// sibs[l] is the authenticated sibling digest at level l of the walk,
+	// reused by the rehash below instead of re-reading external memory.
+	var sibs [maxDepth]Digest
+	walked := 0
 	for {
 		if trusted, hit := t.cacheGet(n); hit {
 			if trusted != d {
@@ -375,18 +519,22 @@ func (t *Tree) UpdateLeaf(idx int) (ok bool, nodeOps int) {
 		sd := t.readNode(sib)
 		var parent Digest
 		if n < sib {
-			parent = Hash(d[:], sd[:])
+			parent = hashNode(&d, &sd)
 		} else {
-			parent = Hash(sd[:], d[:])
+			parent = hashNode(&sd, &d)
 		}
 		checks++
 		t.NodeChecks++
+		sibs[walked] = sd
+		walked++
 		n >>= 1
 		d = parent
-		path = append(path, step{sib, sd}, step{n, d})
+		path[cnt] = pathStep{int32(sib), sd}
+		path[cnt+1] = pathStep{int32(n), d}
+		cnt += 2
 	}
-	for _, s := range path {
-		t.cachePut(s.node, s.dig)
+	for i := 0; i < cnt; i++ {
+		t.cachePut(int(path[i].node), path[i].dig)
 	}
 
 	// Authentic: bump version, rewrite the path bottom-up.
@@ -397,23 +545,34 @@ func (t *Tree) UpdateLeaf(idx int) (ok bool, nodeOps int) {
 	t.cachePut(n, nd)
 	ops := checks + 1
 	t.NodeUpdates++
+	level := 0
 	for n > 1 {
 		sib := n ^ 1
 		var sd Digest
-		if trusted, hit := t.cacheGet(sib); hit {
+		if level < walked {
+			sd = sibs[level] // authenticated moments ago by the walk
+		} else if trusted, hit := t.cacheGet(sib); hit {
 			sd = trusted
 		} else {
+			// Known modeling limitation (pre-existing, tracked in
+			// ROADMAP): above the walk's cache-hit break point an
+			// uncached sibling is folded in from external memory
+			// unauthenticated. Closing it means walking every update
+			// to the root, which changes the modeled IC op counts —
+			// a cycle-accounting change this host-speed path must not
+			// make.
 			sd = t.readNode(sib)
 		}
 		var parent Digest
 		if n < sib {
-			parent = Hash(nd[:], sd[:])
+			parent = hashNode(&nd, &sd)
 		} else {
-			parent = Hash(sd[:], nd[:])
+			parent = hashNode(&sd, &nd)
 		}
 		ops++
 		t.NodeUpdates++
 		n >>= 1
+		level++
 		nd = parent
 		t.writeNode(n, nd)
 		t.cachePut(n, nd)
@@ -497,5 +656,5 @@ func (t *Tree) VerifyAll() int {
 }
 
 // Equal reports whether two digests match (constant-time is irrelevant in
-// a simulator; bytes.Equal keeps intent clear).
-func Equal(a, b Digest) bool { return bytes.Equal(a[:], b[:]) }
+// a simulator; digests are fixed-size arrays, so this is plain equality).
+func Equal(a, b Digest) bool { return a == b }

@@ -88,6 +88,17 @@ func (s *Store) Peek(addr uint32, n int) []byte {
 	return out
 }
 
+// View returns a direct read-only window onto n bytes starting at addr,
+// without copying. It is the allocation-free sibling of Peek for hot
+// readers (the Integrity Core hashes leaf data and tree nodes on every
+// secured access). Callers must not write through the returned slice —
+// that would bypass the mutation generation — and must not hold it across
+// writes they need isolation from.
+func (s *Store) View(addr uint32, n int) []byte {
+	o := s.offset(addr, n)
+	return s.data[o : o+n : o+n]
+}
+
 // Poke overwrites len(b) bytes starting at addr, bypassing bus and
 // firewalls. It is the attack-injection primitive for external-memory
 // tampering.

@@ -44,8 +44,10 @@ type Config struct {
 	Protection soc.Protection `json:"-"`
 	// NumCores is the processor count (soc default when zero).
 	NumCores int `json:"num_cores"`
-	// Workload is one of matmul, memcopy, stream, mix, producer-consumer
-	// (the mpsocsim workload names).
+	// Workload is one of matmul, memcopy, stream, scrub, mix,
+	// producer-consumer (the mpsocsim workload names). With an external
+	// Target, stream/scrub/mix/memcopy route every access through the
+	// Local Ciphering Firewall on protected platforms.
 	Workload string `json:"workload"`
 	// Target is the access target for memory workloads: internal,
 	// external, cipher or plain.
@@ -348,6 +350,13 @@ func LoadWorkload(s *soc.System, name string, tgt, span uint32, compute, accesse
 	case "stream":
 		s.HaltIdleCores(0)
 		s.MustLoad(0, workload.Stream(tgt, accesses, 4, 0))
+	case "scrub":
+		s.HaltIdleCores(0)
+		words := accesses
+		if max := int(span / 4); words > max {
+			words = max
+		}
+		s.MustLoad(0, workload.Scrub(tgt, words, 4))
 	case "mix":
 		for i := range s.Cores {
 			s.MustLoad(i, workload.Mix(tgt+uint32(i)*span, span, 4, accesses, compute))

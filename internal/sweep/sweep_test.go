@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/soc"
 	"repro/internal/sweep"
 )
@@ -122,6 +123,35 @@ func TestProtectionOverheadVisibleInSweep(t *testing.T) {
 	if un.Cycles == 0 || di.Cycles <= un.Cycles {
 		t.Fatalf("protection overhead not visible: unprotected %d vs distributed %d cycles",
 			un.Cycles, di.Cycles)
+	}
+}
+
+// TestScrubWorkloadSweepsExternalMemory: the scrub kernel is the sweep's
+// secured read-modify-write axis — on the distributed platform with an
+// external target every access crosses the LCF, which must be visible (and
+// costly in simulated cycles) relative to the unprotected run.
+func TestScrubWorkloadSweepsExternalMemory(t *testing.T) {
+	un := sweep.RunOne(sweep.Config{Protection: soc.Unprotected, Workload: "scrub",
+		Target: "external", Accesses: 16})
+	di := sweep.RunOne(sweep.Config{Protection: soc.Distributed, Workload: "scrub",
+		Target: "external", Accesses: 16})
+	if un.Err != "" || di.Err != "" {
+		t.Fatalf("scrub runs failed: %q %q", un.Err, di.Err)
+	}
+	if !un.AllHalted || !di.AllHalted {
+		t.Fatal("scrub did not finish")
+	}
+	if di.Cycles <= un.Cycles {
+		t.Fatalf("LCF cost invisible: distributed %d <= unprotected %d cycles", di.Cycles, un.Cycles)
+	}
+	var lcfChecked uint64
+	for _, f := range di.Firewalls {
+		if f.Kind == core.KindCipherLF {
+			lcfChecked = f.Checked
+		}
+	}
+	if lcfChecked == 0 {
+		t.Fatal("scrub traffic never reached the LCF")
 	}
 }
 

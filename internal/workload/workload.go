@@ -233,6 +233,29 @@ func ProducerChecksum(count int) uint32 {
 	return sum
 }
 
+// Scrub returns a read-modify-write sweep: each iteration loads a word,
+// mixes in a running counter, stores it back and advances by stride.
+// Pointed at a protected external zone this is the canonical secured
+// read-modify-write traffic — every load costs a leaf verification and
+// every store a tree update inside the Local Ciphering Firewall.
+func Scrub(base uint32, words int, stride uint32) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; pointer
+		li r2, %d         ; words
+		li r20, 0         ; counter
+	scrub:
+		lw  r3, 0(r1)
+		add r3, r3, r20
+		xori r3, r3, 0x3C
+		sw  r3, 0(r1)
+		addi r20, r20, 1
+		addi r1, r1, %d
+		addi r2, r2, -1
+		bnez r2, scrub
+		halt
+	`, base, words, stride)
+}
+
 // DoSFlood returns the hijacked-IP program of experiment E3: an infinite
 // tight loop of stores to target. With target outside the core's policy
 // zones, a Local Firewall discards every one locally; without protection

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, e, err := parseBenchLine(
+		"BenchmarkSecureMemoryThroughput-8   380144   6393 ns/op   10.01 MB/s   1356 sim-cycles/op   0 B/op   0 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkSecureMemoryThroughput" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", name)
+	}
+	if e.Iterations != 380144 || e.NsPerOp != 6393 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.BytesPerOp == nil || *e.BytesPerOp != 0 || e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields = %+v", e)
+	}
+	if e.Metrics["MB/s"] != 10.01 || e.Metrics["sim-cycles/op"] != 1356 {
+		t.Fatalf("metrics = %+v", e.Metrics)
+	}
+}
+
+func TestParseBenchLineNoSuffix(t *testing.T) {
+	name, e, err := parseBenchLine("BenchmarkHash 	 100 	 250.5 ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "BenchmarkHash" || e.NsPerOp != 250.5 {
+		t.Fatalf("got %q %+v", name, e)
+	}
+	if e.BytesPerOp != nil || e.AllocsPerOp != nil || e.Metrics != nil {
+		t.Fatalf("unexpected optional fields: %+v", e)
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 3 ns/op",
+		"BenchmarkX 12 foo ns/op",
+	} {
+		if _, _, err := parseBenchLine(line); err == nil {
+			t.Errorf("%q parsed without error", line)
+		}
+	}
+}
