@@ -5,6 +5,8 @@
 #   make attack       # the paper's detection matrix (one-command repro)
 #   make bench-smoke  # short throughput benchmarks so regressions surface in CI logs
 #   make bench-json   # benchmark suite -> build/BENCH_<pr>.json (perf trajectory; CI artifact)
+#   make bench-diff   # fail on ns/op (> 25%) or allocs/op regressions vs perf/BENCH_baseline.json
+#   make bench-baseline # refresh the committed baseline after an intentional perf change
 #   make ci           # exactly what .github/workflows/ci.yml runs
 #   make bench        # one-shot BenchmarkEngineThroughput with allocation stats
 
@@ -28,9 +30,20 @@ ATTACK_GRID := -attack-scenarios tamper,zone-escape,dos-flood \
                -attack-backgrounds stream,secure-stream,secure-scrub,cipher-mix \
                -accesses 64 -inject-delay 100 -max 2000000
 
-.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench bench-json clean
+# Reaction-and-recovery grid for the determinism gate: the burst flood and
+# two hijack attacks with the quarantine reactor armed and a deliberately
+# short, staged supervisor schedule — the probation-flap regime, the
+# hardest case for reproducibility (engine events re-scheduling engine
+# events mid-run, throughput windows riding along in the stream).
+RECOVERY_GRID := -attack-scenarios burst-flood,zone-escape,dos-flood \
+                 -sweep-protections unprotected,distributed,centralized \
+                 -attack-cores 3 -attack-backgrounds stream \
+                 -accesses 256 -inject-delay 100 -max 2000000 \
+                 -recovery -recovery-staged -recovery-clear-delay 1500
 
-ci: verify determinism attack bench-smoke bench-json
+.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
+
+ci: verify determinism attack bench-smoke bench-diff
 
 verify: fmt vet build test race
 
@@ -52,7 +65,7 @@ test:
 # run concurrently (one engine per goroutine in sweeps); keep them
 # race-clean.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery
 
 # determinism: the sweep and campaign streams must be byte-identical across
 # worker counts, and sharded runs merged back together must reproduce the
@@ -74,16 +87,28 @@ determinism:
 	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -shard 1/2 -sweep-out $(BUILD)/attack-s1.jsonl
 	$(BUILD)/mpsocsim -attack -merge $(BUILD)/attack-s0.jsonl,$(BUILD)/attack-s1.jsonl -sweep-out $(BUILD)/attack-merged.jsonl
 	cmp $(BUILD)/attack-w1.jsonl $(BUILD)/attack-merged.jsonl
-	@echo "determinism: OK (sweep + campaign worker-count invariant, shard/merge byte-identical)"
+	$(BUILD)/mpsocsim -attack $(RECOVERY_GRID) -workers 1 -sweep-out $(BUILD)/recovery-w1.jsonl
+	$(BUILD)/mpsocsim -attack $(RECOVERY_GRID) -workers 8 -sweep-out $(BUILD)/recovery-w8.jsonl
+	cmp $(BUILD)/recovery-w1.jsonl $(BUILD)/recovery-w8.jsonl
+	$(BUILD)/mpsocsim -attack $(RECOVERY_GRID) -shard 0/2 -sweep-out $(BUILD)/recovery-s0.jsonl
+	$(BUILD)/mpsocsim -attack $(RECOVERY_GRID) -shard 1/2 -sweep-out $(BUILD)/recovery-s1.jsonl
+	$(BUILD)/mpsocsim -attack -merge $(BUILD)/recovery-s0.jsonl,$(BUILD)/recovery-s1.jsonl -sweep-out $(BUILD)/recovery-merged.jsonl
+	cmp $(BUILD)/recovery-w1.jsonl $(BUILD)/recovery-merged.jsonl
+	grep -q '"recovered":true' $(BUILD)/recovery-w1.jsonl  # the gate must cover a full lifecycle, not vacuous zeros
+	@echo "determinism: OK (sweep + campaign + recovery worker-count invariant, shard/merge byte-identical)"
 
 # attack: the paper's detection matrix on your terminal — every default
 # scenario against all three architectures, under internal and
-# external-memory benign background load.
+# external-memory benign background load, with the reaction-and-recovery
+# phase armed: the third table prices react latency, quarantine duration
+# and recovery back to twin throughput. The clear delay outlasts the
+# quarantined burst's drain so releases land on a clean platform.
 attack:
 	@mkdir -p $(BUILD)
 	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
 	$(BUILD)/mpsocsim -attack -format table \
-		-attack-backgrounds stream,secure-scrub,cipher-mix
+		-attack-backgrounds stream,secure-scrub,cipher-mix \
+		-accesses 512 -recovery -recovery-clear-delay 8000
 
 # bench-smoke: short end-to-end benchmarks so regressions on the engine
 # and the secured memory path surface in CI logs (the crypto-stack
@@ -104,16 +129,34 @@ bench:
 # future PRs can diff against it. CI always overrides PR= with the pull
 # request (or run) number; the default only labels local runs.
 PR ?= 4
+# Noise control, because bench-diff holds a 25% gate against these
+# numbers: a fixed, largish iteration count (3000x — at 100x a 50ns
+# benchmark measures 5µs of work and scheduling noise alone swings 30%)
+# times three repetitions (-count=3), of which benchjson keeps the fastest
+# sample per benchmark (min-of-N, the standard low-noise estimate).
 bench-json:
 	@mkdir -p $(BUILD)
 	$(GO) build -o $(BUILD)/benchjson ./tools/benchjson
 	$(GO) test -run '^$$' \
 		-bench 'BenchmarkEngineThroughput|BenchmarkSecureMemoryThroughput' \
-		-benchtime=100x -benchmem . > $(BUILD)/bench.txt
-	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem \
+		-benchtime=3000x -count=3 -benchmem . > $(BUILD)/bench.txt
+	$(GO) test -run '^$$' -bench . -benchtime=3000x -count=3 -benchmem \
 		./internal/aes ./internal/hashtree ./internal/core >> $(BUILD)/bench.txt
 	$(BUILD)/benchjson < $(BUILD)/bench.txt > $(BUILD)/BENCH_$(PR).json
 	@echo "wrote $(BUILD)/BENCH_$(PR).json"
+
+# bench-diff: the perf-trajectory consumer (ROADMAP). Diffs the current
+# suite against the committed previous-PR artifact and fails on a >25%
+# ns/op or any allocs/op regression. PRs that intentionally change
+# performance run `make bench-baseline` and commit the result.
+BENCH_BASELINE := perf/BENCH_baseline.json
+bench-diff: bench-json
+	$(GO) build -o $(BUILD)/benchdiff ./tools/benchdiff
+	$(BUILD)/benchdiff $(BENCH_BASELINE) $(BUILD)/BENCH_$(PR).json
+
+bench-baseline: bench-json
+	cp $(BUILD)/BENCH_$(PR).json $(BENCH_BASELINE)
+	@echo "refreshed $(BENCH_BASELINE) — commit it with the perf change"
 
 clean:
 	rm -rf $(BUILD)

@@ -36,6 +36,9 @@ func buildCampaignGrid(o *options) ([]campaign.Config, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("empty campaign grid")
 	}
+	if o.recovery {
+		grid = campaign.WithRecovery(grid, o.recoveryParams())
+	}
 	return grid, nil
 }
 
@@ -72,7 +75,9 @@ func runAttack(o *options, w io.Writer) error {
 // writeAttackTables renders the paper's detection matrix: one row per
 // (scenario, background, cores) grid line, one column per protection,
 // each cell summarizing detection, attribution and containment — plus a
-// bystander-cost table from the twin-run measurements.
+// bystander-cost table from the twin-run measurements and, when the
+// reaction-and-recovery phase ran, the incident-lifecycle table (react
+// latency, quarantine duration, recovery time back to twin throughput).
 func writeAttackTables(w io.Writer, grid []campaign.Config, sh sweep.Shard, workers int) error {
 	// The matrix needs the whole (sharded) grid in hand; campaign grids
 	// are small (scenarios x protections x a few axes), so buffering here
@@ -109,16 +114,19 @@ func writeAttackTables(w io.Writer, grid []campaign.Config, sh sweep.Shard, work
 		cell[l][r.Protection] = r
 	}
 
+	withRecovery := len(grid) > 0 && grid[0].Recovery.Enabled()
 	cols := append([]string{"scenario", "background", "cores"}, prots...)
 	dt := trace.NewTable("containment matrix — detection / attribution", cols...)
 	st := trace.NewTable("bystander cost — background slowdown vs attack-free twin", cols...)
+	rt := trace.NewTable("reaction & recovery — quarantine / release / back to twin throughput", cols...)
 	for _, l := range lines {
 		drow := []string{l.scenario, l.background, strconv.Itoa(l.cores)}
-		srow := []string{l.scenario, l.background, strconv.Itoa(l.cores)}
+		srow := append([]string(nil), drow...)
+		rrow := append([]string(nil), drow...)
 		for _, p := range prots {
 			r, ok := cell[l][p]
 			if !ok {
-				drow, srow = append(drow, "-"), append(srow, "-")
+				drow, srow, rrow = append(drow, "-"), append(srow, "-"), append(rrow, "-")
 				continue
 			}
 			drow = append(drow, verdictCell(r))
@@ -127,18 +135,47 @@ func writeAttackTables(w io.Writer, grid []campaign.Config, sh sweep.Shard, work
 			} else {
 				srow = append(srow, fmt.Sprintf("%.2fx", r.Slowdown))
 			}
+			rrow = append(rrow, recoveryCell(r))
 		}
 		dt.AddRow(drow...)
 		st.AddRow(srow...)
+		rt.AddRow(rrow...)
 	}
-	if _, err := io.WriteString(w, dt.String()); err != nil {
-		return err
+	for i, tb := range []*trace.Table{dt, st, rt} {
+		if i == 2 && !withRecovery {
+			break
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, tb.String()); err != nil {
+			return err
+		}
 	}
-	if _, err := io.WriteString(w, "\n"); err != nil {
-		return err
+	return nil
+}
+
+// recoveryCell compresses one record's incident lifecycle into a cell of
+// the reaction table.
+func recoveryCell(r campaign.Record) string {
+	switch {
+	case r.Err != "":
+		return "error: " + r.Err
+	case !r.RecoveryOn:
+		return "-"
+	case r.QuarantineCycle == 0:
+		return "no quarantine"
+	case r.ReleaseCycle == 0:
+		return fmt.Sprintf("react +%dcy, still quarantined", r.ReactLatency)
+	case r.Recovered:
+		return fmt.Sprintf("react +%dcy, quar %dcy, recovered +%dcy",
+			r.ReactLatency, r.QuarantinedCycles, r.RecoveryCycles)
+	default:
+		return fmt.Sprintf("react +%dcy, quar %dcy, NOT recovered",
+			r.ReactLatency, r.QuarantinedCycles)
 	}
-	_, err := io.WriteString(w, st.String())
-	return err
 }
 
 // verdictCell compresses one record into a matrix cell.

@@ -14,6 +14,8 @@
 //	mpsocsim -attack                           # attack campaign under benign load, JSONL
 //	mpsocsim -attack -format table             # the paper's detection matrix
 //	mpsocsim -attack -format csv -sweep-out campaign.csv # for tools/plot/containment.gp
+//	mpsocsim -attack -recovery -format table   # + reaction & recovery table (quarantine/release/recovery)
+//	mpsocsim -attack -recovery -recovery-staged -format csv -sweep-out campaign.csv # windows for tools/plot/recovery.gp
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/recovery"
 	"repro/internal/soc"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -63,6 +66,32 @@ type options struct {
 	attackBgs   string
 	attackCores string
 	injectDelay uint64
+
+	recovery      bool
+	recThreshold  int
+	recWindow     uint64
+	recClearDelay uint64
+	recStaged     bool
+	recStageDelay uint64
+	recSample     uint64
+	recEpsilon    float64
+}
+
+// recoveryParams folds the -recovery* flags into the campaign's phase
+// parameters (zero when -recovery is off).
+func (o *options) recoveryParams() recovery.Params {
+	if !o.recovery {
+		return recovery.Params{}
+	}
+	return recovery.Params{
+		QuarantineThreshold: o.recThreshold,
+		QuarantineWindow:    o.recWindow,
+		ClearDelay:          o.recClearDelay,
+		Staged:              o.recStaged,
+		StageDelay:          o.recStageDelay,
+		SampleWindow:        o.recSample,
+		Epsilon:             o.recEpsilon,
+	}.Normalize()
 }
 
 // parseFlags parses args (without the program name) into options.
@@ -101,6 +130,23 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.attackCores, "attack-cores", "3", "attack: core-count axis")
 	fs.Uint64Var(&o.injectDelay, "inject-delay", campaign.DefaultInjectDelay,
 		"attack: cycles after background start at which the attack fires; must be shorter than the background's runtime (0 selects the default, use 1 to fire at start)")
+
+	fs.BoolVar(&o.recovery, "recovery", false,
+		"attack: run the reaction-and-recovery phase — arm the quarantine reactor (distributed platforms), release on a supervisor schedule, and sample background throughput against the twin")
+	fs.IntVar(&o.recThreshold, "recovery-threshold", recovery.DefaultThreshold,
+		"recovery: violations tripping quarantine")
+	fs.Uint64Var(&o.recWindow, "recovery-alert-window", 0,
+		"recovery: reactor sliding alert window in cycles (0 = ever)")
+	fs.Uint64Var(&o.recClearDelay, "recovery-clear-delay", recovery.DefaultClearDelay,
+		"recovery: cycles from quarantine to the supervisor clearing the incident")
+	fs.BoolVar(&o.recStaged, "recovery-staged", false,
+		"recovery: staged re-admission — integrity-monitored zones first, full policy after -recovery-stage-delay, one probation violation re-quarantines")
+	fs.Uint64Var(&o.recStageDelay, "recovery-stage-delay", recovery.DefaultStageDelay,
+		"recovery: probation length before the full restore (with -recovery-staged)")
+	fs.Uint64Var(&o.recSample, "recovery-sample", recovery.DefaultSampleWindow,
+		"recovery: throughput sampling window in cycles")
+	fs.Float64Var(&o.recEpsilon, "recovery-epsilon", recovery.DefaultEpsilon,
+		"recovery: recovered when a post-release window is within this fraction of twin throughput")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}

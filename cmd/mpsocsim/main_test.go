@@ -352,3 +352,94 @@ func TestSweepAndAttackMutuallyExclusiveFlagsParse(t *testing.T) {
 		t.Fatalf("flags lost: %+v", o)
 	}
 }
+
+// --- reaction-and-recovery mode ---
+
+func TestParseFlagsRecoveryDefaults(t *testing.T) {
+	o, err := parseFlags([]string{"-attack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.recovery {
+		t.Fatal("recovery on by default")
+	}
+	if p := o.recoveryParams(); p.Enabled() {
+		t.Fatalf("disabled recovery yields enabled params: %+v", p)
+	}
+	o, err = parseFlags([]string{"-attack", "-recovery", "-recovery-staged",
+		"-recovery-threshold", "5", "-recovery-clear-delay", "7000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := o.recoveryParams()
+	if !p.Enabled() || p.QuarantineThreshold != 5 || p.ClearDelay != 7000 || !p.Staged {
+		t.Fatalf("recovery flags not parsed: %+v", p)
+	}
+	if p.SampleWindow == 0 || p.Epsilon == 0 || p.StageDelay == 0 {
+		t.Fatalf("recovery defaults not normalized: %+v", p)
+	}
+	grid, err := buildCampaignGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grid[0].Recovery.Enabled() {
+		t.Fatal("-recovery did not arm the grid")
+	}
+}
+
+// TestRunAttackRecoveryTable drives the acceptance scenario end to end:
+// the table output must carry the reaction & recovery columns, with the
+// distributed platform quarantining, releasing and recovering while the
+// centralized baseline never quarantines.
+func TestRunAttackRecoveryTable(t *testing.T) {
+	o, err := parseFlags([]string{"-attack",
+		"-attack-scenarios", "burst-flood",
+		"-sweep-protections", "unprotected,distributed,centralized",
+		"-attack-cores", "3", "-accesses", "512", "-inject-delay", "100",
+		"-max", "2000000", "-format", "table",
+		"-recovery", "-recovery-clear-delay", "8000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runAttack(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"reaction & recovery",
+		"recovered +", // the distributed platform's full lifecycle
+		"no quarantine",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recovery table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunAttackRecoveryJSONLDeterministic mirrors the CI recovery
+// determinism gate at test scale.
+func TestRunAttackRecoveryJSONLDeterministic(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append(attackArgs("-recovery", "-recovery-staged"), extra...)
+	}
+	run := func(extra ...string) []byte {
+		o, err := parseFlags(args(extra...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := runAttack(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run("-workers", "1"), run("-workers", "6")
+	if !bytes.Equal(a, b) {
+		t.Fatal("recovery-enabled attack stream differs across worker counts")
+	}
+	if !bytes.Contains(a, []byte(`"recovery":true`)) {
+		t.Fatalf("stream does not carry the recovery marker:\n%s", a)
+	}
+}

@@ -60,18 +60,18 @@ type Verdict struct {
 func Names() []string {
 	return []string{
 		"tamper", "replay", "relocation", "spoof", "cipher-only-tamper",
-		"zone-escape", "dma-hijack", "format-abuse", "dos-flood",
+		"zone-escape", "dma-hijack", "format-abuse", "dos-flood", "burst-flood",
 	}
 }
 
 // DefaultNames is the campaign's default scenario axis: every detection
-// scenario plus the DoS flood. cipher-only-tamper is excluded — its
+// scenario plus the two flood forms. cipher-only-tamper is excluded — its
 // non-detection is the documented cost of a CM-only zone (§III-B), not a
 // containment result — but remains available by name.
 func DefaultNames() []string {
 	return []string{
 		"tamper", "replay", "relocation", "spoof",
-		"zone-escape", "dma-hijack", "format-abuse", "dos-flood",
+		"zone-escape", "dma-hijack", "format-abuse", "dos-flood", "burst-flood",
 	}
 }
 
@@ -98,6 +98,8 @@ func New(name string) (Scenario, error) {
 		return &formatAbuseScenario{}, nil
 	case "dos-flood":
 		return &dosScenario{}, nil
+	case "burst-flood":
+		return &burstScenario{}, nil
 	default:
 		return nil, fmt.Errorf("attack: unknown scenario %q", name)
 	}
@@ -483,6 +485,68 @@ func (*dosScenario) Verify(s *soc.System, slowdown float64) Verdict {
 	return Verdict{
 		GoalMet: share >= 0.25,
 		Notes:   fmt.Sprintf("no background; flood bus share %.0f%%", share*100),
+	}
+}
+
+// burstScenario is the finite-incident flood built for the
+// reaction-and-recovery experiments (internal/recovery): the hijacked last
+// core interleaves policy violations (stores to the tree-node region,
+// which alert on protected platforms) with *authorized* shared-BRAM stores
+// that congest the bus everywhere, runs a benign tail, and halts. That
+// mix is what makes quarantine pay: detection alone discards the illegal
+// stores but cannot touch the legal bus hogging — on the centralized
+// baseline the SEM sees the violations yet the flood's authorized half
+// keeps starving bystanders — while the quarantine Reactor cuts the whole
+// interface off, and the post-attack benign phase lets a supervisor
+// release the core and watch background throughput return to the twin's.
+type burstScenario struct{}
+
+// Burst shape: enough hostile iterations that bystander cost is visible
+// under round-robin arbitration, finite so the incident ends and recovery
+// is observable within a campaign background window.
+const (
+	burstCount    = 48 // hostile iterations (one alert each)
+	burstLegalPer = 10 // authorized stores per iteration (the bus load)
+	burstTail     = 32 // benign stores after the attack ends
+	// burstLegalAddr is shared BRAM the core's policy allows, clear of the
+	// scratch words other scenarios probe (dma-hijack checks word 0, the
+	// legacy DoS victim streams the first 2 KiB) and of the campaign's
+	// background slices (BRAMBase+0x4000 up).
+	burstLegalAddr = soc.BRAMBase + 0x3800
+)
+
+// BurstSlowdownGoal is the bystander slowdown at which the burst counts as
+// having achieved denial of service. Lower than DoSSlowdownGoal: the burst
+// is finite, so its congestion is averaged over the whole background
+// window.
+const BurstSlowdownGoal = 1.05
+
+func (*burstScenario) Name() string  { return "burst-flood" }
+func (*burstScenario) MinCores() int { return 2 }
+func (*burstScenario) Reserved(n int) []int {
+	return []int{n - 1}
+}
+
+func (*burstScenario) Setup(*soc.System) error { return nil }
+
+func (*burstScenario) Inject(s *soc.System) error {
+	return s.Load(len(s.Cores)-1,
+		workload.BurstFlood(soc.NodeBase, burstLegalAddr, burstCount, burstLegalPer, burstTail))
+}
+
+func (*burstScenario) Verify(s *soc.System, slowdown float64) Verdict {
+	share := floodBusShare(s, len(s.Cores)-1)
+	if slowdown > 0 {
+		return Verdict{
+			GoalMet: slowdown >= BurstSlowdownGoal,
+			Notes:   fmt.Sprintf("bystanders %.2fx vs twin, burst bus share %.0f%%", slowdown, share*100),
+		}
+	}
+	// No background traffic to starve: judged like the infinite flood, on
+	// whether the burst occupied the shared bus.
+	return Verdict{
+		GoalMet: share >= 0.25,
+		Notes:   fmt.Sprintf("no background; burst bus share %.0f%%", share*100),
 	}
 }
 

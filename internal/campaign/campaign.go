@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/recovery"
 	"repro/internal/soc"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -67,6 +68,14 @@ type Config struct {
 	InjectDelay uint64 `json:"inject_delay"`
 	// MaxCycles bounds the post-injection measured window.
 	MaxCycles uint64 `json:"max_cycles"`
+	// Recovery, when enabled, drives the run through the third campaign
+	// phase: the quarantine Reactor is armed on distributed platforms, a
+	// deterministic supervisor releases quarantined masters after
+	// Recovery.ClearDelay (optionally staged), and background throughput
+	// is sampled in lockstep windows against the twin so the record
+	// prices react latency, quarantine duration and recovery time. Shared
+	// across the grid like Accesses/Compute — it is not a grid axis.
+	Recovery recovery.Params `json:"-"`
 }
 
 // Normalize fills defaulted fields in place and returns the config.
@@ -89,6 +98,7 @@ func (c Config) Normalize() Config {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = DefaultMaxCycles
 	}
+	c.Recovery = c.Recovery.Normalize()
 	return c
 }
 
@@ -150,6 +160,17 @@ func Grid(scenarios []string, prots []soc.Protection, coreCounts []int, backgrou
 	return grid
 }
 
+// WithRecovery returns the grid with the reaction-and-recovery phase
+// enabled on every point (Grid keeps its axis-only signature; recovery
+// parameters are shared run plumbing, like Accesses).
+func WithRecovery(cfgs []Config, p recovery.Params) []Config {
+	out := append([]Config(nil), cfgs...)
+	for i := range out {
+		out[i].Recovery = p.Normalize()
+	}
+	return out
+}
+
 // Record is the outcome of one campaign run: the grid position, the
 // containment verdict with per-firewall attribution, the twin-run
 // economics, and the same per-core / per-firewall breakdowns the benign
@@ -190,6 +211,25 @@ type Record struct {
 	Slowdown     float64 `json:"slowdown"`
 	Completed    bool    `json:"completed"`
 	Alerts       int     `json:"alerts"`
+
+	// Reaction & recovery: present only when Config.Recovery was enabled
+	// (RecoveryOn). ReactLatency is first alert → deny-all written;
+	// QuarantinedCycles totals locked-out cycles (staged probation
+	// included); Recovered/RecoveryCycles report background throughput
+	// returning to within epsilon of the twin's after the (last) release.
+	// Platforms that cannot quarantine — the centralized baseline, the
+	// unprotected one — carry RecoveryOn with everything else zero: the
+	// measured absence of reaction.
+	RecoveryOn        bool              `json:"recovery,omitempty"`
+	ReactLatency      uint64            `json:"react_latency,omitempty"`
+	QuarantineCycle   uint64            `json:"quarantine_cycle,omitempty"`
+	ReleaseCycle      uint64            `json:"release_cycle,omitempty"`
+	QuarantinedCycles uint64            `json:"quarantined_cycles,omitempty"`
+	RecoveryCycles    uint64            `json:"recovery_cycles,omitempty"`
+	Recovered         bool              `json:"recovered,omitempty"`
+	Quarantines       uint64            `json:"quarantines,omitempty"`
+	TwinRate          float64           `json:"twin_rate,omitempty"`
+	Windows           []recovery.Sample `json:"windows,omitempty"`
 
 	// Cores and Firewalls snapshot the attacked platform after the
 	// verdict, exactly like the benign sweep's RunResult.
@@ -342,9 +382,23 @@ func RunOne(cfg Config) Record {
 		}
 	}
 
-	pair, err := soc.NewPair(soc.Config{Protection: cfg.Protection, NumCores: cfg.NumCores})
+	socCfg := soc.Config{Protection: cfg.Protection, NumCores: cfg.NumCores}
+	if cfg.Recovery.Enabled() {
+		// Arm the quarantine Reactor (distributed platforms only; the
+		// baselines ignore the knob — their inability to react is the
+		// result). Both halves get identical configs so the pair stays
+		// cycle-identical up to injection.
+		socCfg.QuarantineThreshold = cfg.Recovery.QuarantineThreshold
+		socCfg.QuarantineWindow = cfg.Recovery.QuarantineWindow
+	}
+	pair, err := soc.NewPair(socCfg)
 	if err != nil {
 		return fail(err)
+	}
+	var sup *recovery.Supervisor
+	if cfg.Recovery.Enabled() {
+		rec.RecoveryOn = true
+		sup = recovery.Attach(pair.Attacked, cfg.Recovery)
 	}
 	bg := backgroundCores(cfg.NumCores, scAtk.Reserved(cfg.NumCores))
 
@@ -389,15 +443,35 @@ func RunOne(cfg Config) Record {
 		return fail(err)
 	}
 
-	if cfg.Background == "none" || len(bg) == 0 {
+	switch {
+	case cfg.Background == "none" || len(bg) == 0:
 		// Quiet grid point: no bystanders to measure. Run the attacked
 		// half out (hijacked programs execute; never-halting floods are
 		// budget-bounded) so the verdict matches the one-shot attack.Run
 		// semantics; the twin stays parked at the injection cycle.
 		// Completed stays honest: a flood that spins to the budget is a
-		// truncated window, not a finished one.
+		// truncated window, not a finished one. The supervisor's release
+		// events still fire inside the run, so the reactor stamps are
+		// harvested even without a throughput timeline.
 		_, rec.Completed = pair.Attacked.Run(cfg.MaxCycles)
-	} else {
+		if cfg.Recovery.Enabled() {
+			rec.applyRecovery(recovery.Summarize(pair.Attacked))
+		}
+	case cfg.Recovery.Enabled():
+		// Third phase: lockstep sampling windows drive both halves,
+		// the supervisor releases on schedule, and the report prices the
+		// whole incident. Windowed stepping stops each half at exactly
+		// the cycle the plain RunUntilCores path would, so the twin-run
+		// economics below stay comparable across modes.
+		rep := recovery.Measure(pair, bg, cfg.MaxCycles, cfg.Recovery)
+		rec.Completed = rep.Completed
+		rec.applyRecovery(rep)
+		rec.AttackCycles = pair.Attacked.Eng.Now() - start
+		rec.TwinCycles = pair.Twin.Eng.Now() - start
+		if rec.TwinCycles > 0 {
+			rec.Slowdown = float64(rec.AttackCycles) / float64(rec.TwinCycles)
+		}
+	default:
 		// Measured window: from background start until the background
 		// cores halt on each half (never-halting attackers are excluded
 		// from the halt condition by construction).
@@ -409,6 +483,9 @@ func RunOne(cfg Config) Record {
 		if rec.TwinCycles > 0 {
 			rec.Slowdown = float64(rec.AttackCycles) / float64(rec.TwinCycles)
 		}
+	}
+	if sup != nil && sup.Err != nil {
+		return fail(sup.Err)
 	}
 
 	v := scAtk.Verify(pair.Attacked, rec.Slowdown)
@@ -426,6 +503,19 @@ func RunOne(cfg Config) Record {
 	rec.Cores = pair.Attacked.CoreStats()
 	rec.Firewalls = pair.Attacked.FirewallStats()
 	return rec
+}
+
+// applyRecovery copies the incident bill into the record.
+func (r *Record) applyRecovery(rep recovery.Report) {
+	r.ReactLatency = rep.ReactLatency
+	r.QuarantineCycle = rep.QuarantineCycle
+	r.ReleaseCycle = rep.ReleaseCycle
+	r.QuarantinedCycles = rep.QuarantinedCycles
+	r.RecoveryCycles = rep.RecoveryCycles
+	r.Recovered = rep.Recovered
+	r.Quarantines = rep.Quarantines
+	r.TwinRate = rep.TwinRate
+	r.Windows = rep.Windows
 }
 
 // Each executes this shard's portion of the grid on a worker pool and

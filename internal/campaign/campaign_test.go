@@ -7,8 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/recovery"
 	"repro/internal/soc"
 	"repro/internal/sweep"
 )
@@ -344,5 +346,134 @@ func TestEmitErrorCancelsCampaign(t *testing.T) {
 	}
 	if emitted != 2 {
 		t.Fatalf("emit called %d times after cancellation, want 2", emitted)
+	}
+}
+
+// TestRecoveryLifecycle is the acceptance check for the reaction-and-
+// recovery phase: under benign load, the distributed platform quarantines
+// the burst-flood attacker, the supervisor releases it on schedule, and
+// background throughput recovers to within epsilon of the attack-free
+// twin — while the centralized baseline detects the violations but never
+// quarantines, and the unprotected platform never even detects them.
+func TestRecoveryLifecycle(t *testing.T) {
+	// The clear delay outlasts the quarantined burst's drain (~6.5k
+	// cycles), so the release happens on a clean platform: one incident,
+	// no probation flap. Shorter delays re-admit a still-hostile master
+	// and flap — TestRecoveryDeterministic covers that regime.
+	p := recovery.Params{QuarantineThreshold: 3, ClearDelay: 8000}
+	run := func(prot soc.Protection) campaign.Record {
+		r := campaign.RunOne(campaign.Config{
+			Scenario: "burst-flood", Protection: prot,
+			Accesses: 512, Recovery: p,
+		})
+		if r.Err != "" {
+			t.Fatalf("%v: %s", prot, r.Err)
+		}
+		if !r.RecoveryOn || !r.Completed {
+			t.Fatalf("%v: recovery phase did not run to completion: %+v", prot, r)
+		}
+		if len(r.Windows) == 0 || r.TwinRate == 0 {
+			t.Fatalf("%v: no throughput timeline: %+v", prot, r)
+		}
+		return r
+	}
+	di := run(soc.Distributed)
+	if di.QuarantineCycle == 0 || di.ReleaseCycle <= di.QuarantineCycle {
+		t.Fatalf("distributed: no quarantine/release cycle: %+v", di)
+	}
+	if di.ReactLatency == 0 || di.QuarantinedCycles == 0 {
+		t.Fatalf("distributed: lifecycle legs not priced: react=%d quarantined=%d",
+			di.ReactLatency, di.QuarantinedCycles)
+	}
+	if !di.Recovered {
+		t.Fatalf("distributed: background never recovered: %+v", di)
+	}
+	if di.Quarantines != 1 {
+		t.Errorf("distributed: %d quarantines, want one clean incident", di.Quarantines)
+	}
+	if !di.Detected || !di.Contained {
+		t.Errorf("distributed: detected=%v contained=%v — quarantine should defuse the burst",
+			di.Detected, di.Contained)
+	}
+
+	ce := run(soc.Centralized)
+	if !ce.Detected {
+		t.Error("centralized: burst violations not detected by the SEM")
+	}
+	if ce.QuarantineCycle != 0 || ce.Quarantines != 0 || ce.Recovered {
+		t.Errorf("centralized: baseline quarantined?! %+v", ce)
+	}
+	if ce.Slowdown <= di.Slowdown {
+		t.Errorf("centralized slowdown %.2fx not worse than quarantining distributed %.2fx",
+			ce.Slowdown, di.Slowdown)
+	}
+
+	un := run(soc.Unprotected)
+	if un.Detected || un.QuarantineCycle != 0 {
+		t.Errorf("unprotected: phantom detection/reaction: %+v", un)
+	}
+	if un.Slowdown < attack.BurstSlowdownGoal {
+		t.Errorf("unprotected bystanders barely slowed (%.2fx) — burst not reaching the bus", un.Slowdown)
+	}
+}
+
+// TestRecoveryOffLeavesRecordsUntouched: with the phase disabled the new
+// fields stay zero-valued and omitted, so pre-recovery consumers (and the
+// JSONL goldens) see the exact old schema.
+func TestRecoveryOffLeavesRecordsUntouched(t *testing.T) {
+	r := campaign.RunOne(campaign.Config{Scenario: "zone-escape", Protection: soc.Distributed})
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	if r.RecoveryOn || r.QuarantineCycle != 0 || r.Recovered || len(r.Windows) != 0 {
+		t.Fatalf("recovery fields set on a recovery-off run: %+v", r)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"recovery", "react_latency", "windows", "recovered"} {
+		if bytes.Contains(data, []byte(`"`+key+`"`)) {
+			t.Fatalf("recovery-off JSONL leaks %q: %s", key, data)
+		}
+	}
+}
+
+// TestRecoveryDeterministic: the third phase must not cost the stream its
+// byte-identity across worker counts — supervisor events and sampling
+// windows are engine-deterministic.
+func TestRecoveryDeterministic(t *testing.T) {
+	grid := campaign.WithRecovery(campaign.Grid(
+		[]string{"burst-flood", "zone-escape", "dos-flood"},
+		[]soc.Protection{soc.Unprotected, soc.Distributed, soc.Centralized},
+		[]int{3},
+		[]string{"stream"},
+		256, 2, 100, 2_000_000,
+	), recovery.Params{QuarantineThreshold: 3, ClearDelay: 1500, Staged: true})
+	stream := func(sh sweep.Shard, workers int) []byte {
+		var buf bytes.Buffer
+		if err := campaign.WriteJSONL(&buf, grid, sh, workers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := stream(sweep.Shard{}, 1)
+	parallel := stream(sweep.Shard{}, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("recovery-enabled JSONL differs across worker counts")
+	}
+	var merged bytes.Buffer
+	if err := sweep.Merge(&merged,
+		bytes.NewReader(stream(sweep.Shard{Index: 0, Count: 2}, 2)),
+		bytes.NewReader(stream(sweep.Shard{Index: 1, Count: 2}, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, merged.Bytes()) {
+		t.Fatal("recovery-enabled shard/merge not byte-identical")
+	}
+	// At least one record in the stream must carry a full lifecycle, or
+	// the determinism gate would be vacuously green.
+	if !bytes.Contains(serial, []byte(`"recovered":true`)) {
+		t.Fatalf("no recovered run in the recovery grid:\n%s", serial)
 	}
 }

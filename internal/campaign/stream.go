@@ -21,14 +21,22 @@ func WriteJSONL(w io.Writer, cfgs []Config, sh sweep.Shard, workers int) error {
 
 // CSVHeader is the column set of the campaign CSV export. The format is
 // long/tidy like the benign sweep's: every run contributes one
-// scope=attack row (the containment verdict and twin-run economics), one
-// scope=core row per core and one scope=firewall row per enforcement
-// point, so detection-latency and per-firewall series plot directly.
+// scope=attack row (the containment verdict, twin-run economics and — in
+// recovery-enabled campaigns — the incident bill), one scope=core row per
+// core, one scope=firewall row per enforcement point, and one
+// scope=window row per throughput sample when the reaction-and-recovery
+// phase ran, so detection-latency, per-firewall and recovery-timeline
+// series plot directly (tools/plot/recovery.gp consumes the window rows).
+// The recovery columns are empty — not zero — when the phase was off, so
+// "did not quarantine" and "recovery disabled" stay distinguishable.
 var CSVHeader = []string{
 	"index", "name", "scenario", "protection", "background", "num_cores",
 	"scope", "entity", "kind",
 	"detected", "detected_by", "violation", "detect_latency", "contained", "goal",
 	"inject_cycle", "attack_cycles", "twin_cycles", "slowdown", "completed", "alerts",
+	"react_latency", "quarantine_cycle", "release_cycle", "quarantined_cycles",
+	"recovery_cycles", "recovered", "quarantines",
+	"window_end", "window_attacked", "window_twin", "window_ratio",
 	"cycles", "instructions", "stall_cycles", "local_ops", "bus_ops", "bus_errors",
 	"checked", "allowed", "blocked", "check_cycles",
 	"crypto_cycles", "integrity_failures",
@@ -58,10 +66,11 @@ func WriteCSV(w io.Writer, cfgs []Config, sh sweep.Shard, workers int) error {
 	return cw.Error()
 }
 
-// writeCSVRows emits one record's rows: attack verdict, then cores, then
-// firewalls.
+// writeCSVRows emits one record's rows: attack verdict, then recovery
+// windows (when the phase ran), then cores, then firewalls.
 func writeCSVRows(cw *csv.Writer, r Record) error {
 	u := strconv.FormatUint
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	base := []string{
 		strconv.Itoa(r.Index), r.Name, r.Scenario, r.Protection, r.Background,
 		strconv.Itoa(r.NumCores),
@@ -73,19 +82,40 @@ func writeCSVRows(cw *csv.Writer, r Record) error {
 		}
 		return append(row, r.Err)
 	}
-	verdict := pad("attack", "", "",
+	// The recovery columns stay empty when the phase was off.
+	rc := []string{"", "", "", "", "", "", ""}
+	if r.RecoveryOn {
+		rc = []string{
+			u(r.ReactLatency, 10), u(r.QuarantineCycle, 10), u(r.ReleaseCycle, 10),
+			u(r.QuarantinedCycles, 10), u(r.RecoveryCycles, 10),
+			strconv.FormatBool(r.Recovered), u(r.Quarantines, 10),
+		}
+	}
+	verdict := pad(append([]string{"attack", "", "",
 		strconv.FormatBool(r.Detected), r.DetectedBy, r.Violation,
 		u(r.DetectLatency, 10), strconv.FormatBool(r.Contained), r.Goal,
 		u(r.InjectCycle, 10), u(r.AttackCycles, 10), u(r.TwinCycles, 10),
-		strconv.FormatFloat(r.Slowdown, 'g', -1, 64),
-		strconv.FormatBool(r.Completed), strconv.Itoa(r.Alerts))
+		f64(r.Slowdown),
+		strconv.FormatBool(r.Completed), strconv.Itoa(r.Alerts)}, rc...)...)
 	if err := cw.Write(verdict); err != nil {
 		return err
+	}
+	for i, s := range r.Windows {
+		row := pad("window", strconv.Itoa(i), "",
+			"", "", "", "", "", "",
+			"", "", "", "", "", "",
+			"", "", "", "", "", "", "",
+			u(s.End, 10), u(s.Attacked, 10), u(s.Twin, 10), f64(s.Ratio))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
 	}
 	for _, c := range r.Cores {
 		row := pad("core", c.Name, "",
 			"", "", "", "", "", "",
 			"", "", "", "", "", "",
+			"", "", "", "", "", "", "",
+			"", "", "", "",
 			u(c.Cycles, 10),
 			u(c.Instructions, 10), u(c.StallCycles, 10), u(c.LocalOps, 10),
 			u(c.BusOps, 10), u(c.BusErrors, 10))
@@ -97,6 +127,8 @@ func writeCSVRows(cw *csv.Writer, r Record) error {
 		row := pad("firewall", f.ID, f.Kind,
 			"", "", "", "", "", "",
 			"", "", "", "", "", "",
+			"", "", "", "", "", "", "",
+			"", "", "", "",
 			"",
 			"", "", "", "", "",
 			u(f.Checked, 10), u(f.Allowed, 10), u(f.Blocked, 10), u(f.CheckCycles, 10),

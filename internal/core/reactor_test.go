@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bus"
@@ -152,5 +153,177 @@ func TestReactorCountsAlertsFromAnyFirewall(t *testing.T) {
 	}
 	if !r.Quarantined("cpu0") {
 		t.Fatal("slave-side alert did not quarantine the master")
+	}
+}
+
+func TestReactorReleaseNeverQuarantined(t *testing.T) {
+	_, _, r := reactorRig(t, 2, 0)
+	if err := r.Release("cpu0"); err == nil {
+		t.Fatal("releasing a never-quarantined master accepted")
+	}
+	if err := r.Release("ghost"); err == nil {
+		t.Fatal("releasing an unknown master accepted")
+	}
+}
+
+func TestReactorDoubleRelease(t *testing.T) {
+	eng, lf, r := reactorRig(t, 1, 0)
+	probe(t, eng, lf, 0x7000_0000)
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release("cpu0"); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestReactorReleasePolicyRoundTrip(t *testing.T) {
+	eng, lf, r := reactorRig(t, 1, 0)
+	before := lf.Config().Policies()
+	probe(t, eng, lf, 0x7000_0000)
+	if got := lf.Config().RuleCount(); got != 0 {
+		t.Fatalf("quarantine left %d rules in the configuration memory", got)
+	}
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	after := lf.Config().Policies()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("policy round trip differs:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+func TestReactorStampsQuarantineAndRelease(t *testing.T) {
+	eng, lf, r := reactorRig(t, 2, 0)
+	r.Clock = eng.Now
+	fired := []uint64{}
+	r.OnQuarantine = func(master string, cycle uint64) {
+		if master != "cpu0" {
+			t.Fatalf("OnQuarantine for %q", master)
+		}
+		fired = append(fired, cycle)
+	}
+	probe(t, eng, lf, 0x7000_0000)
+	probe(t, eng, lf, 0x7000_0000)
+	if len(fired) != 1 {
+		t.Fatalf("OnQuarantine fired %d times", len(fired))
+	}
+	eng.Run(100)
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.RecoverySnapshot()
+	if len(st) != 1 {
+		t.Fatalf("%d stamps, want 1", len(st))
+	}
+	s := st[0]
+	if s.Master != "cpu0" || s.QuarantinedAt != fired[0] {
+		t.Fatalf("stamp %+v, OnQuarantine at %d", s, fired[0])
+	}
+	if s.FirstAlert == 0 || s.FirstAlert > s.QuarantinedAt {
+		t.Fatalf("first alert %d after quarantine %d", s.FirstAlert, s.QuarantinedAt)
+	}
+	// probe returns one cycle after the alert fired, so the release lands
+	// 100 cycles after that.
+	if s.ReleasedAt != s.QuarantinedAt+101 {
+		t.Fatalf("released at %d, want %d", s.ReleasedAt, s.QuarantinedAt+101)
+	}
+	if s.StagedAt != 0 {
+		t.Fatalf("one-step release carries a staged stamp: %+v", s)
+	}
+}
+
+func TestReactorStagedReadmission(t *testing.T) {
+	eng, lf, r := reactorRig(t, 1, 0)
+	r.Clock = eng.Now
+	probe(t, eng, lf, 0x7000_0000)
+	if !r.Quarantined("cpu0") {
+		t.Fatal("not quarantined")
+	}
+	// Stage 1: re-admit only the BRAM rule (it is the only saved rule, so
+	// admit-by-SPI keeps the test honest about filtering).
+	if err := r.ReleaseStaged("cpu0", func(p core.Policy) bool { return p.SPI == 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quarantined("cpu0") || !r.Probation("cpu0") {
+		t.Fatal("staged release closed the incident")
+	}
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespOK {
+		t.Fatalf("staged rule not restored: %v", got)
+	}
+	// A violation during probation re-quarantines instantly (threshold 1
+	// here, but the point is zero grace even for larger budgets).
+	probe(t, eng, lf, 0x7000_0000)
+	if !r.Quarantined("cpu0") || r.Probation("cpu0") {
+		t.Fatal("probation violation did not re-quarantine")
+	}
+	if r.Quarantines != 2 {
+		t.Fatalf("Quarantines = %d, want 2", r.Quarantines)
+	}
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespSecurityErr {
+		t.Fatalf("re-quarantined master still admitted: %v", got)
+	}
+	// The whole flap is one continuous incident: one stamp, still open.
+	if st := r.RecoverySnapshot(); len(st) != 1 || st[0].ReleasedAt != 0 {
+		t.Fatalf("stamps after probation flap: %+v", st)
+	}
+	// Second staged pass, clean this time, then full release restores the
+	// original policy.
+	if err := r.ReleaseStaged("cpu0", func(core.Policy) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, eng, lf, 0x1000_0000); got != bus.RespOK {
+		t.Fatalf("policy not restored after staged flap: %v", got)
+	}
+	st := r.RecoverySnapshot()
+	if len(st) != 1 || st[0].StagedAt == 0 || st[0].ReleasedAt == 0 {
+		t.Fatalf("final stamp: %+v", st)
+	}
+}
+
+func TestReactorHistoryCapped(t *testing.T) {
+	// The violation history must stay bounded however many alerts arrive:
+	// pruned to the window on append, and capped at Threshold even when
+	// the window is unbounded (Window == 0 was append-only before the
+	// cap) or wider than the burst. Synthetic alerts drive the reactor
+	// directly; Threshold is raised after the rig quarantines once so the
+	// cap — not the quarantine reset — is what bounds retention.
+	for _, window := range []uint64{0, 1 << 40} {
+		log := core.NewAlertLog()
+		cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: 0, Size: 0x1000}, RWA: core.ReadWrite, ADF: core.AnyWidth})
+		r := core.NewReactor(log, 4, window)
+		r.Guard("cpu0", cm)
+		for i := 0; i < 3; i++ {
+			log.Record(core.Alert{Cycle: uint64(i), Master: "cpu0", Violation: core.VZone})
+		}
+		// Below threshold: retention equals the alerts seen.
+		if got := r.HistoryLen("cpu0"); got != 3 {
+			t.Fatalf("window=%d: history %d, want 3", window, got)
+		}
+		// A runtime threshold drop must not let stale extra entries
+		// linger: the cap applies on every append.
+		r.Threshold = 2
+		log.Record(core.Alert{Cycle: 100, Master: "cpu0", Violation: core.VZone})
+		if !r.Quarantined("cpu0") {
+			t.Fatalf("window=%d: threshold 2 with 4 alerts did not quarantine", window)
+		}
+		if got := r.HistoryLen("cpu0"); got != 0 {
+			t.Fatalf("window=%d: quarantine left %d history entries", window, got)
+		}
+	}
+	// Sliding window: entries older than the window are pruned on append,
+	// so a trickle of violations retains one entry, not the full run.
+	log := core.NewAlertLog()
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: 0, Size: 0x1000}, RWA: core.ReadWrite, ADF: core.AnyWidth})
+	r := core.NewReactor(log, 100, 10)
+	r.Guard("cpu0", cm)
+	for i := 0; i < 50; i++ {
+		log.Record(core.Alert{Cycle: uint64(i) * 20, Master: "cpu0", Violation: core.VZone})
+	}
+	if got := r.HistoryLen("cpu0"); got != 1 {
+		t.Fatalf("sliding window retained %d entries, want 1", got)
 	}
 }

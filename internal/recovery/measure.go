@@ -1,0 +1,181 @@
+package recovery
+
+import "repro/internal/soc"
+
+// Sample is one throughput-sampling window of the measured run: how many
+// instructions the background cores retired on the attacked platform and
+// on its attack-free twin during (prevEnd, End], and the attacked rate
+// normalized to the twin's steady-state rate. The timeline of samples is
+// what tools/plot/recovery.gp draws around the inject/quarantine/release
+// markers.
+type Sample struct {
+	// End is the window's closing cycle (absolute).
+	End uint64 `json:"end"`
+	// Attacked and Twin are background instructions retired in the window.
+	Attacked uint64 `json:"attacked"`
+	Twin     uint64 `json:"twin"`
+	// Ratio is the attacked window rate over the twin's steady-state rate
+	// (1.0 = unharmed). The window the attacked background halts in is
+	// rated over the pre-halt span only, and windows entirely past the
+	// halt read zero.
+	Ratio float64 `json:"ratio"`
+}
+
+// Report is the incident bill of one measured run.
+type Report struct {
+	// QuarantineCycle is when the first deny-all policy was written (0 if
+	// the platform never quarantined). ReactLatency is the distance from
+	// the first violation counted against the quarantined master to that
+	// write — the time-to-quarantine leg of the lifecycle.
+	QuarantineCycle uint64
+	ReactLatency    uint64
+	// ReleaseCycle is the last full policy restore (0 while quarantined).
+	// QuarantinedCycles totals the cycles any master spent locked out
+	// (staged probation included: the incident is open until the full
+	// restore).
+	ReleaseCycle      uint64
+	QuarantinedCycles uint64
+	// Recovered reports that some post-release window's background rate
+	// was within epsilon of the twin's; RecoveryCycles is the distance
+	// from the release to the end of the first such window.
+	Recovered      bool
+	RecoveryCycles uint64
+	// Quarantines counts trigger events, probation re-quarantines
+	// included.
+	Quarantines uint64
+	// TwinRate is the attack-free twin's background instruction rate
+	// (instructions per cycle) over its whole measured window — the
+	// normalization baseline.
+	TwinRate float64
+	// Windows is the sampled timeline.
+	Windows []Sample
+	// Completed reports that the background finished on both halves
+	// within the cycle budget.
+	Completed bool
+}
+
+// bgInstr sums retired instructions across the background cores.
+func bgInstr(s *soc.System, bg []int) uint64 {
+	var t uint64
+	for _, i := range bg {
+		t += s.Cores[i].Stats().Instructions
+	}
+	return t
+}
+
+// Summarize harvests the reactor's quarantine stamps into the stamp-only
+// Report fields: quarantine/release cycles, react latency, total
+// quarantined cycles (open incidents count up to the platform's current
+// cycle) and the trigger count. Platforms without a reactor yield a zero
+// report — the "no reaction" baseline.
+func Summarize(s *soc.System) Report {
+	var rep Report
+	r := s.Reactor
+	if r == nil {
+		return rep
+	}
+	rep.Quarantines = r.Quarantines
+	stamps := r.RecoverySnapshot()
+	if len(stamps) == 0 {
+		return rep
+	}
+	first := stamps[0]
+	rep.QuarantineCycle = first.QuarantinedAt
+	rep.ReactLatency = first.QuarantinedAt - first.FirstAlert
+	for _, st := range stamps {
+		end := st.ReleasedAt
+		if end == 0 {
+			end = s.Eng.Now() // still locked out at measurement end
+		}
+		if end > st.QuarantinedAt {
+			rep.QuarantinedCycles += end - st.QuarantinedAt
+		}
+		if st.ReleasedAt > rep.ReleaseCycle {
+			rep.ReleaseCycle = st.ReleasedAt
+		}
+	}
+	return rep
+}
+
+// Measure runs the post-injection phase of a twin pair in lockstep
+// sampling windows and returns the full incident bill. Preconditions: both
+// halves stand at the injection cycle, the attack is injected on
+// pair.Attacked, and bg lists the cores carrying background load. max
+// bounds the additional cycles on each half.
+//
+// Windowed stepping never changes simulation results — RunToCycleOrHalted
+// stops each half at exactly the cycle a single RunUntilCores call would
+// have — it only adds counter observations at the window boundaries, so
+// enabling the meter leaves cycle accounting untouched.
+func Measure(pair *soc.Pair, bg []int, max uint64, p Params) Report {
+	p = p.Normalize()
+	w := p.SampleWindow
+	if w == 0 {
+		w = DefaultSampleWindow
+	}
+	atk, twin := pair.Attacked, pair.Twin
+	start := atk.Eng.Now()
+	deadline := start + max
+
+	instrT0 := bgInstr(twin, bg)
+	prevA, prevT := bgInstr(atk, bg), instrT0
+	aDone, tDone := atk.CoresHalted(bg...), twin.CoresHalted(bg...)
+	twinEnd, atkEnd := deadline, deadline
+	var windows []Sample
+	for now := start; now < deadline && !(aDone && tDone); {
+		boundary := now + w
+		if boundary > deadline {
+			boundary = deadline
+		}
+		if !aDone {
+			if aDone = atk.RunToCycleOrHalted(boundary, bg...); aDone {
+				atkEnd = atk.Eng.Now()
+			}
+		}
+		if !tDone {
+			if tDone = twin.RunToCycleOrHalted(boundary, bg...); tDone {
+				twinEnd = twin.Eng.Now()
+			}
+		}
+		curA, curT := bgInstr(atk, bg), bgInstr(twin, bg)
+		windows = append(windows, Sample{End: boundary, Attacked: curA - prevA, Twin: curT - prevT})
+		prevA, prevT = curA, curT
+		now = boundary
+	}
+
+	rep := Summarize(atk)
+	rep.Windows = windows
+	rep.Completed = aDone && tDone
+	if twinEnd > start {
+		rep.TwinRate = float64(prevT-instrT0) / float64(twinEnd-start)
+	}
+	// A window's rate divides by the span the attacked background was
+	// actually runnable: the window it halts in is clamped to the halt
+	// cycle, so a background that finishes at full speed right after the
+	// release is not misread as degraded (and recovered falsely denied)
+	// just because the halt landed mid-window.
+	wprev := start
+	for i := range rep.Windows {
+		s := &rep.Windows[i]
+		span := s.End - wprev
+		if atkEnd < s.End && atkEnd > wprev {
+			span = atkEnd - wprev
+		} else if atkEnd <= wprev {
+			span = 0
+		}
+		wprev = s.End
+		if span > 0 && rep.TwinRate > 0 {
+			s.Ratio = float64(s.Attacked) / float64(span) / rep.TwinRate
+		}
+	}
+	if rep.ReleaseCycle > 0 {
+		for _, s := range rep.Windows {
+			if s.End >= rep.ReleaseCycle && s.Ratio >= 1-p.Epsilon {
+				rep.Recovered = true
+				rep.RecoveryCycles = s.End - rep.ReleaseCycle
+				break
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,287 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/soc"
+	"repro/internal/workload"
+)
+
+// rogue returns a hijacked-core program issuing n illegal stores (to the
+// tree-node region, outside every core's policy) and then halting.
+func rogue(n int) string {
+	return workload.IllegalStores(soc.NodeBase, n)
+}
+
+// buildQuarantined boots a distributed platform with the given reactor
+// budget, attaches a supervisor, hijacks core 1 with n illegal stores and
+// runs until the attacker halts plus slack cycles.
+func buildQuarantined(t *testing.T, p recovery.Params, n int, slack uint64) (*soc.System, *recovery.Supervisor) {
+	t.Helper()
+	s := soc.MustNew(soc.Config{
+		Protection:          soc.Distributed,
+		QuarantineThreshold: p.QuarantineThreshold,
+		QuarantineWindow:    p.QuarantineWindow,
+	})
+	sup := recovery.Attach(s, p)
+	s.HaltIdleCores()
+	if err := s.Load(1, rogue(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.RunUntilCores(1_000_000, 1); !ok {
+		t.Fatal("attacker did not drain")
+	}
+	s.Eng.Run(slack)
+	if sup.Err != nil {
+		t.Fatalf("supervisor error: %v", sup.Err)
+	}
+	return s, sup
+}
+
+func TestSupervisorReleasesAfterClearDelay(t *testing.T) {
+	p := recovery.Params{QuarantineThreshold: 2, ClearDelay: 300}
+	s, sup := buildQuarantined(t, p, 3, 2_000)
+	st := s.Reactor.RecoverySnapshot()
+	if len(st) != 1 {
+		t.Fatalf("%d incidents, want 1", len(st))
+	}
+	q := st[0]
+	if q.Master != "cpu1" || q.QuarantinedAt == 0 {
+		t.Fatalf("bad stamp %+v", q)
+	}
+	if q.ReleasedAt != q.QuarantinedAt+300 {
+		t.Fatalf("released at %d, want quarantine %d + clear delay 300", q.ReleasedAt, q.QuarantinedAt)
+	}
+	if q.StagedAt != 0 || sup.StagedReleases != 0 {
+		t.Fatal("one-step supervisor staged a release")
+	}
+	if sup.Releases != 1 || s.Reactor.Quarantined("cpu1") {
+		t.Fatalf("releases=%d quarantined=%v", sup.Releases, s.Reactor.Quarantined("cpu1"))
+	}
+	// The restored policy is the full pre-incident rule set.
+	if got, want := s.CoreFWs[1].Config().RuleCount(), s.CoreFWs[0].Config().RuleCount(); got != want {
+		t.Fatalf("restored rule count %d, want %d", got, want)
+	}
+}
+
+func TestSupervisorStagedReadmission(t *testing.T) {
+	p := recovery.Params{QuarantineThreshold: 2, ClearDelay: 400, Staged: true, StageDelay: 200}
+	// Attacker commits exactly the threshold violations and halts: the
+	// probation window stays clean and the full restore lands on schedule.
+	s, sup := buildQuarantined(t, p, 2, 3_000)
+	st := s.Reactor.RecoverySnapshot()
+	if len(st) != 1 {
+		t.Fatalf("%d incidents, want 1", len(st))
+	}
+	q := st[0]
+	if q.StagedAt != q.QuarantinedAt+400 {
+		t.Fatalf("staged at %d, want %d", q.StagedAt, q.QuarantinedAt+400)
+	}
+	if q.ReleasedAt != q.StagedAt+200 {
+		t.Fatalf("released at %d, want %d", q.ReleasedAt, q.StagedAt+200)
+	}
+	if sup.StagedReleases != 1 || sup.Releases != 1 {
+		t.Fatalf("staged=%d full=%d", sup.StagedReleases, sup.Releases)
+	}
+	if s.Reactor.Quarantined("cpu1") || s.Reactor.Probation("cpu1") {
+		t.Fatal("incident not closed")
+	}
+	if got, want := s.CoreFWs[1].Config().RuleCount(), s.CoreFWs[0].Config().RuleCount(); got != want {
+		t.Fatalf("restored rule count %d, want %d", got, want)
+	}
+}
+
+func TestSupervisorProbationViolationReQuarantines(t *testing.T) {
+	// A short clear-delay re-admits the attacker mid-burst: the first
+	// probation violation must re-quarantine it, and the supervisor must
+	// keep retrying until the burst drains and a clean release sticks.
+	p := recovery.Params{QuarantineThreshold: 2, ClearDelay: 120, Staged: true, StageDelay: 120}
+	s, sup := buildQuarantined(t, p, 40, 5_000)
+	if s.Reactor.Quarantines < 2 {
+		t.Fatalf("Quarantines = %d, want a probation re-quarantine", s.Reactor.Quarantines)
+	}
+	if s.Reactor.Quarantined("cpu1") || s.Reactor.Probation("cpu1") {
+		t.Fatal("incident never cleanly closed")
+	}
+	if sup.Releases != 1 {
+		t.Fatalf("full releases = %d, want exactly 1", sup.Releases)
+	}
+	// One continuous incident despite the flapping: a single stamp whose
+	// release is the final, clean one.
+	st := s.Reactor.RecoverySnapshot()
+	if len(st) != 1 || st[0].ReleasedAt == 0 {
+		t.Fatalf("stamps: %+v", st)
+	}
+}
+
+// TestIMZoneOnlyFilter pins the staged filter to the platform's
+// integrity-monitored zone.
+func TestIMZoneOnlyFilter(t *testing.T) {
+	in := core.Policy{Zone: core.Zone{Base: soc.SecureBase, Size: 0x100}}
+	out := core.Policy{Zone: core.Zone{Base: soc.BRAMBase, Size: 0x100}}
+	if !recovery.IMZoneOnly(in) || recovery.IMZoneOnly(out) {
+		t.Fatal("IMZoneOnly misclassifies zones")
+	}
+}
+
+// measureRig boots a twin pair with background streaming on core 0 and a
+// finite burst attacker on core 1 of the attacked half, then runs Measure.
+func measureRig(t *testing.T, prot soc.Protection, p recovery.Params) recovery.Report {
+	t.Helper()
+	pair, err := soc.NewPair(soc.Config{
+		Protection:          prot,
+		QuarantineThreshold: p.QuarantineThreshold,
+		QuarantineWindow:    p.QuarantineWindow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := recovery.Attach(pair.Attacked, p)
+	bg := []int{0}
+	if err := pair.Both(func(s *soc.System) error {
+		s.HaltIdleCores()
+		return s.Load(0, workload.Stream(soc.BRAMBase+0x4000, 1500, 4, 0))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inject := pair.Attacked.Eng.Now() + 100
+	pair.Attacked.RunToCycle(inject)
+	pair.Twin.RunToCycle(inject)
+	if err := pair.Attacked.Load(1,
+		workload.BurstFlood(soc.NodeBase, soc.BRAMBase+0x3800, 20, 8, 16)); err != nil {
+		t.Fatal(err)
+	}
+	rep := recovery.Measure(pair, bg, 1_000_000, p)
+	if sup.Err != nil {
+		t.Fatalf("supervisor error: %v", sup.Err)
+	}
+	return rep
+}
+
+func TestMeasureFullLifecycleDistributed(t *testing.T) {
+	p := recovery.Params{QuarantineThreshold: 3, ClearDelay: 3000, SampleWindow: 200, Epsilon: 0.1}
+	rep := measureRig(t, soc.Distributed, p)
+	if !rep.Completed || rep.TwinRate == 0 || len(rep.Windows) == 0 {
+		t.Fatalf("measurement incomplete: %+v", rep)
+	}
+	if rep.QuarantineCycle == 0 {
+		t.Fatal("burst never quarantined")
+	}
+	if rep.ReleaseCycle <= rep.QuarantineCycle {
+		t.Fatalf("release %d not after quarantine %d", rep.ReleaseCycle, rep.QuarantineCycle)
+	}
+	if rep.QuarantinedCycles == 0 {
+		t.Fatal("no quarantined cycles accounted")
+	}
+	if !rep.Recovered {
+		t.Fatalf("background did not recover: %+v", rep)
+	}
+	if rep.RecoveryCycles == 0 || rep.RecoveryCycles > 10*p.SampleWindow {
+		t.Fatalf("recovery took %d cycles", rep.RecoveryCycles)
+	}
+	// The sampled timeline must actually show the wound: some window
+	// before the release ran visibly below the twin rate.
+	dipped := false
+	for _, w := range rep.Windows {
+		if w.End <= rep.QuarantineCycle+p.SampleWindow && w.Ratio < 0.95 {
+			dipped = true
+			break
+		}
+	}
+	if !dipped {
+		t.Fatalf("no bystander dip before quarantine: %+v", rep.Windows)
+	}
+}
+
+func TestMeasureNoReactionBaselines(t *testing.T) {
+	p := recovery.Params{QuarantineThreshold: 3, ClearDelay: 3000, SampleWindow: 200}
+	for _, prot := range []soc.Protection{soc.Unprotected, soc.Centralized} {
+		rep := measureRig(t, prot, p)
+		if rep.QuarantineCycle != 0 || rep.Quarantines != 0 || rep.Recovered {
+			t.Fatalf("%v: phantom reaction: %+v", prot, rep)
+		}
+		if !rep.Completed || rep.TwinRate == 0 {
+			t.Fatalf("%v: measurement incomplete: %+v", prot, rep)
+		}
+	}
+}
+
+// TestMeasureDoesNotPerturbCycles: windowed stepping must reproduce the
+// exact background durations a single-run harness measures — the meter
+// observes, never interferes.
+func TestMeasureDoesNotPerturbCycles(t *testing.T) {
+	run := func(windowed bool) (uint64, uint64) {
+		pair, err := soc.NewPair(soc.Config{Protection: soc.Distributed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bg := []int{0}
+		if err := pair.Both(func(s *soc.System) error {
+			s.HaltIdleCores()
+			return s.Load(0, workload.Stream(soc.BRAMBase+0x4000, 400, 4, 0))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		inject := pair.Attacked.Eng.Now() + 50
+		pair.Attacked.RunToCycle(inject)
+		pair.Twin.RunToCycle(inject)
+		if err := pair.Attacked.Load(1,
+			workload.BurstFlood(soc.NodeBase, soc.BRAMBase+0x3800, 10, 4, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if windowed {
+			recovery.Measure(pair, bg, 500_000, recovery.Params{SampleWindow: 64})
+		} else {
+			pair.Attacked.RunUntilCores(500_000, bg...)
+			pair.Twin.RunUntilCores(500_000, bg...)
+		}
+		return pair.Attacked.Eng.Now(), pair.Twin.Eng.Now()
+	}
+	a1, t1 := run(false)
+	a2, t2 := run(true)
+	if a1 != a2 || t1 != t2 {
+		t.Fatalf("windowed stepping changed results: %d/%d vs %d/%d", a1, t1, a2, t2)
+	}
+}
+
+// TestMeasureRecoveryAtBackgroundTail: a release landing with less than
+// one full sampling window of background left must still count as
+// recovered — the halt window is rated over its pre-halt span, not
+// diluted by the idle remainder.
+func TestMeasureRecoveryAtBackgroundTail(t *testing.T) {
+	pair, err := soc.NewPair(soc.Config{Protection: soc.Distributed, QuarantineThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear delay tuned so the release lands shortly before the 400-word
+	// background drains; the huge sample window guarantees the only
+	// post-release boundary lies past the background's halt.
+	p := recovery.Params{QuarantineThreshold: 2, ClearDelay: 4000, SampleWindow: 4000}
+	recovery.Attach(pair.Attacked, p)
+	bg := []int{0}
+	if err := pair.Both(func(s *soc.System) error {
+		s.HaltIdleCores()
+		return s.Load(0, workload.Stream(soc.BRAMBase+0x4000, 400, 4, 0))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inject := pair.Attacked.Eng.Now() + 100
+	pair.Attacked.RunToCycle(inject)
+	pair.Twin.RunToCycle(inject)
+	if err := pair.Attacked.Load(1, rogue(2)); err != nil { // quarantines, then halts
+		t.Fatal(err)
+	}
+	rep := recovery.Measure(pair, bg, 1_000_000, p)
+	if !rep.Completed || rep.ReleaseCycle == 0 {
+		t.Fatalf("lifecycle incomplete: %+v", rep)
+	}
+	last := rep.Windows[len(rep.Windows)-1]
+	if last.End <= rep.ReleaseCycle {
+		t.Fatalf("test premise broken: last window %d not past release %d", last.End, rep.ReleaseCycle)
+	}
+	if !rep.Recovered {
+		t.Fatalf("tail-window recovery denied: %+v", rep)
+	}
+}

@@ -323,6 +323,7 @@ func New(cfg Config) (*System, error) {
 
 		if cfg.QuarantineThreshold > 0 {
 			s.Reactor = core.NewReactor(s.Alerts, cfg.QuarantineThreshold, cfg.QuarantineWindow)
+			s.Reactor.Clock = s.Eng.Now
 			for i, fw := range s.CoreFWs {
 				s.Reactor.Guard(CoreName(i), fw.Config())
 			}

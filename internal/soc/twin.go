@@ -70,3 +70,20 @@ func (s *System) CoresHalted(cores ...int) bool {
 func (s *System) RunUntilCores(max uint64, cores ...int) (uint64, bool) {
 	return s.Eng.RunUntil(func() bool { return s.CoresHalted(cores...) }, max)
 }
+
+// RunToCycleOrHalted advances the platform to the given absolute cycle or
+// until every listed core halts, whichever comes first, and reports
+// whether the cores halted. It is the phase-boundary form of RunToCycle:
+// the incident-lifecycle engine (internal/recovery) steps both halves of a
+// Pair through fixed sampling windows with it, stopping each half exactly
+// where a single RunUntilCores call would have — partitioning a run into
+// windows never changes simulation results, only where the harness gets to
+// look at the counters.
+func (s *System) RunToCycleOrHalted(cycle uint64, cores ...int) bool {
+	now := s.Eng.Now()
+	if cycle <= now {
+		return s.CoresHalted(cores...)
+	}
+	_, ok := s.Eng.RunUntil(func() bool { return s.CoresHalted(cores...) }, cycle-now)
+	return ok
+}

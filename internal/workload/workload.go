@@ -269,6 +269,54 @@ func DoSFlood(target uint32) string {
 	`, target)
 }
 
+// IllegalStores returns a program issuing n stores to target (outside the
+// issuing core's policy on protected platforms, so each one alerts) and
+// then halting — the minimal hijacked-core stimulus for reactor and
+// supervisor tests.
+func IllegalStores(target uint32, n int) string {
+	return fmt.Sprintf(`
+		li r1, %#x
+		li r2, %d
+	viol:
+		sw r0, 0(r1)
+		addi r2, r2, -1
+		bnez r2, viol
+		halt
+	`, target, n)
+}
+
+// BurstFlood returns the finite-incident form of the DoS flood, built for
+// the reaction-and-recovery experiments: `bursts` iterations of one store
+// to illegal (a policy violation that alerts on protected platforms)
+// followed by `legalPerBurst` stores to legal (authorized traffic that
+// congests the shared bus on every platform), then a benign tail of
+// `tailWords` legal stores before halting. The hostile phase is finite, so
+// a quarantined-then-released attacker has a post-inject benign phase in
+// which throughput recovery is observable — unlike DoSFlood, which never
+// stops attacking.
+func BurstFlood(illegal, legal uint32, bursts, legalPerBurst, tailWords int) string {
+	return fmt.Sprintf(`
+		li r1, %#x        ; illegal target
+		li r2, %#x        ; legal target
+		li r3, %d         ; bursts
+	burst:
+		sw r0, 0(r1)      ; policy violation -> alert
+		li r4, %d
+	legal:
+		sw r0, 0(r2)      ; authorized bus traffic
+		addi r4, r4, -1
+		bnez r4, legal
+		addi r3, r3, -1
+		bnez r3, burst
+		li r4, %d         ; benign tail after the attack ends
+	tail:
+		sw r0, 0(r2)
+		addi r4, r4, -1
+		bnez r4, tail
+		halt
+	`, illegal, legal, bursts, legalPerBurst, tailWords)
+}
+
 // FormatAbuse returns a program probing a word-only zone with byte and
 // halfword accesses (ADF violations), then halting. errsOut is where the
 // observed bus-error count (CSR 4) is stored — in local memory so the

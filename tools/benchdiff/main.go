@@ -1,0 +1,152 @@
+// Command benchdiff is the perf-trajectory consumer: it compares two
+// benchjson documents (see tools/benchjson) and fails — exit status 1 —
+// when the new run regresses against the old one. A regression is a ns/op
+// increase beyond the threshold (default 25%, tunable with -ns-threshold)
+// or *any* allocs/op increase: the repository's hot paths are pinned at
+// zero allocations, so even one alloc/op is a real leak, and host-speed
+// noise never touches allocation counts.
+//
+// Usage:
+//
+//	benchdiff [-ns-threshold 0.25] old.json new.json
+//
+// The Makefile's bench-diff target diffs the current run against the
+// committed baseline (perf/BENCH_baseline.json); CI runs it on every
+// build. PRs that intentionally change performance refresh the baseline
+// with `make bench-baseline`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Entry mirrors the benchjson schema (only the fields the diff needs).
+type Entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// Doc mirrors the benchjson document.
+type Doc struct {
+	Bench map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	nsThreshold := flag.Float64("ns-threshold", 0.25,
+		"relative ns/op increase that counts as a regression")
+	nsFloor := flag.Float64("ns-floor", 250,
+		"absolute ns/op increase below which a relative regression is noise, not a failure")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-threshold 0.25] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions, report := Diff(oldDoc, newDoc, *nsThreshold, *nsFloor)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s\n", len(regressions), flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (%d benchmarks within %.0f%% ns/op, no allocs/op growth)\n",
+		len(report), *nsThreshold*100)
+}
+
+func load(path string) (Doc, error) {
+	var d Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Bench) == 0 {
+		return d, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return d, nil
+}
+
+// Diff compares the benchmarks present in both documents and returns the
+// regression lines and the full per-benchmark report (regressions
+// included, sorted by name for stable output). Benchmarks only on one
+// side are reported but never fail the diff — suites grow and shrink
+// across PRs.
+//
+// A ns/op regression must clear the relative threshold AND the absolute
+// floor: on shared CI hosts a sub-100ns benchmark routinely swings 40%
+// from scheduler and frequency jitter even at min-of-N sampling, while
+// every real regression this repository cares about — a pooled path
+// re-allocating, a table lookup turning into a walk — costs hundreds of
+// nanoseconds to microseconds. So the floor does not exempt tiny
+// benchmarks from catastrophic slips, a 4x relative blowup fails
+// regardless of absolute size (observed jitter tops out well under 2x).
+// The allocs/op gate has no floor; counts are noise-free.
+func Diff(oldDoc, newDoc Doc, nsThreshold, nsFloor float64) (regressions, report []string) {
+	names := make([]string, 0, len(newDoc.Bench))
+	for name := range newDoc.Bench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nw := newDoc.Bench[name]
+		od, ok := oldDoc.Bench[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("  new    %-45s %12.1f ns/op (no baseline)", name, nw.NsPerOp))
+			continue
+		}
+		delta := 0.0
+		if od.NsPerOp > 0 {
+			delta = (nw.NsPerOp - od.NsPerOp) / od.NsPerOp
+		}
+		line := fmt.Sprintf("  %-45s %12.1f -> %12.1f ns/op (%+.1f%%)", name, od.NsPerOp, nw.NsPerOp, delta*100)
+		switch {
+		case delta > nsThreshold && (nw.NsPerOp-od.NsPerOp > nsFloor || delta > blowup):
+			line = "REGRESS" + line + fmt.Sprintf(" exceeds +%.0f%%", nsThreshold*100)
+			regressions = append(regressions, line)
+		case allocs(nw) > allocs(od):
+			line = "REGRESS" + line + fmt.Sprintf(" allocs/op %g -> %g", allocs(od), allocs(nw))
+			regressions = append(regressions, line)
+		default:
+			line = "  ok   " + line
+		}
+		report = append(report, line)
+	}
+	var gone []string
+	for name := range oldDoc.Bench {
+		if _, ok := newDoc.Bench[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		report = append(report, fmt.Sprintf("  gone   %-45s (in baseline only)", name))
+	}
+	return regressions, report
+}
+
+// blowup is the relative increase past which the absolute floor no longer
+// applies: a benchmark 4x slower is a regression whatever its size.
+const blowup = 3.0
+
+func allocs(e Entry) float64 {
+	if e.AllocsPerOp == nil {
+		return 0
+	}
+	return *e.AllocsPerOp
+}

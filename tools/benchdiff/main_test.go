@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(bench map[string]Entry) Doc { return Doc{Bench: bench} }
+
+func allocPtr(v float64) *float64 { return &v }
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := doc(map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: allocPtr(0)},
+		"BenchmarkB": {NsPerOp: 50},
+	})
+	cur := doc(map[string]Entry{
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: allocPtr(0)}, // +20% < 25%
+		"BenchmarkB": {NsPerOp: 40},                            // improvement
+	})
+	reg, report := Diff(old, cur, 0.25, 20)
+	if len(reg) != 0 {
+		t.Fatalf("regressions within threshold: %v", reg)
+	}
+	if len(report) != 2 {
+		t.Fatalf("report lines: %v", report)
+	}
+}
+
+func TestDiffFailsOnNsRegression(t *testing.T) {
+	old := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 100}})
+	cur := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 130}}) // +30%
+	reg, _ := Diff(old, cur, 0.25, 20)
+	if len(reg) != 1 || !strings.Contains(reg[0], "BenchmarkA") {
+		t.Fatalf("ns/op regression not flagged: %v", reg)
+	}
+}
+
+func TestDiffFailsOnAnyAllocRegression(t *testing.T) {
+	// allocs/op growth fails even when ns/op improved: a zero-alloc hot
+	// path growing one allocation is a leak, not noise.
+	old := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: allocPtr(0)}})
+	cur := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 80, AllocsPerOp: allocPtr(1)}})
+	reg, _ := Diff(old, cur, 0.25, 20)
+	if len(reg) != 1 || !strings.Contains(reg[0], "allocs/op") {
+		t.Fatalf("allocs/op regression not flagged: %v", reg)
+	}
+}
+
+func TestDiffIgnoresSuiteChanges(t *testing.T) {
+	// New and removed benchmarks are reported but never fail the diff.
+	old := doc(map[string]Entry{"BenchmarkGone": {NsPerOp: 10}})
+	cur := doc(map[string]Entry{"BenchmarkNew": {NsPerOp: 999}})
+	reg, report := Diff(old, cur, 0.25, 20)
+	if len(reg) != 0 {
+		t.Fatalf("suite change flagged as regression: %v", reg)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "BenchmarkNew") || !strings.Contains(joined, "BenchmarkGone") {
+		t.Fatalf("suite changes not reported:\n%s", joined)
+	}
+}
+
+func TestDiffTreatsMissingAllocsAsZero(t *testing.T) {
+	old := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 100}})
+	cur := doc(map[string]Entry{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: allocPtr(0)}})
+	if reg, _ := Diff(old, cur, 0.25, 20); len(reg) != 0 {
+		t.Fatalf("0 allocs vs absent allocs flagged: %v", reg)
+	}
+}
+
+func TestDiffAbsoluteFloorAbsorbsMicroNoise(t *testing.T) {
+	// +40% on a 78ns benchmark is 31ns of scheduler jitter, not a
+	// regression; the same relative jump past the floor fails.
+	old := doc(map[string]Entry{"BenchmarkTiny": {NsPerOp: 78}, "BenchmarkBig": {NsPerOp: 6000}})
+	cur := doc(map[string]Entry{"BenchmarkTiny": {NsPerOp: 110}, "BenchmarkBig": {NsPerOp: 8400}})
+	reg, _ := Diff(old, cur, 0.25, 100)
+	if len(reg) != 1 || !strings.Contains(reg[0], "BenchmarkBig") {
+		t.Fatalf("floor misapplied: %v", reg)
+	}
+}
+
+func TestDiffBlowupOverridesFloor(t *testing.T) {
+	// A 6x slip on a 47ns benchmark is under the absolute floor but far
+	// past the blowup cap — it must fail, the floor only absorbs jitter.
+	old := doc(map[string]Entry{"BenchmarkMicro": {NsPerOp: 47}})
+	cur := doc(map[string]Entry{"BenchmarkMicro": {NsPerOp: 295}})
+	reg, _ := Diff(old, cur, 0.25, 250)
+	if len(reg) != 1 {
+		t.Fatalf("6x micro regression slipped under the floor: %v", reg)
+	}
+}

@@ -47,3 +47,14 @@ func TestParseBenchLineMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordKeepsFastestSample(t *testing.T) {
+	doc := Doc{Bench: map[string]Entry{}}
+	record(&doc, "BenchmarkX", Entry{NsPerOp: 100, Iterations: 1})
+	record(&doc, "BenchmarkX", Entry{NsPerOp: 80, Iterations: 2})
+	record(&doc, "BenchmarkX", Entry{NsPerOp: 95, Iterations: 3})
+	got := doc.Bench["BenchmarkX"]
+	if got.NsPerOp != 80 || got.Iterations != 2 {
+		t.Fatalf("kept %+v, want the fastest sample", got)
+	}
+}

@@ -1,0 +1,68 @@
+# recovery.gp — the incident-lifecycle timeline from a recovery-enabled
+# campaign CSV: background throughput (attacked-platform rate normalized
+# to the attack-free twin's steady-state rate) per sampling window, with
+# vertical markers at injection, quarantine and release. The shape the
+# chart should show on the distributed platform: a dip after injection,
+# flatline damage until the reactor trips, full (or near-full) throughput
+# while the attacker sits quarantined, and the curve settling back onto
+# 1.0 after the release — the recovery the record's `recovered` field
+# asserts. On the centralized baseline there are no quarantine/release
+# markers and the dip simply persists until the attack drains.
+#
+# Usage:
+#   mpsocsim -attack -recovery -format csv -sweep-out campaign.csv
+#   gnuplot -e "csv='campaign.csv'; run='burst-flood/distributed-firewalls/stream/c3'" \
+#       tools/plot/recovery.gp
+#   # writes recovery.svg (override with -e "out='...'")
+#
+# Column map of the campaign CSV (see internal/campaign CSVHeader):
+#   2=name 7=scope 16=inject_cycle 23=quarantine_cycle 24=release_cycle
+#   29=window_end 32=window_ratio
+# The goal column (15) may contain quoted commas, so columns after it are
+# addressed from the *right* (NF-k) on scope==attack rows — every
+# comma-bearing field sits at column 15, so right-anchored indices stay
+# aligned under naive comma splitting. scope==window rows carry no free
+# text and are read by plain column number.
+
+if (!exists("csv")) csv = 'campaign.csv'
+if (!exists("run")) run = 'burst-flood/distributed-firewalls/stream/c3'
+if (!exists("out")) out = 'recovery.svg'
+
+set terminal svg size 960,520 dynamic background rgb 'white'
+set output out
+set datafile separator ','
+
+# Markers from the run's attack row, counted from the right (45 columns
+# total, so column c is NF-(45-c)).
+marker(c) = real(system(sprintf( \
+  "awk -F, -v run='%s' '$2==run && $7==\"attack\" {print $(NF-(45-%d)); exit}' %s", run, c, csv)))
+inject     = marker(16)
+quarantine = marker(23)
+release    = marker(24)
+
+set title sprintf('Background throughput around the incident — %s', run)
+set xlabel 'cycle'
+set ylabel 'attacked rate / twin steady-state rate'
+set yrange [0:1.3]
+set grid ytics
+set key bottom right
+
+set arrow 1 from inject, graph 0 to inject, graph 1 nohead dashtype 2 linecolor rgb '#808080'
+set label 1 'inject' at inject, graph 0.95 offset 0.5,0 textcolor rgb '#808080'
+if (quarantine > 0) {
+  set arrow 2 from quarantine, graph 0 to quarantine, graph 1 nohead dashtype 2 linecolor rgb '#d7191c'
+  set label 2 'quarantine' at quarantine, graph 0.89 offset 0.5,0 textcolor rgb '#d7191c'
+}
+if (release > 0) {
+  set arrow 3 from release, graph 0 to release, graph 1 nohead dashtype 2 linecolor rgb '#1a9641'
+  set label 3 'release' at release, graph 0.83 offset 0.5,0 textcolor rgb '#1a9641'
+}
+
+# Twin parity and the default recovery tolerance (-recovery-epsilon 0.1).
+set arrow 4 from graph 0, first 1.0 to graph 1, first 1.0 nohead linecolor rgb '#b0b0b0'
+set arrow 5 from graph 0, first 0.9 to graph 1, first 0.9 nohead dashtype 3 linecolor rgb '#b0b0b0'
+
+windows = sprintf("< awk -F, -v run='%s' '$2==run && $7==\"window\" {print}' %s", run, csv)
+
+plot windows using 29:32 with linespoints pointtype 7 pointsize 0.4 \
+     linecolor rgb '#2c7bb6' title 'background throughput (per window)'
