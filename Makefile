@@ -1,6 +1,8 @@
 # Tier-1 gate, CI pipeline and benchmark smoke for the repro module.
 #
 #   make verify       # gofmt, vet, build, full tests, race tests on the hot packages
+#   make modelcheck   # prove invariants (a)-(d) over the bounded policy+reactor model
+#   make staticcheck  # determinism lint: map-range / wallclock / goroutine hazards in internal/...
 #   make determinism  # sweep + attack campaign twice (different worker counts) + shard/merge, fail on any byte diff
 #   make attack       # the paper's detection matrix (one-command repro)
 #   make bench-smoke  # short throughput benchmarks so regressions surface in CI logs
@@ -41,11 +43,11 @@ RECOVERY_GRID := -attack-scenarios burst-flood,zone-escape,dos-flood \
                  -accesses 256 -inject-delay 100 -max 2000000 \
                  -recovery -recovery-staged -recovery-clear-delay 1500
 
-.PHONY: ci verify fmt vet build test race determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
+.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
 
-ci: verify determinism attack bench-smoke bench-diff
+ci: verify modelcheck staticcheck determinism attack bench-smoke bench-diff
 
-verify: fmt vet build test race
+verify: fmt vet build test race staticcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -66,6 +68,26 @@ test:
 # race-clean.
 race:
 	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery
+
+# modelcheck: the proof gate. Exhaustively enumerate the bounded
+# policy+reactor state space (internal/modelcheck) and fail on any
+# violation of invariants (a)-(d); the reported state/transition counts
+# are deterministic across runs, so a changed count in CI logs means the
+# model (or the reactor) changed.
+modelcheck:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
+	$(BUILD)/mpsocsim -modelcheck
+
+# staticcheck: the determinism lint. Walks internal/... with
+# go/parser+go/types and fails on map iteration feeding program order,
+# time.Now / math/rand in the simulation stack, and goroutine spawns
+# outside the sweep worker pool — unless justified, one line each, in
+# tools/staticcheck/allowlist.txt (stale entries fail too).
+staticcheck:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/staticcheck ./tools/staticcheck
+	$(BUILD)/staticcheck -root .
 
 # determinism: the sweep and campaign streams must be byte-identical across
 # worker counts, and sharded runs merged back together must reproduce the

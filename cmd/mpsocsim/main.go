@@ -16,6 +16,7 @@
 //	mpsocsim -attack -format csv -sweep-out campaign.csv # for tools/plot/containment.gp
 //	mpsocsim -attack -recovery -format table   # + reaction & recovery table (quarantine/release/recovery)
 //	mpsocsim -attack -recovery -recovery-staged -format csv -sweep-out campaign.csv # windows for tools/plot/recovery.gp
+//	mpsocsim -modelcheck                       # prove invariants (a)-(d) over the bounded policy+reactor model
 package main
 
 import (
@@ -66,6 +67,8 @@ type options struct {
 	attackBgs   string
 	attackCores string
 	injectDelay uint64
+
+	doModelcheck bool
 
 	recovery      bool
 	recThreshold  int
@@ -131,6 +134,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.injectDelay, "inject-delay", campaign.DefaultInjectDelay,
 		"attack: cycles after background start at which the attack fires; must be shorter than the background's runtime (0 selects the default, use 1 to fire at start)")
 
+	fs.BoolVar(&o.doModelcheck, "modelcheck", false,
+		"exhaustively model-check the firewall policy + quarantine reactor automaton (internal/modelcheck) and print the proof summary")
+
 	fs.BoolVar(&o.recovery, "recovery", false,
 		"attack: run the reaction-and-recovery phase — arm the quarantine reactor (distributed platforms), release on a supervisor schedule, and sample background throughput against the twin")
 	fs.IntVar(&o.recThreshold, "recovery-threshold", recovery.DefaultThreshold,
@@ -172,6 +178,12 @@ func main() {
 	switch {
 	case o.doSweep && o.doAttack:
 		fatal(fmt.Errorf("-sweep and -attack are mutually exclusive"))
+	case o.doModelcheck && (o.doSweep || o.doAttack):
+		fatal(fmt.Errorf("-modelcheck runs alone (mutually exclusive with -sweep/-attack)"))
+	case o.doModelcheck:
+		if err := runModelcheck(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case o.doAttack:
 		if err := withOutput(o, runAttack); err != nil {
 			fatal(err)

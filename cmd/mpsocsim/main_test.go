@@ -443,3 +443,29 @@ func TestRunAttackRecoveryJSONLDeterministic(t *testing.T) {
 		t.Fatalf("stream does not carry the recovery marker:\n%s", a)
 	}
 }
+
+// TestRunModelcheckSmoke is the CLI face of the `make modelcheck` gate:
+// the proof over the default bounded model passes and reports
+// deterministic state/transition counts.
+func TestRunModelcheckSmoke(t *testing.T) {
+	o, err := parseFlags([]string{"-modelcheck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.doModelcheck {
+		t.Fatal("-modelcheck flag not parsed")
+	}
+	var a, b bytes.Buffer
+	if err := runModelcheck(&a); err != nil {
+		t.Fatalf("modelcheck failed: %v\n%s", err, a.String())
+	}
+	if err := runModelcheck(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("modelcheck report differs across runs:\n%s\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "invariants (a)-(d): PASS") {
+		t.Fatalf("unexpected report: %s", a.String())
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/modelcheck"
+)
+
+// runModelcheck is the `-modelcheck` entry: exhaustively enumerate the
+// default bounded model of the firewall policy + quarantine reactor
+// automaton and report the proof. This is what `make modelcheck` gates in
+// CI: the state/transition counts are deterministic across runs, and any
+// invariant violation is rendered as a minimal, replayable trace.
+func runModelcheck(w io.Writer) error {
+	res, err := modelcheck.Check(modelcheck.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Summary())
+	if ce := res.Counterexample; ce != nil {
+		fmt.Fprintln(w, ce)
+		fmt.Fprintln(w, "replay as a Go test:")
+		fmt.Fprintln(w, ce.GoTest())
+		return fmt.Errorf("modelcheck: invariant (%s) violated", ce.Invariant)
+	}
+	return nil
+}

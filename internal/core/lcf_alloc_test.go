@@ -6,6 +6,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // allocLCF builds a sealed CipherFirewall over a DDR store with the full
@@ -64,6 +65,61 @@ func TestSecureWriteAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("secure write allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSecureWriteLoopAllocFree pins 0 allocs/op on the *full* secured
+// write loop — master port submit, bus arbitration, engine event pump and
+// the firewall — i.e. exactly what BenchmarkLCFSecureWrite times per
+// iteration. The benchmark's allocs/op column is gated against the
+// committed baseline, and this test keeps it honest without running the
+// bench: any allocation sneaking into the submit/engine/LCF steady state
+// fails here first.
+func TestSecureWriteLoopAllocFree(t *testing.T) {
+	eng := sim.NewEngine(sim.DefaultFrequency)
+	bs := bus.New(eng, bus.Config{})
+	ddr := mem.NewDDR("ddr", ddrBase, ddrSize)
+	cm := core.MustConfig(core.Policy{SPI: 1, Zone: core.Zone{Base: secBase, Size: secSize},
+		RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true, Key: testKey})
+	lcf, err := core.NewCipherFirewall(core.LCFConfig{
+		IntegrityZone: core.Zone{Base: secBase, Size: secSize}, NodeBase: nodeBase,
+	}, ddr, ddr.Store(), cm, core.NewAlertLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcf.Seal()
+	bs.AddSlave(lcf)
+	m := bs.NewMaster("cpu0")
+	var (
+		tx   bus.Transaction
+		data [1]uint32
+		done bool
+	)
+	finish := func(*bus.Transaction) { done = true }
+	idle := func() bool { return done }
+	i := uint32(0)
+	write := func() {
+		i++
+		done = false
+		data[0] = i
+		tx = bus.Transaction{Op: bus.Write, Addr: secBase + (i%64)*4&^3, Size: 4, Burst: 1,
+			Data: data[:1]}
+		m.Submit(&tx, finish)
+		if _, ok := eng.RunUntil(idle, 1_000_000); !ok {
+			t.Fatal("write did not complete")
+		}
+		if !tx.Resp.OK() {
+			t.Fatalf("write failed: %v", tx.Resp)
+		}
+	}
+	// Warm up the bus queue, the engine's event storage and the firewall's
+	// covering-transaction pools.
+	for n := 0; n < 8; n++ {
+		write()
+	}
+	allocs := testing.AllocsPerRun(200, write)
+	if allocs != 0 {
+		t.Fatalf("secured write loop allocates %v per op, want 0", allocs)
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Reactor implements the paper's stated future work: "reconfiguration of
 // security services (i.e. modification of security policies) to counter
@@ -121,6 +124,45 @@ func (r *Reactor) HistoryLen(master string) int { return len(r.history[master]) 
 // incident so far, in trigger order.
 func (r *Reactor) RecoverySnapshot() []QuarantineStamp {
 	return append([]QuarantineStamp(nil), r.stamps...)
+}
+
+// SavedPolicies returns a copy of the rules stashed when the master was
+// quarantined — what Release will restore — or nil when the master is not
+// quarantined. Introspection hook for internal/modelcheck: the checker
+// compares the live Configuration Memory against this set to prove that
+// staged re-admission never restores more than the supervisor allowed and
+// that a full Release restores exactly the pre-incident policy.
+func (r *Reactor) SavedPolicies(master string) []Policy {
+	rules, ok := r.saved[master]
+	if !ok {
+		return nil
+	}
+	return append([]Policy(nil), rules...)
+}
+
+// OpenIncident returns the stamp of the master's unresolved incident (the
+// one a probation violation re-quarantines into) and whether one is open.
+// Introspection hook for internal/modelcheck: invariant (c) — a staged
+// master that violates is re-quarantined within the *same* incident —
+// is checked by asserting the open stamp index does not change across the
+// violation.
+func (r *Reactor) OpenIncident(master string) (stamp QuarantineStamp, index int, ok bool) {
+	i, ok := r.open[master]
+	if !ok {
+		return QuarantineStamp{}, -1, false
+	}
+	return r.stamps[i], i, true
+}
+
+// GuardedMasters returns the guarded master names in sorted order.
+// Introspection hook for internal/modelcheck's state enumeration.
+func (r *Reactor) GuardedMasters() []string {
+	names := make([]string, 0, len(r.guarded))
+	for m := range r.guarded {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (r *Reactor) now() uint64 {

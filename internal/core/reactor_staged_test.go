@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// stagedRig builds a reactor guarding one master with a three-rule policy
+// and, unless told otherwise, drives it into quarantine with two direct
+// alerts. No bus or engine: the staged-release edge cases are pure
+// reactor+ConfigMemory semantics, and the alert log delivers synchronously.
+func stagedRig(t *testing.T, quarantine bool) (*core.Reactor, *core.ConfigMemory, *uint64) {
+	t.Helper()
+	log := core.NewAlertLog()
+	cm := core.MustConfig(
+		core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000, Size: 0x100}, RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true},
+		core.Policy{SPI: 2, Zone: core.Zone{Base: 0x2000, Size: 0x100}, RWA: core.ReadOnly, ADF: core.W32},
+		core.Policy{SPI: 3, Zone: core.Zone{Base: 0x3000, Size: 0x100}, RWA: core.WriteOnly, ADF: core.AnyWidth},
+	)
+	r := core.NewReactor(log, 2, 0)
+	cycle := new(uint64)
+	r.Clock = func() uint64 { return *cycle }
+	r.Guard("cpu0", cm)
+	if quarantine {
+		log.Record(core.Alert{Cycle: 10, Master: "cpu0", Violation: core.VZone})
+		log.Record(core.Alert{Cycle: 20, Master: "cpu0", Violation: core.VZone})
+		if !r.Quarantined("cpu0") {
+			t.Fatal("rig failed to quarantine")
+		}
+	}
+	return r, cm, cycle
+}
+
+// enforcedSPIs returns the SPIs the configuration memory currently
+// enforces, sorted.
+func enforcedSPIs(cm *core.ConfigMemory) []uint32 {
+	var out []uint32
+	for _, p := range cm.Policies() {
+		out = append(out, p.SPI)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSPIs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReleaseStagedEdgeCases drives the staged-re-admission corners the
+// modelcheck default model also enumerates: filters that admit nothing,
+// filters that match no saved rule, staged release outside an incident,
+// and repeated staged releases within one incident.
+func TestReleaseStagedEdgeCases(t *testing.T) {
+	type stage struct {
+		allow    func(core.Policy) bool
+		wantErr  bool
+		wantSPIs []uint32 // enforced rules after the call
+	}
+	cases := []struct {
+		name       string
+		quarantine bool
+		stages     []stage
+	}{
+		{
+			// A nil filter is pure probation: nothing restored, but the
+			// master is watched with zero tolerance.
+			name:       "nil allow admits nothing",
+			quarantine: true,
+			stages:     []stage{{allow: nil, wantSPIs: nil}},
+		},
+		{
+			// A filter that matches none of the saved rules behaves exactly
+			// like nil: empty restore set, probation armed.
+			name:       "filter matches no saved rule",
+			quarantine: true,
+			stages: []stage{{
+				allow:    func(p core.Policy) bool { return p.SPI == 99 },
+				wantSPIs: nil,
+			}},
+		},
+		{
+			// Without an incident there is nothing to stage out of; the
+			// reactor must refuse rather than invent probation state.
+			name:       "staged release when not quarantined",
+			quarantine: false,
+			stages: []stage{{
+				allow:   func(core.Policy) bool { return true },
+				wantErr: true,
+			}},
+		},
+		{
+			// A second staged release re-filters from the *saved* set, so a
+			// supervisor can widen (or narrow) the stage without releasing:
+			// the config memory ends up with exactly the second filter's
+			// subset, not the union.
+			name:       "double staged release refilters from saved",
+			quarantine: true,
+			stages: []stage{
+				{allow: func(p core.Policy) bool { return p.IM }, wantSPIs: []uint32{1}},
+				{allow: func(p core.Policy) bool { return p.SPI >= 2 }, wantSPIs: []uint32{2, 3}},
+			},
+		},
+		{
+			name:       "double staged release idempotent under same filter",
+			quarantine: true,
+			stages: []stage{
+				{allow: func(p core.Policy) bool { return p.IM }, wantSPIs: []uint32{1}},
+				{allow: func(p core.Policy) bool { return p.IM }, wantSPIs: []uint32{1}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, cm, cycle := stagedRig(t, tc.quarantine)
+			*cycle = 100
+			for i, st := range tc.stages {
+				*cycle += 10 // distinct stamp per call
+				err := r.ReleaseStaged("cpu0", st.allow)
+				if st.wantErr {
+					if err == nil {
+						t.Fatalf("stage %d: expected error", i)
+					}
+					if r.Probation("cpu0") || r.Quarantined("cpu0") {
+						t.Fatalf("stage %d: rejected call left reactor state behind", i)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("stage %d: %v", i, err)
+				}
+				if got := enforcedSPIs(cm); !equalSPIs(got, st.wantSPIs) {
+					t.Fatalf("stage %d: enforced SPIs = %v, want %v", i, got, st.wantSPIs)
+				}
+				if !r.Probation("cpu0") || !r.Quarantined("cpu0") {
+					t.Fatalf("stage %d: want probation within an open incident", i)
+				}
+				// The saved pre-incident policy is untouched by staging: a
+				// full Release must still restore all three rules.
+				if got := len(r.SavedPolicies("cpu0")); got != 3 {
+					t.Fatalf("stage %d: saved policies = %d, want 3", i, got)
+				}
+				// StagedAt records the *first* staged release of the
+				// incident; later re-stages keep the original stamp.
+				stamp, _, open := r.OpenIncident("cpu0")
+				if !open {
+					t.Fatalf("stage %d: incident not open", i)
+				}
+				if want := uint64(110); stamp.StagedAt != want {
+					t.Fatalf("stage %d: StagedAt = %d, want %d", i, stamp.StagedAt, want)
+				}
+			}
+			if !tc.quarantine {
+				return
+			}
+			// Full release always lands on the complete pre-incident policy,
+			// regardless of which stages ran before it.
+			if err := r.Release("cpu0"); err != nil {
+				t.Fatal(err)
+			}
+			if got := enforcedSPIs(cm); !equalSPIs(got, []uint32{1, 2, 3}) {
+				t.Fatalf("after Release: enforced SPIs = %v, want [1 2 3]", got)
+			}
+			if r.Probation("cpu0") || r.Quarantined("cpu0") {
+				t.Fatal("Release left probation/quarantine state behind")
+			}
+		})
+	}
+}

@@ -1,0 +1,437 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes a Check run.
+type Config struct {
+	// Model is the bounded universe; nil selects DefaultModel.
+	Model *Model
+	// Tamper, when set, runs after every applied action with full access
+	// to the system under test. It exists so tests can inject a
+	// deliberately weakened reactor (e.g. "forget to revoke a rule") and
+	// confirm the checker produces a minimal counterexample. Production
+	// gates leave it nil.
+	Tamper func(*Sys, Action)
+	// MaxStates aborts the search if the canonicalized state space grows
+	// past this bound (a misconfigured model, not a property violation).
+	// Zero selects 1<<20.
+	MaxStates int
+}
+
+// Result is the outcome of one exhaustive search.
+type Result struct {
+	// States is the number of distinct canonicalized states reached;
+	// Transitions the number of (state, action) edges explored; Depth the
+	// longest shortest-path distance from the initial state. All three are
+	// deterministic across runs for a fixed model.
+	States      int
+	Transitions int
+	Depth       int
+	// Grants / Alerts count explored access edges that were granted /
+	// raised an alert (informational; deterministic).
+	Grants int
+	Alerts int
+	// Counterexample is nil when every invariant holds over the entire
+	// reachable space.
+	Counterexample *Counterexample
+}
+
+// Summary renders the one-line CI report.
+func (r *Result) Summary() string {
+	verdict := "invariants (a)-(d): PASS"
+	if r.Counterexample != nil {
+		verdict = fmt.Sprintf("invariant (%s) VIOLATED", r.Counterexample.Invariant)
+	}
+	return fmt.Sprintf("modelcheck: %d states, %d transitions, depth %d, %d grants / %d alerts explored; %s",
+		r.States, r.Transitions, r.Depth, r.Grants, r.Alerts, verdict)
+}
+
+// Counterexample is a minimal violating trace: because the search is
+// breadth-first over canonical states, Trace is a shortest action sequence
+// from the initial state to the violation.
+type Counterexample struct {
+	// Invariant names the violated property: "a", "b", "c", "d", or one of
+	// the internal-consistency checks ("spec-bisim", "frame",
+	// "noop-release").
+	Invariant string
+	Detail    string
+	Trace     []Action
+
+	model *Model
+}
+
+// String renders the trace step by step.
+func (ce *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant (%s) violated after %d step(s): %s\n", ce.Invariant, len(ce.Trace), ce.Detail)
+	for i, a := range ce.Trace {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, a.Describe(ce.model))
+	}
+	return b.String()
+}
+
+// GoTest renders a ready-to-paste Go test body that replays the trace via
+// Replay, so a violation found in CI becomes a pinned regression test.
+func (ce *Counterexample) GoTest() string {
+	var b strings.Builder
+	b.WriteString("// Auto-generated replay of a modelcheck counterexample.\n")
+	fmt.Fprintf(&b, "// Invariant (%s): %s\n", ce.Invariant, ce.Detail)
+	b.WriteString("func TestCounterexampleReplay(t *testing.T) {\n")
+	b.WriteString("\tm := modelcheck.DefaultModel() // adjust if the checked model differs\n")
+	b.WriteString("\ttrace := []modelcheck.Action{\n")
+	for _, a := range ce.Trace {
+		fmt.Fprintf(&b, "\t\t%s,\n", a.GoLiteral())
+	}
+	b.WriteString("\t}\n")
+	b.WriteString("\tsys := modelcheck.Replay(m, nil /* tamper */, trace)\n")
+	b.WriteString("\t_ = sys // assert the violated property on sys here\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// masterSnap is the per-master part of a pre-transition snapshot.
+type masterSnap struct {
+	key         string // canonical per-master key (frame condition)
+	quarantined bool
+	probation   bool
+	open        bool
+	openIdx     int
+	specMode    mode
+}
+
+// snap freezes what transition invariants compare against.
+type snap struct {
+	key         string
+	masters     []masterSnap
+	quarantines uint64
+}
+
+// checker carries the per-run memoization.
+type checker struct {
+	m      *Model
+	tamper func(*Sys, Action)
+	// expect memoizes the specification Configuration Memory per
+	// (master, mode, filter) — the rule set the spec automaton says must
+	// be in force.
+	expect map[[3]int]*core.ConfigMemory
+}
+
+// Check exhaustively enumerates the model's reachable state space and
+// verifies, in every state and across every transition:
+//
+//	(a) grant decisions exactly match the specification automaton — in
+//	    particular, a fully quarantined master is granted nothing, and a
+//	    staged master is granted only what its allow-filter restored;
+//	(b) a master under an open incident always has Quarantined()==true,
+//	    only an explicit Release closes the incident, and the release
+//	    restores exactly the pre-incident rule set;
+//	(c) a probation violation re-quarantines within the same incident
+//	    (same open stamp, staged mark reset, deny-all reinstated,
+//	    trigger counted);
+//	(d) retained violation history never exceeds Threshold.
+//
+// Three internal-consistency checks ride along: full bisimulation between
+// the production reactor and the spec automaton, a frame condition (an
+// action about one master never perturbs another), and rejected releases
+// being perfect no-ops.
+func Check(cfg Config) (*Result, error) {
+	m := cfg.Model
+	if m == nil {
+		m = DefaultModel()
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	c := &checker{m: m, tamper: cfg.Tamper, expect: make(map[[3]int]*core.ConfigMemory)}
+
+	res := &Result{States: 1}
+	init := c.build(nil)
+	if ce := c.checkState(init); ce != nil {
+		ce.Trace = nil
+		res.Counterexample = ce
+		return res, nil
+	}
+	actions := init.Enabled() // static for a fixed model
+
+	type node struct {
+		path  []Action
+		depth int
+	}
+	visited := map[string]bool{init.Key(): true}
+	queue := []node{{nil, 0}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, a := range actions {
+			sys := c.build(n.path)
+			pre := c.snapshot(sys)
+			alerted, err := sys.Apply(a)
+			if c.tamper != nil {
+				c.tamper(sys, a)
+			}
+			res.Transitions++
+			if a.Kind == Access {
+				if alerted {
+					res.Alerts++
+				} else {
+					res.Grants++
+				}
+			} else if alerted {
+				res.Alerts++
+			}
+			ce := c.checkTransition(pre, a, alerted, err, sys)
+			if ce == nil {
+				ce = c.checkState(sys)
+			}
+			if ce != nil {
+				ce.Trace = append(append([]Action{}, n.path...), a)
+				res.Counterexample = ce
+				return res, nil
+			}
+			k := sys.Key()
+			if !visited[k] {
+				visited[k] = true
+				res.States++
+				if res.States > maxStates {
+					return nil, fmt.Errorf("modelcheck: state space exceeds %d states — unbounded model?", maxStates)
+				}
+				if n.depth+1 > res.Depth {
+					res.Depth = n.depth + 1
+				}
+				queue = append(queue, node{append(append([]Action{}, n.path...), a), n.depth + 1})
+			}
+		}
+	}
+	return res, nil
+}
+
+// build replays a path from the initial state (with tampering, so the
+// search and the counterexample replay see the same system).
+func (c *checker) build(path []Action) *Sys {
+	return Replay(c.m, c.tamper, path)
+}
+
+// masterKey is the per-master slice of Sys.Key, used for the frame
+// condition.
+func masterKey(s *Sys, i int) string {
+	var b strings.Builder
+	name := s.Model.Masters[i].Name
+	for _, spi := range spiSet(s.CMs[i]) {
+		fmt.Fprintf(&b, "r%d,", spi)
+	}
+	fmt.Fprintf(&b, "h%d", s.Reactor.HistoryLen(name))
+	if s.Reactor.Quarantined(name) {
+		b.WriteString("Q")
+	}
+	if s.Reactor.Probation(name) {
+		b.WriteString("P")
+	}
+	if st, _, ok := s.Reactor.OpenIncident(name); ok {
+		b.WriteString("O")
+		if st.StagedAt != 0 {
+			b.WriteString("S")
+		}
+	}
+	return b.String()
+}
+
+func (c *checker) snapshot(s *Sys) snap {
+	sn := snap{key: s.Key(), quarantines: s.Reactor.Quarantines}
+	for i, ms := range s.Model.Masters {
+		m := masterSnap{
+			key:         masterKey(s, i),
+			quarantined: s.Reactor.Quarantined(ms.Name),
+			probation:   s.Reactor.Probation(ms.Name),
+			specMode:    s.spec[i].mode,
+			openIdx:     -1,
+		}
+		if _, idx, ok := s.Reactor.OpenIncident(ms.Name); ok {
+			m.open, m.openIdx = true, idx
+		}
+		sn.masters = append(sn.masters, m)
+	}
+	return sn
+}
+
+// expectCM returns the rule set the spec says master mi must be enforcing.
+func (c *checker) expectCM(mi int, sp specState) *core.ConfigMemory {
+	k := [3]int{mi, int(sp.mode), 0}
+	if sp.mode == staged {
+		k[2] = sp.filter
+	}
+	if cm, ok := c.expect[k]; ok {
+		return cm
+	}
+	var rules []core.Policy
+	switch sp.mode {
+	case free:
+		rules = c.m.Masters[mi].Rules
+	case locked:
+		// deny-all: empty configuration memory.
+	case staged:
+		allow := c.m.Filters[sp.filter].Allow
+		for _, r := range c.m.Masters[mi].Rules {
+			if allow != nil && allow(r) {
+				rules = append(rules, r)
+			}
+		}
+	}
+	cm := core.MustConfig(rules...)
+	c.expect[k] = cm
+	return cm
+}
+
+func (c *checker) fail(inv, format string, args ...any) *Counterexample {
+	return &Counterexample{Invariant: inv, Detail: fmt.Sprintf(format, args...), model: c.m}
+}
+
+// checkState verifies every state invariant on a reached state.
+func (c *checker) checkState(s *Sys) *Counterexample {
+	for i, ms := range c.m.Masters {
+		sp := s.spec[i]
+		name := ms.Name
+
+		// Bisimulation of the mode flags.
+		if got, want := s.Reactor.Quarantined(name), sp.mode != free; got != want {
+			return c.fail("b", "%s: Quarantined()=%v but spec mode is %s", name, got, sp.mode)
+		}
+		if got, want := s.Reactor.Probation(name), sp.mode == staged; got != want {
+			return c.fail("spec-bisim", "%s: Probation()=%v but spec mode is %s", name, got, sp.mode)
+		}
+
+		// (d) history bound, and exact agreement with the spec counter.
+		h := s.Reactor.HistoryLen(name)
+		if h > c.m.Threshold {
+			return c.fail("d", "%s: history %d exceeds threshold %d", name, h, c.m.Threshold)
+		}
+		wantH := 0
+		if sp.mode == free {
+			wantH = sp.history
+		}
+		if h != wantH {
+			return c.fail("spec-bisim", "%s: history %d, spec says %d", name, h, wantH)
+		}
+
+		// (a) grant decisions match the spec for every probe the model can
+		// issue — and a locked master is granted nothing at all.
+		want := c.expectCM(i, sp)
+		for zi, z := range c.m.Zones {
+			for _, w := range []bool{false, true} {
+				for _, sz := range c.m.Sizes {
+					acc := core.Access{Master: name, Write: w, Addr: z.Base, Size: sz, Burst: 1}
+					_, gotV := s.CMs[i].CheckAccess(acc)
+					_, wantV := want.CheckAccess(acc)
+					if sp.mode == locked && gotV == core.VNone {
+						return c.fail("a", "%s zone[%d] write=%v size=%d granted while fully quarantined",
+							name, zi, w, sz)
+					}
+					if gotV != wantV {
+						return c.fail("a", "%s zone[%d] write=%v size=%d: violation %v, spec (%s) says %v",
+							name, zi, w, sz, gotV, sp.mode, wantV)
+					}
+				}
+			}
+		}
+
+		// (b) the enforced rule set is exactly what the spec admits; in
+		// particular a quarantined master without a staged release holds no
+		// rules, and nothing beyond the filter subset ever reappears
+		// without a full Release.
+		if got, wantS := fmt.Sprint(spiSet(s.CMs[i])), fmt.Sprint(spiSet(want)); got != wantS {
+			return c.fail("b", "%s: enforced rule set %v, spec (%s) admits %v", name, got, sp.mode, wantS)
+		}
+
+		// While an incident is open, the stashed pre-incident policy must
+		// stay intact — it is what Release restores.
+		if sp.mode != free {
+			saved := core.MustConfig(s.Reactor.SavedPolicies(name)...)
+			if got, wantS := fmt.Sprint(spiSet(saved)), fmt.Sprint(spiSet(core.MustConfig(ms.Rules...))); got != wantS {
+				return c.fail("b", "%s: saved policy set %v drifted from baseline %v", name, got, wantS)
+			}
+			if _, _, ok := s.Reactor.OpenIncident(name); !ok {
+				return c.fail("b", "%s: quarantined without an open incident stamp", name)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTransition verifies the edge invariants between a snapshot and the
+// post-action system.
+func (c *checker) checkTransition(pre snap, a Action, alerted bool, err error, post *Sys) *Counterexample {
+	mi := a.Master
+	name := c.m.Masters[mi].Name
+
+	// Rejected releases must be perfect no-ops.
+	if err != nil {
+		if a.Kind != Release && a.Kind != ReleaseStaged {
+			return c.fail("noop-release", "%s: action %s errored: %v", name, a.Describe(c.m), err)
+		}
+		if post.Key() != pre.key {
+			return c.fail("noop-release", "%s: rejected %s changed state", name, a.Describe(c.m))
+		}
+		return nil
+	}
+
+	// Frame condition: an action about one master never perturbs another.
+	for j := range c.m.Masters {
+		if j == mi {
+			continue
+		}
+		if mk := masterKey(post, j); mk != pre.masters[j].key {
+			return c.fail("frame", "%s on %s perturbed %s: %q -> %q",
+				a.Describe(c.m), name, c.m.Masters[j].Name, pre.masters[j].key, mk)
+		}
+	}
+
+	p := pre.masters[mi]
+	// (c) zero tolerance on probation: the violating action slams the door
+	// again, inside the same incident.
+	if alerted && p.specMode == staged {
+		if !post.Reactor.Quarantined(name) || post.Reactor.Probation(name) {
+			return c.fail("c", "%s violated on probation but is not re-quarantined", name)
+		}
+		if n := post.CMs[mi].RuleCount(); n != 0 {
+			return c.fail("c", "%s violated on probation but still holds %d rules", name, n)
+		}
+		st, idx, ok := post.Reactor.OpenIncident(name)
+		if !ok || idx != p.openIdx {
+			return c.fail("c", "%s probation violation opened a new incident (stamp %d -> %d)", name, p.openIdx, idx)
+		}
+		if st.StagedAt != 0 {
+			return c.fail("c", "%s probation violation left the staged mark set", name)
+		}
+		if post.Reactor.Quarantines != pre.quarantines+1 {
+			return c.fail("c", "%s probation violation not counted as a trigger", name)
+		}
+	}
+
+	// (b) the only exit from an incident is an explicit Release.
+	if p.quarantined && !post.Reactor.Quarantined(name) {
+		if a.Kind != Release {
+			return c.fail("b", "%s left quarantine via %s, not an explicit release", name, a.Describe(c.m))
+		}
+	}
+	if a.Kind == Release {
+		if post.Reactor.Quarantined(name) || post.Reactor.Probation(name) {
+			return c.fail("b", "%s still constrained after a full release", name)
+		}
+		if _, _, ok := post.Reactor.OpenIncident(name); ok {
+			return c.fail("b", "%s incident still open after a full release", name)
+		}
+	}
+	// Quarantine can only begin with a counted violation.
+	if !p.quarantined && post.Reactor.Quarantined(name) && !alerted {
+		return c.fail("b", "%s became quarantined without a violation (%s)", name, a.Describe(c.m))
+	}
+	return nil
+}

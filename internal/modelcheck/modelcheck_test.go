@@ -1,0 +1,162 @@
+package modelcheck_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/modelcheck"
+)
+
+// TestDefaultModelProves is the theorem: over the entire reachable state
+// space of the default model, invariants (a)-(d) hold — no counterexample
+// exists. It also sanity-checks that the search actually covered a
+// non-trivial space with both grants and alerts.
+func TestDefaultModelProves(t *testing.T) {
+	res, err := modelcheck.Check(modelcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample != nil {
+		t.Fatalf("invariant violated:\n%s", res.Counterexample)
+	}
+	if res.States < 20 {
+		t.Fatalf("suspiciously small state space: %d states", res.States)
+	}
+	if res.Grants == 0 || res.Alerts == 0 {
+		t.Fatalf("search did not exercise both grants (%d) and alerts (%d)", res.Grants, res.Alerts)
+	}
+	if res.Depth < modelcheck.DefaultModel().Threshold {
+		t.Fatalf("depth %d cannot even contain a threshold trip", res.Depth)
+	}
+	t.Log(res.Summary())
+}
+
+// TestCheckDeterministic pins the acceptance criterion that reported
+// state/transition counts are identical across runs: the exhaustive
+// enumeration is a fixed function of the model, not of scheduling or map
+// order.
+func TestCheckDeterministic(t *testing.T) {
+	a, err := modelcheck.Check(modelcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := modelcheck.Check(modelcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs disagree:\n%+v\n%+v", a, b)
+	}
+}
+
+// weakenLeakRule models a buggy reactor that fails to keep the deny-all
+// policy in force: whenever cpu0 sits fully quarantined, its first
+// baseline rule "leaks" back into the Configuration Memory. Invariant (a)
+// must catch the unauthorized grant this opens.
+func weakenLeakRule(s *modelcheck.Sys, _ modelcheck.Action) {
+	if s.Reactor.Quarantined("cpu0") && !s.Reactor.Probation("cpu0") && s.CMs[0].RuleCount() == 0 {
+		if err := s.CMs[0].Add(s.Model.Masters[0].Rules[0]); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestWeakenedReactorCounterexample demonstrates the negative direction:
+// a deliberately weakened reactor produces a minimal counterexample
+// trace. The shortest way to quarantine cpu0 is Threshold counted
+// violations, so the trace must have exactly that length.
+func TestWeakenedReactorCounterexample(t *testing.T) {
+	m := modelcheck.DefaultModel()
+	res, err := modelcheck.Check(modelcheck.Config{Model: m, Tamper: weakenLeakRule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := res.Counterexample
+	if ce == nil {
+		t.Fatal("weakened reactor passed the checker")
+	}
+	if ce.Invariant != "a" {
+		t.Fatalf("expected invariant (a) violation, got (%s): %s", ce.Invariant, ce.Detail)
+	}
+	if len(ce.Trace) != m.Threshold {
+		t.Fatalf("counterexample is not minimal: %d steps, want %d\n%s", len(ce.Trace), m.Threshold, ce)
+	}
+	for i, a := range ce.Trace {
+		if a.Master != 0 {
+			t.Fatalf("step %d of the minimal trace is about master %d, want cpu0:\n%s", i+1, a.Master, ce)
+		}
+	}
+}
+
+// TestCounterexampleReplay closes the loop: the trace the checker emits,
+// replayed through the exported Replay helper with the same tamper hook,
+// reproduces the violating state — which is exactly what pasting
+// Counterexample.GoTest into a test file does.
+func TestCounterexampleReplay(t *testing.T) {
+	m := modelcheck.DefaultModel()
+	res, err := modelcheck.Check(modelcheck.Config{Model: m, Tamper: weakenLeakRule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := res.Counterexample
+	if ce == nil {
+		t.Fatal("weakened reactor passed the checker")
+	}
+	sys := modelcheck.Replay(m, weakenLeakRule, ce.Trace)
+	if !sys.Reactor.Quarantined("cpu0") {
+		t.Fatal("replayed trace does not quarantine cpu0")
+	}
+	// The violation: a rule is enforced (and grants transfers) while the
+	// master is supposed to be fully locked out.
+	if sys.CMs[0].RuleCount() == 0 {
+		t.Fatal("replayed trace does not reproduce the leaked rule")
+	}
+	z := m.Masters[0].Rules[0].Zone
+	if _, v := sys.CMs[0].CheckAccess(core.Access{Master: "cpu0", Addr: z.Base, Size: 4, Burst: 1}); v != core.VNone {
+		t.Fatalf("replayed leak does not grant the unauthorized read (violation %v)", v)
+	}
+
+	if got := ce.String(); !strings.Contains(got, "invariant (a)") {
+		t.Fatalf("trace rendering missing invariant label:\n%s", got)
+	}
+	gotest := ce.GoTest()
+	for _, want := range []string{"modelcheck.Replay", "modelcheck.Action{", "func TestCounterexampleReplay"} {
+		if !strings.Contains(gotest, want) {
+			t.Fatalf("GoTest rendering missing %q:\n%s", want, gotest)
+		}
+	}
+}
+
+// TestValidate rejects malformed models.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*modelcheck.Model)
+	}{
+		{"no masters", func(m *modelcheck.Model) { m.Masters = nil }},
+		{"no zones", func(m *modelcheck.Model) { m.Zones = nil }},
+		{"no sizes", func(m *modelcheck.Model) { m.Sizes = nil }},
+		{"zero threshold", func(m *modelcheck.Model) { m.Threshold = 0 }},
+		{"duplicate SPI", func(m *modelcheck.Model) {
+			m.Masters[0].Rules = append(m.Masters[0].Rules, m.Masters[0].Rules[0])
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := modelcheck.DefaultModel()
+			tc.mut(m)
+			if _, err := modelcheck.Check(modelcheck.Config{Model: m}); err == nil {
+				t.Fatal("invalid model accepted")
+			}
+		})
+	}
+}
+
+// TestMaxStatesBound exercises the unbounded-model safety valve.
+func TestMaxStatesBound(t *testing.T) {
+	if _, err := modelcheck.Check(modelcheck.Config{MaxStates: 3}); err == nil {
+		t.Fatal("expected state-space bound error")
+	}
+}

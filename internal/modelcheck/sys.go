@@ -1,0 +1,218 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// mode is the spec automaton's view of one master.
+type mode uint8
+
+const (
+	// free: pre-incident, full baseline policy, accumulating history.
+	free mode = iota
+	// locked: quarantined with no rules restored (deny-all).
+	locked
+	// staged: quarantined but partially re-admitted under a filter
+	// (probation — zero tolerance).
+	staged
+)
+
+func (m mode) String() string {
+	switch m {
+	case free:
+		return "free"
+	case locked:
+		return "locked"
+	default:
+		return "staged"
+	}
+}
+
+// specState is the independent specification automaton for one master. It
+// is updated from the *defined* quarantine semantics alone, never from the
+// system under test, so any divergence between the two is a real bug in
+// one of them.
+type specState struct {
+	mode    mode
+	filter  int // staged: index into Model.Filters
+	history int // free: violations accumulated toward Threshold
+}
+
+// Sys is one instance of the system under test: the real ConfigMemory and
+// Reactor production types wired exactly as soc.New wires them, plus the
+// shadow spec automaton the checker compares them against.
+type Sys struct {
+	Model *Model
+	// Log and Reactor are the production reaction pipeline under test.
+	Log     *core.AlertLog
+	Reactor *core.Reactor
+	// CMs holds the per-master Configuration Memories (index-aligned with
+	// Model.Masters).
+	CMs []*core.ConfigMemory
+	// Cycle is the abstract clock: one tick per applied action.
+	Cycle uint64
+
+	spec []specState
+}
+
+// NewSys builds a fresh system in its initial state.
+func NewSys(m *Model) *Sys {
+	s := &Sys{
+		Model: m,
+		Log:   core.NewAlertLog(),
+		CMs:   make([]*core.ConfigMemory, len(m.Masters)),
+		spec:  make([]specState, len(m.Masters)),
+	}
+	// Window=0 ("ever"): violation counts matter, absolute cycles do not,
+	// which is what keeps the reachable state space finite.
+	s.Reactor = core.NewReactor(s.Log, m.Threshold, 0)
+	s.Reactor.Clock = func() uint64 { return s.Cycle }
+	for i, ms := range m.Masters {
+		s.CMs[i] = core.MustConfig(ms.Rules...)
+		s.Reactor.Guard(ms.Name, s.CMs[i])
+	}
+	return s
+}
+
+// specViolation advances the spec automaton for one counted violation
+// about master i — the defined semantics of the reactor, restated
+// independently of its implementation.
+func (s *Sys) specViolation(i int) {
+	sp := &s.spec[i]
+	switch sp.mode {
+	case staged:
+		// Zero tolerance on probation: re-quarantine, same incident.
+		sp.mode = locked
+	case free:
+		sp.history++
+		if sp.history >= s.Model.Threshold {
+			sp.mode = locked
+			sp.history = 0
+		}
+	case locked:
+		// Already denied everything; nothing to escalate.
+	}
+}
+
+// Apply executes one action against the system under test and advances the
+// spec automaton. It reports whether the action raised an alert, and the
+// error for a rejected release (which must leave the state untouched).
+func (s *Sys) Apply(a Action) (alerted bool, err error) {
+	s.Cycle++
+	name := s.Model.Masters[a.Master].Name
+	switch a.Kind {
+	case Access:
+		z := s.Model.Zones[a.Zone]
+		p, v := s.CMs[a.Master].CheckAccess(core.Access{
+			Master: name, Write: a.Write, Addr: z.Base, Size: a.Size, Burst: 1,
+		})
+		if v == core.VNone {
+			return false, nil
+		}
+		op := "read"
+		if a.Write {
+			op = "write"
+		}
+		s.Log.Record(core.Alert{
+			Cycle: s.Cycle, FirewallID: "lf-" + name, Master: name,
+			SPI: p.SPI, Violation: v, Addr: z.Base, Size: a.Size, Detail: op,
+		})
+		s.specViolation(a.Master)
+		return true, nil
+	case RemoteAlert:
+		s.Log.Record(core.Alert{
+			Cycle: s.Cycle, FirewallID: "sfw-shared", Master: name,
+			Violation: core.VZone,
+		})
+		s.specViolation(a.Master)
+		return true, nil
+	case Release:
+		if err := s.Reactor.Release(name); err != nil {
+			return false, err
+		}
+		s.spec[a.Master] = specState{mode: free}
+		return false, nil
+	case ReleaseStaged:
+		if err := s.Reactor.ReleaseStaged(name, s.Model.Filters[a.Filter].Allow); err != nil {
+			return false, err
+		}
+		s.spec[a.Master] = specState{mode: staged, filter: a.Filter}
+		return false, nil
+	default:
+		panic(fmt.Sprintf("modelcheck: unknown action kind %d", a.Kind))
+	}
+}
+
+// Enabled returns every action the environment may attempt next, in a
+// fixed deterministic order. Release/ReleaseStaged are included even for
+// masters that are not quarantined: the checker asserts those are rejected
+// as errors without touching state.
+func (s *Sys) Enabled() []Action {
+	var out []Action
+	for mi := range s.Model.Masters {
+		for zi := range s.Model.Zones {
+			for _, w := range []bool{false, true} {
+				for _, sz := range s.Model.Sizes {
+					out = append(out, Action{Kind: Access, Master: mi, Zone: zi, Write: w, Size: sz})
+				}
+			}
+		}
+		out = append(out, Action{Kind: RemoteAlert, Master: mi})
+		out = append(out, Action{Kind: Release, Master: mi})
+		for fi := range s.Model.Filters {
+			out = append(out, Action{Kind: ReleaseStaged, Master: mi, Filter: fi})
+		}
+	}
+	return out
+}
+
+// Key canonicalizes the observable state of the system under test. Two
+// states with equal keys behave identically under every future action
+// sequence: policy decisions depend only on the rule set (identified by
+// SPI), and with Window=0 the reactor's trigger decision depends only on
+// the retained violation count, quarantine/probation flags and the open
+// incident's staged marker. Absolute cycle numbers, closed-incident stamps
+// and monotone counters are deliberately excluded — they grow without
+// bound and never feed back into behavior.
+func (s *Sys) Key() string {
+	var b strings.Builder
+	for i, ms := range s.Model.Masters {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for _, spi := range spiSet(s.CMs[i]) {
+			fmt.Fprintf(&b, "r%d,", spi)
+		}
+		fmt.Fprintf(&b, "h%d", s.Reactor.HistoryLen(ms.Name))
+		if s.Reactor.Quarantined(ms.Name) {
+			b.WriteString("Q")
+		}
+		if s.Reactor.Probation(ms.Name) {
+			b.WriteString("P")
+		}
+		if st, _, ok := s.Reactor.OpenIncident(ms.Name); ok {
+			b.WriteString("O")
+			if st.StagedAt != 0 {
+				b.WriteString("S")
+			}
+		}
+	}
+	return b.String()
+}
+
+// Replay rebuilds a system by applying trace from the initial state,
+// invoking tamper (which may be nil) after each action exactly as Check
+// does. It is how a counterexample trace becomes a unit test.
+func Replay(m *Model, tamper func(*Sys, Action), trace []Action) *Sys {
+	s := NewSys(m)
+	for _, a := range trace {
+		s.Apply(a)
+		if tamper != nil {
+			tamper(s, a)
+		}
+	}
+	return s
+}
