@@ -43,9 +43,9 @@ RECOVERY_GRID := -attack-scenarios burst-flood,zone-escape,dos-flood \
                  -accesses 256 -inject-delay 100 -max 2000000 \
                  -recovery -recovery-staged -recovery-clear-delay 1500
 
-.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
+.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism serve-determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
 
-ci: verify modelcheck staticcheck determinism attack bench-smoke bench-diff
+ci: verify modelcheck staticcheck determinism serve-determinism attack bench-smoke bench-diff
 
 verify: fmt vet build test race staticcheck
 
@@ -67,7 +67,7 @@ test:
 # run concurrently (one engine per goroutine in sweeps); keep them
 # race-clean.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server
 
 # modelcheck: the proof gate. Exhaustively enumerate the bounded
 # policy+reactor state space (internal/modelcheck) and fail on any
@@ -118,6 +118,23 @@ determinism:
 	cmp $(BUILD)/recovery-w1.jsonl $(BUILD)/recovery-merged.jsonl
 	grep -q '"recovered":true' $(BUILD)/recovery-w1.jsonl  # the gate must cover a full lifecycle, not vacuous zeros
 	@echo "determinism: OK (sweep + campaign + recovery worker-count invariant, shard/merge byte-identical)"
+
+# serve-determinism: the spec-as-API gate. The ATTACK_GRID flags compile
+# to a spec file (-dump-spec), a spec-driven CLI run must byte-match a
+# flag-driven one, and an in-process mpsocd (tools/servediff) must stream
+# the same spec byte-identically across HTTP worker counts and match the
+# CLI stream — plus its online /aggregates must equal an offline
+# recomputation over the streamed JSONL.
+serve-determinism:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
+	$(GO) build -o $(BUILD)/servediff ./tools/servediff
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -dump-spec > $(BUILD)/attack-spec.json
+	$(BUILD)/mpsocsim -attack $(ATTACK_GRID) -sweep-out $(BUILD)/attack-direct.jsonl
+	$(BUILD)/mpsocsim -spec $(BUILD)/attack-spec.json -sweep-out $(BUILD)/attack-fromspec.jsonl
+	cmp $(BUILD)/attack-direct.jsonl $(BUILD)/attack-fromspec.jsonl
+	$(BUILD)/servediff -spec $(BUILD)/attack-spec.json -direct $(BUILD)/attack-direct.jsonl
+	@echo "serve-determinism: OK (flag/spec/HTTP streams byte-identical; online aggregates == offline recompute)"
 
 # attack: the paper's detection matrix on your terminal — every default
 # scenario against all three architectures, under internal and

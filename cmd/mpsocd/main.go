@@ -1,0 +1,72 @@
+// Command mpsocd is the long-running campaign service: the mpsocsim
+// simulation fleet behind an HTTP API. It accepts the same versioned JSON
+// specs the CLI consumes (internal/spec), schedules grids across a
+// bounded worker pool, and streams results as JSONL with backpressure —
+// byte-identical to a direct mpsocsim run with the same spec.
+//
+//	mpsocd -addr :8080 -workers 8
+//	curl -X POST --data-binary @campaign.json localhost:8080/api/v1/jobs
+//	curl localhost:8080/api/v1/jobs/job-0001/stream > records.jsonl
+//	curl localhost:8080/api/v1/jobs/job-0001/aggregates
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "global worker-pool size (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 0, "maximum retained jobs (0 = default 1024)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight streams")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxJobs, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxJobs int, drain time.Duration) error {
+	svc := server.New(server.Config{Workers: workers, MaxJobs: maxJobs})
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mpsocd: listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, give in-flight streams the drain window, then
+	// cancel detached jobs and wait for them.
+	log.Printf("mpsocd: shutting down (drain %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	svc.Close()
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Streams outlasting the window are cut; their jobs end canceled.
+		srv.Close()
+	}
+	return err
+}

@@ -7,39 +7,20 @@ import (
 	"strconv"
 
 	"repro/internal/campaign"
-	"repro/internal/soc"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
-// buildCampaignGrid constructs the attack-campaign grid from the axis
-// flags: scenario x protection x core-count x background.
+// buildCampaignGrid constructs the attack-campaign grid through the spec
+// layer — the same grid an mpsocd-submitted spec produces (validation
+// errors carry spec field paths like "campaign.scenarios[2]").
 func buildCampaignGrid(o *options) ([]campaign.Config, error) {
-	var protections []soc.Protection
-	for _, s := range splitList(o.sweepProts) {
-		p, err := parseProtection(s)
-		if err != nil {
-			return nil, err
-		}
-		protections = append(protections, p)
+	sp, err := o.resolveSpec(spec.KindCampaign)
+	if err != nil {
+		return nil, err
 	}
-	var cores []int
-	for _, s := range splitList(o.attackCores) {
-		n, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("bad core count %q: %v", s, err)
-		}
-		cores = append(cores, n)
-	}
-	grid := campaign.Grid(splitList(o.attackScens), protections, cores,
-		splitList(o.attackBgs), o.accesses, o.compute, o.injectDelay, o.maxCycles)
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("empty campaign grid")
-	}
-	if o.recovery {
-		grid = campaign.WithRecovery(grid, o.recoveryParams())
-	}
-	return grid, nil
+	return sp.Campaign.Grid()
 }
 
 // runAttack executes the campaign grid (or merges shard files) and streams

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/attack"
@@ -32,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/recovery"
 	"repro/internal/soc"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -69,6 +69,13 @@ type options struct {
 	injectDelay uint64
 
 	doModelcheck bool
+
+	specFile string
+	dumpSpec bool
+	// spec is the loaded -spec file (nil without one); set records which
+	// flags were explicitly passed, for spec overriding.
+	spec *spec.Spec
+	set  map[string]bool
 
 	recovery      bool
 	recThreshold  int
@@ -137,6 +144,11 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.doModelcheck, "modelcheck", false,
 		"exhaustively model-check the firewall policy + quarantine reactor automaton (internal/modelcheck) and print the proof summary")
 
+	fs.StringVar(&o.specFile, "spec", "",
+		"versioned JSON spec file driving the run (the same body mpsocd accepts); explicitly-passed axis flags override spec fields, and the run mode follows the spec's kind unless -sweep/-attack is given")
+	fs.BoolVar(&o.dumpSpec, "dump-spec", false,
+		"print the run's effective spec as JSON and exit (with -sweep, -attack or -spec)")
+
 	fs.BoolVar(&o.recovery, "recovery", false,
 		"attack: run the reaction-and-recovery phase — arm the quarantine reactor (distributed platforms), release on a supervisor schedule, and sample background throughput against the twin")
 	fs.IntVar(&o.recThreshold, "recovery-threshold", recovery.DefaultThreshold,
@@ -162,6 +174,8 @@ func parseFlags(args []string) (*options, error) {
 		fs.Usage()
 		return nil, err
 	}
+	o.set = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
 	return o, nil
 }
 
@@ -174,6 +188,17 @@ func main() {
 			return
 		}
 		os.Exit(2)
+	}
+	if o.specFile != "" {
+		if err := o.loadSpec(); err != nil {
+			fatal(err)
+		}
+	}
+	if o.dumpSpec {
+		if err := runDumpSpec(o); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	switch {
 	case o.doSweep && o.doAttack:
@@ -201,7 +226,7 @@ func main() {
 
 // runSingle is the one-platform, one-workload mode.
 func runSingle(o *options) error {
-	prot, err := parseProtection(o.protection)
+	prot, err := spec.ParseProtection(o.protection)
 	if err != nil {
 		return err
 	}
@@ -248,43 +273,15 @@ func runSingle(o *options) error {
 	return nil
 }
 
-func parseProtection(s string) (soc.Protection, error) {
-	switch s {
-	case "unprotected":
-		return soc.Unprotected, nil
-	case "distributed":
-		return soc.Distributed, nil
-	case "centralized":
-		return soc.Centralized, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q", s)
-	}
-}
-
-// buildGrid constructs the sweep grid from the axis flags.
+// buildGrid constructs the sweep grid through the spec layer — the same
+// grid an mpsocd-submitted spec produces (validation errors carry spec
+// field paths like "sweep.workloads[1]").
 func buildGrid(o *options) ([]sweep.Config, error) {
-	var protections []soc.Protection
-	for _, s := range splitList(o.sweepProts) {
-		p, err := parseProtection(s)
-		if err != nil {
-			return nil, err
-		}
-		protections = append(protections, p)
+	sp, err := o.resolveSpec(spec.KindSweep)
+	if err != nil {
+		return nil, err
 	}
-	var cores []int
-	for _, s := range splitList(o.sweepCores) {
-		n, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("bad core count %q: %v", s, err)
-		}
-		cores = append(cores, n)
-	}
-	grid := sweep.Grid(protections, splitList(o.sweepWls), splitList(o.sweepTgts),
-		cores, o.accesses, o.compute, o.maxCycles)
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("empty sweep grid")
-	}
-	return grid, nil
+	return sp.Sweep.Grid()
 }
 
 // withOutput resolves the -sweep-out destination (stdout when empty) and

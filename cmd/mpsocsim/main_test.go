@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/soc"
+	"repro/internal/spec"
 	"repro/internal/sweep"
 )
 
@@ -61,12 +62,12 @@ func TestParseProtection(t *testing.T) {
 		"distributed": soc.Distributed,
 		"centralized": soc.Centralized,
 	} {
-		p, err := parseProtection(name)
+		p, err := spec.ParseProtection(name)
 		if err != nil || p != want {
-			t.Fatalf("parseProtection(%q) = %v, %v", name, p, err)
+			t.Fatalf("ParseProtection(%q) = %v, %v", name, p, err)
 		}
 	}
-	if _, err := parseProtection("seca"); err == nil {
+	if _, err := spec.ParseProtection("seca"); err == nil {
 		t.Fatal("unknown protection accepted")
 	}
 }

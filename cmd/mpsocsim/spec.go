@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/spec"
+)
+
+// This file is the CLI half of the spec-as-API contract: the axis flags
+// compile into the same versioned spec (internal/spec) that mpsocd accepts
+// over HTTP, and -spec loads one directly with explicitly-passed flags
+// applied as overrides. Both paths build their grid through spec.Grid, so
+// a flag-built run and a spec-built run of the same parameters are
+// byte-identical (gated by TestSpecAndFlagRunsIdentical and
+// make serve-determinism).
+
+// parseCores parses a comma-separated core-count axis.
+func parseCores(list string) ([]int, error) {
+	var cores []int
+	for _, s := range splitList(list) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q: %v", s, err)
+		}
+		cores = append(cores, n)
+	}
+	return cores, nil
+}
+
+// recoverySpec mirrors the -recovery* flags as a spec block (nil when the
+// phase is off).
+func (o *options) recoverySpec() *spec.RecoverySpec {
+	if !o.recovery {
+		return nil
+	}
+	return &spec.RecoverySpec{
+		Enabled:      true,
+		Threshold:    o.recThreshold,
+		AlertWindow:  o.recWindow,
+		ClearDelay:   o.recClearDelay,
+		Staged:       o.recStaged,
+		StageDelay:   o.recStageDelay,
+		SampleWindow: o.recSample,
+		Epsilon:      o.recEpsilon,
+	}
+}
+
+// flagSpec compiles the axis flags into a spec of the given kind.
+func (o *options) flagSpec(kind string) (*spec.Spec, error) {
+	switch kind {
+	case spec.KindSweep:
+		cores, err := parseCores(o.sweepCores)
+		if err != nil {
+			return nil, err
+		}
+		return spec.NewSweep(spec.SweepSpec{
+			Protections: splitList(o.sweepProts),
+			Workloads:   splitList(o.sweepWls),
+			Targets:     splitList(o.sweepTgts),
+			Cores:       cores,
+			Accesses:    o.accesses,
+			Compute:     o.compute,
+			MaxCycles:   o.maxCycles,
+		}), nil
+	case spec.KindCampaign:
+		cores, err := parseCores(o.attackCores)
+		if err != nil {
+			return nil, err
+		}
+		return spec.NewCampaign(spec.CampaignSpec{
+			Scenarios:   splitList(o.attackScens),
+			Protections: splitList(o.sweepProts),
+			Cores:       cores,
+			Backgrounds: splitList(o.attackBgs),
+			Accesses:    o.accesses,
+			Compute:     o.compute,
+			InjectDelay: o.injectDelay,
+			MaxCycles:   o.maxCycles,
+			Recovery:    o.recoverySpec(),
+		}), nil
+	}
+	return nil, fmt.Errorf("unknown spec kind %q", kind)
+}
+
+// loadSpec reads and parses -spec, and infers the run mode from the
+// spec's kind when neither -sweep nor -attack was given.
+func (o *options) loadSpec() error {
+	data, err := os.ReadFile(o.specFile)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.specFile, err)
+	}
+	switch sp.Kind {
+	case spec.KindSweep:
+		if o.doAttack {
+			return fmt.Errorf("%s is a sweep spec; it cannot drive -attack", o.specFile)
+		}
+		o.doSweep = true
+	case spec.KindCampaign:
+		if o.doSweep {
+			return fmt.Errorf("%s is a campaign spec; it cannot drive -sweep", o.specFile)
+		}
+		o.doAttack = true
+	}
+	o.spec = sp
+	return nil
+}
+
+// resolveSpec returns the run's effective spec of the given kind: the
+// -spec file with explicitly-passed flags layered on top, or a spec
+// compiled purely from flags. The -recovery* flags override the spec's
+// recovery block as a unit, and only when -recovery itself was passed.
+func (o *options) resolveSpec(kind string) (*spec.Spec, error) {
+	if o.spec == nil {
+		return o.flagSpec(kind)
+	}
+	if o.spec.Kind != kind {
+		return nil, fmt.Errorf("%s: want a %s spec, got %s", o.specFile, kind, o.spec.Kind)
+	}
+	var err error
+	override := func(name string, apply func() error) {
+		if err == nil && o.set[name] {
+			err = apply()
+		}
+	}
+	strs := func(dst *[]string, src *string) func() error {
+		return func() error { *dst = splitList(*src); return nil }
+	}
+	cores := func(dst *[]int, src *string) func() error {
+		return func() error { var e error; *dst, e = parseCores(*src); return e }
+	}
+	ints := func(dst *int, src *int) func() error {
+		return func() error { *dst = *src; return nil }
+	}
+	u64s := func(dst *uint64, src *uint64) func() error {
+		return func() error { *dst = *src; return nil }
+	}
+	switch kind {
+	case spec.KindSweep:
+		s := o.spec.Sweep
+		override("sweep-protections", strs(&s.Protections, &o.sweepProts))
+		override("sweep-workloads", strs(&s.Workloads, &o.sweepWls))
+		override("sweep-targets", strs(&s.Targets, &o.sweepTgts))
+		override("sweep-cores", cores(&s.Cores, &o.sweepCores))
+		override("accesses", ints(&s.Accesses, &o.accesses))
+		override("compute", ints(&s.Compute, &o.compute))
+		override("max", u64s(&s.MaxCycles, &o.maxCycles))
+	case spec.KindCampaign:
+		c := o.spec.Campaign
+		override("attack-scenarios", strs(&c.Scenarios, &o.attackScens))
+		override("sweep-protections", strs(&c.Protections, &o.sweepProts))
+		override("attack-cores", cores(&c.Cores, &o.attackCores))
+		override("attack-backgrounds", strs(&c.Backgrounds, &o.attackBgs))
+		override("accesses", ints(&c.Accesses, &o.accesses))
+		override("compute", ints(&c.Compute, &o.compute))
+		override("inject-delay", u64s(&c.InjectDelay, &o.injectDelay))
+		override("max", u64s(&c.MaxCycles, &o.maxCycles))
+		override("recovery", func() error { c.Recovery = o.recoverySpec(); return nil })
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o.spec, nil
+}
+
+// runDumpSpec prints the run's effective spec — the exact JSON body
+// mpsocd accepts, and the file -spec reads back.
+func runDumpSpec(o *options) error {
+	kind := spec.KindSweep
+	if o.doAttack {
+		kind = spec.KindCampaign
+	} else if !o.doSweep {
+		return fmt.Errorf("-dump-spec needs -sweep, -attack or -spec to pick a kind")
+	}
+	sp, err := o.resolveSpec(kind)
+	if err != nil {
+		return err
+	}
+	data, err := sp.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// specAttackArgs is a tiny fast campaign used by the spec-equivalence tests.
+func specAttackArgs(extra ...string) []string {
+	return append([]string{"-attack",
+		"-attack-scenarios", "tamper,zone-escape",
+		"-sweep-protections", "unprotected,distributed",
+		"-attack-cores", "3", "-attack-backgrounds", "none,stream",
+		"-accesses", "8", "-inject-delay", "50", "-max", "300000",
+	}, extra...)
+}
+
+// writeSpecFile dumps the options' effective spec to a temp file — the
+// same JSON -dump-spec prints.
+func writeSpecFile(t *testing.T, o *options, kind string) string {
+	t.Helper()
+	sp, err := o.resolveSpec(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSpecAndFlagRunsIdentical is satellite-level golden coverage for the
+// spec-as-API contract: a run driven by axis flags and a run driven by
+// the dumped spec file produce byte-identical JSONL.
+func TestSpecAndFlagRunsIdentical(t *testing.T) {
+	byFlags, err := parseFlags(specAttackArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagOut bytes.Buffer
+	if err := runAttack(byFlags, &flagOut); err != nil {
+		t.Fatal(err)
+	}
+
+	path := writeSpecFile(t, byFlags, spec.KindCampaign)
+	bySpec, err := parseFlags([]string{"-spec", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bySpec.loadSpec(); err != nil {
+		t.Fatal(err)
+	}
+	// Mode inference: the campaign spec alone selects -attack.
+	if !bySpec.doAttack || bySpec.doSweep {
+		t.Fatalf("campaign spec inferred mode attack=%v sweep=%v", bySpec.doAttack, bySpec.doSweep)
+	}
+	var specOut bytes.Buffer
+	if err := runAttack(bySpec, &specOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flagOut.Bytes(), specOut.Bytes()) {
+		t.Fatal("flag-built and spec-built campaign streams differ")
+	}
+}
+
+// TestSweepSpecAndFlagRunsIdentical: the same contract for the benign
+// sweep kind.
+func TestSweepSpecAndFlagRunsIdentical(t *testing.T) {
+	byFlags, err := parseFlags(sweepArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagOut bytes.Buffer
+	if err := runSweep(byFlags, &flagOut); err != nil {
+		t.Fatal(err)
+	}
+
+	path := writeSpecFile(t, byFlags, spec.KindSweep)
+	bySpec, err := parseFlags([]string{"-spec", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bySpec.loadSpec(); err != nil {
+		t.Fatal(err)
+	}
+	if !bySpec.doSweep {
+		t.Fatal("sweep spec did not infer -sweep mode")
+	}
+	var specOut bytes.Buffer
+	if err := runSweep(bySpec, &specOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flagOut.Bytes(), specOut.Bytes()) {
+		t.Fatal("flag-built and spec-built sweep streams differ")
+	}
+}
+
+// TestSpecFlagOverrides: explicitly-passed flags override spec fields;
+// untouched spec fields survive.
+func TestSpecFlagOverrides(t *testing.T) {
+	base, err := parseFlags(specAttackArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSpecFile(t, base, spec.KindCampaign)
+
+	o, err := parseFlags([]string{"-spec", path, "-attack-scenarios", "replay", "-accesses", "16"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.loadSpec(); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := buildCampaignGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 scenario x 2 protections x 1 cores x 2 backgrounds.
+	if len(grid) != 4 {
+		t.Fatalf("overridden grid size %d, want 4", len(grid))
+	}
+	for _, c := range grid {
+		if c.Scenario != "replay" {
+			t.Fatalf("scenario = %q, want the -attack-scenarios override", c.Scenario)
+		}
+		if c.Accesses != 16 {
+			t.Fatalf("accesses = %d, want the -accesses override", c.Accesses)
+		}
+		if c.MaxCycles != 300_000 {
+			t.Fatalf("max cycles = %d, want the spec's 300000 preserved", c.MaxCycles)
+		}
+	}
+}
+
+// TestLoadSpecModeMismatch: a spec of one kind cannot drive the other
+// mode's flag.
+func TestLoadSpecModeMismatch(t *testing.T) {
+	base, err := parseFlags(sweepArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSpecFile(t, base, spec.KindSweep)
+	o, err := parseFlags([]string{"-spec", path, "-attack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.loadSpec(); err == nil {
+		t.Fatal("sweep spec accepted for -attack")
+	}
+}
+
+// TestDumpSpecRoundTrips: the effective spec marshals to JSON that parses
+// back to the same spec — the -dump-spec / -spec loop is lossless.
+func TestDumpSpecRoundTrips(t *testing.T) {
+	o, err := parseFlags(specAttackArgs("-recovery", "-recovery-staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := o.resolveSpec(spec.KindCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("spec did not round-trip:\n%+v\nvs\n%+v", sp, back)
+	}
+}
+
+// TestSpecRejectsBadFile: unreadable or invalid spec files surface as
+// errors with the file name.
+func TestSpecRejectsBadFile(t *testing.T) {
+	o := &options{specFile: filepath.Join(t.TempDir(), "missing.json")}
+	if err := o.loadSpec(); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"kind":"campaign","campaign":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = &options{specFile: bad}
+	if err := o.loadSpec(); err == nil {
+		t.Fatal("invalid spec file accepted")
+	}
+}

@@ -1,0 +1,286 @@
+// Package agg computes the campaign service's incremental aggregates:
+// detection/containment/recovery rates and latency percentiles folded in
+// one record at a time, in bounded memory, so a job covering millions of
+// runs serves live summaries without ever buffering raw records.
+//
+// Percentiles come from a log-bucketed histogram (Hist): values below 2^5
+// land in exact unit buckets, larger values in 32 sub-buckets per power of
+// two, so the quantile error is bounded at ~3% of the value while the
+// whole histogram stays a few kilobytes regardless of how many samples
+// pass through. Everything is deterministic — same records in the same
+// order produce byte-identical snapshots — which is what lets the
+// serve-determinism gate recompute a job's aggregates offline from its
+// golden JSONL stream and demand exact equality.
+package agg
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// histSubBits fixes the histogram resolution: 2^histSubBits sub-buckets
+// per octave, i.e. a relative quantile error of at most 2^-histSubBits
+// (~3.1%).
+const histSubBits = 5
+
+// numBuckets covers the full uint64 range: 2^histSubBits exact unit
+// buckets for small values plus (64-histSubBits) octaves of 2^histSubBits
+// sub-buckets each.
+const numBuckets = (64 - histSubBits + 1) << histSubBits
+
+// Hist is a fixed-size log-bucketed histogram over uint64 samples.
+// The zero value is ready to use.
+type Hist struct {
+	n       uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [numBuckets]uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v) // exact unit buckets for small values
+	}
+	exp := bits.Len64(v) - 1 // position of the top bit, >= histSubBits
+	sub := (v >> (uint(exp) - histSubBits)) & (1<<histSubBits - 1)
+	return ((exp - histSubBits + 1) << histSubBits) | int(sub)
+}
+
+// lowerBound is the smallest value mapping to bucket idx — the value a
+// quantile query reports for the bucket.
+func lowerBound(idx int) uint64 {
+	if idx < 1<<histSubBits {
+		return uint64(idx)
+	}
+	exp := uint(idx>>histSubBits) + histSubBits - 1
+	sub := uint64(idx & (1<<histSubBits - 1))
+	return 1<<exp | sub<<(exp-histSubBits)
+}
+
+// Observe folds one sample in.
+func (h *Hist) Observe(v uint64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the lower bound of the
+// bucket holding the sample of that rank — within 2^-histSubBits of the
+// exact order statistic, exact for values below 2^histSubBits. Zero when
+// empty.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			return lowerBound(i)
+		}
+	}
+	return h.max // unreachable: cum reaches n
+}
+
+// Dist is the serialized summary of a Hist.
+type Dist struct {
+	Count uint64  `json:"count"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Hist) Snapshot() Dist {
+	d := Dist{Count: h.n, Min: h.min, Max: h.max}
+	if h.n > 0 {
+		d.Mean = float64(h.sum) / float64(h.n)
+		d.P50 = h.Quantile(0.50)
+		d.P90 = h.Quantile(0.90)
+		d.P99 = h.Quantile(0.99)
+	}
+	return d
+}
+
+// milli converts a non-negative float measurement (slowdown ratios, bus
+// utilization) to fixed-point thousandths for histogramming.
+func milli(v float64) uint64 {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return uint64(math.Round(v * 1000))
+}
+
+// rate is the guarded ratio of two counters.
+func rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Campaign folds campaign records into the incident-level aggregates: how
+// often attacks were detected, contained and recovered from, and the
+// latency distributions of each lifecycle leg.
+type Campaign struct {
+	runs        uint64
+	errs        uint64
+	detected    uint64
+	contained   uint64
+	recoveryOn  uint64
+	quarantined uint64
+	recovered   uint64
+
+	detectLatency     Hist // over detected runs
+	reactLatency      Hist // over quarantined runs
+	quarantinedCycles Hist // over quarantined runs
+	recoveryCycles    Hist // over recovered runs
+	slowdownMilli     Hist // over runs with a measured twin window
+}
+
+// Add folds one record in. Errored records count toward runs/errors only:
+// a failed build has no verdict to aggregate.
+func (a *Campaign) Add(r campaign.Record) {
+	a.runs++
+	if r.Err != "" {
+		a.errs++
+		return
+	}
+	if r.Detected {
+		a.detected++
+		a.detectLatency.Observe(r.DetectLatency)
+	}
+	if r.Contained {
+		a.contained++
+	}
+	if r.RecoveryOn {
+		a.recoveryOn++
+		if r.QuarantineCycle > 0 {
+			a.quarantined++
+			a.reactLatency.Observe(r.ReactLatency)
+			a.quarantinedCycles.Observe(r.QuarantinedCycles)
+		}
+		if r.Recovered {
+			a.recovered++
+			a.recoveryCycles.Observe(r.RecoveryCycles)
+		}
+	}
+	if r.TwinCycles > 0 {
+		a.slowdownMilli.Observe(milli(r.Slowdown))
+	}
+}
+
+// CampaignSnapshot is the serialized aggregate state of a campaign job.
+type CampaignSnapshot struct {
+	Kind   string `json:"kind"`
+	Runs   uint64 `json:"runs"`
+	Errors uint64 `json:"errors"`
+	// Rates are over non-errored runs; RecoveryRate is over runs that had
+	// the reaction-and-recovery phase armed.
+	DetectionRate   float64 `json:"detection_rate"`
+	ContainmentRate float64 `json:"containment_rate"`
+	QuarantineRate  float64 `json:"quarantine_rate"`
+	RecoveryRate    float64 `json:"recovery_rate"`
+	// Latency/time distributions in cycles; SlowdownMilli is the bystander
+	// slowdown in thousandths of the twin's runtime (1000 = no slowdown).
+	DetectLatency     Dist `json:"detect_latency"`
+	ReactLatency      Dist `json:"react_latency"`
+	QuarantinedCycles Dist `json:"quarantined_cycles"`
+	RecoveryCycles    Dist `json:"recovery_cycles"`
+	SlowdownMilli     Dist `json:"slowdown_milli"`
+}
+
+// Snapshot freezes the current aggregate state.
+func (a *Campaign) Snapshot() CampaignSnapshot {
+	ok := a.runs - a.errs
+	return CampaignSnapshot{
+		Kind:              "campaign",
+		Runs:              a.runs,
+		Errors:            a.errs,
+		DetectionRate:     rate(a.detected, ok),
+		ContainmentRate:   rate(a.contained, ok),
+		QuarantineRate:    rate(a.quarantined, a.recoveryOn),
+		RecoveryRate:      rate(a.recovered, a.recoveryOn),
+		DetectLatency:     a.detectLatency.Snapshot(),
+		ReactLatency:      a.reactLatency.Snapshot(),
+		QuarantinedCycles: a.quarantinedCycles.Snapshot(),
+		RecoveryCycles:    a.recoveryCycles.Snapshot(),
+		SlowdownMilli:     a.slowdownMilli.Snapshot(),
+	}
+}
+
+// Sweep folds benign sweep results into performance aggregates.
+type Sweep struct {
+	runs   uint64
+	errs   uint64
+	alerts uint64
+
+	cycles       Hist
+	instructions Hist
+	stallCycles  Hist
+	busUtilMilli Hist
+}
+
+// Add folds one run result in.
+func (a *Sweep) Add(r sweep.RunResult) {
+	a.runs++
+	if r.Err != "" {
+		a.errs++
+		return
+	}
+	a.alerts += uint64(r.Alerts)
+	a.cycles.Observe(r.Cycles)
+	a.instructions.Observe(r.Instructions)
+	a.stallCycles.Observe(r.StallCycles)
+	a.busUtilMilli.Observe(milli(r.BusUtilization))
+}
+
+// SweepSnapshot is the serialized aggregate state of a sweep job.
+type SweepSnapshot struct {
+	Kind                string `json:"kind"`
+	Runs                uint64 `json:"runs"`
+	Errors              uint64 `json:"errors"`
+	Alerts              uint64 `json:"alerts"`
+	Cycles              Dist   `json:"cycles"`
+	Instructions        Dist   `json:"instructions"`
+	StallCycles         Dist   `json:"stall_cycles"`
+	BusUtilizationMilli Dist   `json:"bus_utilization_milli"`
+}
+
+// Snapshot freezes the current aggregate state.
+func (a *Sweep) Snapshot() SweepSnapshot {
+	return SweepSnapshot{
+		Kind:                "sweep",
+		Runs:                a.runs,
+		Errors:              a.errs,
+		Alerts:              a.alerts,
+		Cycles:              a.cycles.Snapshot(),
+		Instructions:        a.instructions.Snapshot(),
+		StallCycles:         a.stallCycles.Snapshot(),
+		BusUtilizationMilli: a.busUtilMilli.Snapshot(),
+	}
+}

@@ -1,0 +1,163 @@
+package agg_test
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/campaign"
+	"repro/internal/sweep"
+)
+
+// lcg is a tiny deterministic generator (no math/rand in this repo's test
+// idiom for reproducible fixtures).
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+// TestHistSmallValuesExact: values below the sub-bucket threshold land in
+// unit buckets, so quantiles over them are exact order statistics.
+func TestHistSmallValuesExact(t *testing.T) {
+	var h agg.Hist
+	for v := uint64(0); v < 20; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 9 {
+		t.Fatalf("p50 over 0..19 = %d, want 9", got)
+	}
+	if got := h.Quantile(1); got != 19 {
+		t.Fatalf("p100 = %d, want 19", got)
+	}
+	if got := h.Quantile(0.05); got != 0 {
+		t.Fatalf("p5 = %d, want 0", got)
+	}
+}
+
+// TestHistQuantileErrorBound: the documented contract — every quantile is
+// within 2^-5 (3.125%) of the exact order statistic, on a skewed sample.
+func TestHistQuantileErrorBound(t *testing.T) {
+	var h agg.Hist
+	var g lcg
+	samples := make([]uint64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Skewed over five decades, like latency data.
+		v := g.next()%10 + 1
+		for j := uint64(0); j < g.next()%5; j++ {
+			v *= 10
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		exact := samples[rank]
+		got := h.Quantile(q)
+		if got > exact {
+			t.Fatalf("q%.2f = %d above exact %d (lower bounds can never exceed)", q, got, exact)
+		}
+		if relErr := float64(exact-got) / float64(exact); relErr > 1.0/32 {
+			t.Fatalf("q%.2f = %d vs exact %d: relative error %.4f > 1/32", q, got, exact, relErr)
+		}
+	}
+}
+
+// TestHistEmptyAndSingle covers the degenerate snapshots.
+func TestHistEmptyAndSingle(t *testing.T) {
+	var h agg.Hist
+	if d := h.Snapshot(); d.Count != 0 || d.P99 != 0 || d.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", d)
+	}
+	h.Observe(12345)
+	d := h.Snapshot()
+	if d.Count != 1 || d.Min != 12345 || d.Max != 12345 || d.Mean != 12345 {
+		t.Fatalf("single-sample snapshot = %+v", d)
+	}
+	if d.P50 > 12345 || float64(12345-d.P50)/12345 > 1.0/32 {
+		t.Fatalf("single-sample p50 = %d", d.P50)
+	}
+}
+
+// TestCampaignAggregation pins the rate and distribution semantics on a
+// hand-built record set.
+func TestCampaignAggregation(t *testing.T) {
+	var a agg.Campaign
+	recs := []campaign.Record{
+		{Detected: true, DetectLatency: 100, Contained: true, TwinCycles: 1000, Slowdown: 1.5,
+			RecoveryOn: true, QuarantineCycle: 500, ReactLatency: 40, QuarantinedCycles: 2000,
+			Recovered: true, RecoveryCycles: 300},
+		{Detected: true, DetectLatency: 200, Contained: false, TwinCycles: 1000, Slowdown: 1.0,
+			RecoveryOn: true},
+		{Detected: false, Contained: true},
+		{Err: "boom"},
+	}
+	for _, r := range recs {
+		a.Add(r)
+	}
+	s := a.Snapshot()
+	if s.Runs != 4 || s.Errors != 1 {
+		t.Fatalf("runs/errors = %d/%d", s.Runs, s.Errors)
+	}
+	if s.DetectionRate != 2.0/3 || s.ContainmentRate != 2.0/3 {
+		t.Fatalf("rates = %v / %v", s.DetectionRate, s.ContainmentRate)
+	}
+	if s.QuarantineRate != 0.5 || s.RecoveryRate != 0.5 {
+		t.Fatalf("quarantine/recovery rates = %v / %v", s.QuarantineRate, s.RecoveryRate)
+	}
+	if s.DetectLatency.Count != 2 || s.ReactLatency.Count != 1 || s.RecoveryCycles.Count != 1 {
+		t.Fatalf("distribution counts: %+v", s)
+	}
+	if s.SlowdownMilli.Count != 2 || s.SlowdownMilli.Max != 1500 {
+		t.Fatalf("slowdown dist: %+v", s.SlowdownMilli)
+	}
+}
+
+// TestSnapshotDeterministic: two aggregators fed the same records must
+// marshal to identical bytes — the serve-determinism gate recomputes
+// aggregates offline and demands exact equality.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() []byte {
+		var a agg.Campaign
+		var g lcg
+		for i := 0; i < 500; i++ {
+			a.Add(campaign.Record{
+				Detected:      g.next()%2 == 0,
+				DetectLatency: g.next() % 100_000,
+				Contained:     g.next()%3 != 0,
+				TwinCycles:    g.next() % 10_000,
+				Slowdown:      1 + float64(g.next()%1000)/500,
+			})
+		}
+		data, err := json.Marshal(a.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if string(build()) != string(build()) {
+		t.Fatal("identical record streams produced different snapshots")
+	}
+}
+
+// TestSweepAggregation smoke-tests the benign-sweep variant.
+func TestSweepAggregation(t *testing.T) {
+	var a agg.Sweep
+	a.Add(sweep.RunResult{Cycles: 1000, Instructions: 500, BusUtilization: 0.25, Alerts: 2})
+	a.Add(sweep.RunResult{Cycles: 3000, Instructions: 1500, BusUtilization: 0.75})
+	a.Add(sweep.RunResult{Err: "bad config"})
+	s := a.Snapshot()
+	if s.Runs != 3 || s.Errors != 1 || s.Alerts != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Cycles.Count != 2 || s.Cycles.Mean != 2000 {
+		t.Fatalf("cycles dist: %+v", s.Cycles)
+	}
+	if s.BusUtilizationMilli.Min != 250 || s.BusUtilizationMilli.Max != 750 {
+		t.Fatalf("utilization dist: %+v", s.BusUtilizationMilli)
+	}
+}

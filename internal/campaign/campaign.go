@@ -20,6 +20,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -524,7 +525,13 @@ func (r *Record) applyRecovery(rep recovery.Report) {
 // (Weights). See sweep.Stream for the reorder-buffer and cancellation
 // contract.
 func Each(cfgs []Config, sh sweep.Shard, workers int, emit func(Record) error) error {
-	return sweep.Stream(len(cfgs), sh, Weights(cfgs), workers, func(i int) Record {
+	return EachContext(context.Background(), cfgs, sh, workers, emit)
+}
+
+// EachContext is Each with cancellation — see sweep.StreamContext for the
+// contract a canceled context buys.
+func EachContext(ctx context.Context, cfgs []Config, sh sweep.Shard, workers int, emit func(Record) error) error {
+	return sweep.StreamContext(ctx, len(cfgs), sh, Weights(cfgs), workers, func(i int) Record {
 		r := RunOne(cfgs[i])
 		r.Index = i
 		return r

@@ -1,0 +1,535 @@
+// Package server implements mpsocd, the long-running campaign service:
+// one spec API shared with the CLI. Clients POST a versioned JSON spec
+// (internal/spec) to create a job, then GET the job's stream to run it —
+// the grid executes inside the stream handler's goroutine through the same
+// credit-gated reorder pipeline as mpsocsim, so the JSONL bytes are
+// identical to a direct CLI run with the same spec, across worker counts.
+//
+// Backpressure falls out of that structure rather than being bolted on: a
+// slow client blocks its ResponseWriter, which stalls emission, which
+// stops credits returning to the dispatcher, so at most 2x workers
+// records are ever buffered per job. A disconnect cancels the request
+// context, which stops dispatch and drains in-flight shard workers.
+// Aggregates (detection/containment rates, react-latency and
+// recovery-time percentiles) fold in online per job (internal/agg) and
+// stay available after the stream finishes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agg"
+	"repro/internal/campaign"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// maxSpecBytes bounds the request body: specs are axis lists plus a few
+// scalars; anything near this limit is not a spec.
+const maxSpecBytes = 1 << 20
+
+// Job lifecycle states.
+const (
+	StatePending  = "pending"  // submitted, stream not yet claimed
+	StateRunning  = "running"  // grid executing
+	StateDone     = "done"     // every grid point streamed
+	StateFailed   = "failed"   // a sink or runner error ended the job
+	StateCanceled = "canceled" // client disconnect or server shutdown
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds simultaneous simulation runs across ALL jobs (the
+	// global pool); per-job worker counts are capped by it. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// MaxJobs bounds retained jobs; submissions beyond it are rejected
+	// with 429 until the server restarts. Defaults to 1024.
+	MaxJobs int
+}
+
+// Job is one submitted spec and its execution state.
+type Job struct {
+	id      string
+	spec    *spec.Spec
+	shard   sweep.Shard
+	workers int
+
+	// Exactly one grid is non-nil, matching spec.Kind.
+	campaignGrid []campaign.Config
+	sweepGrid    []sweep.Config
+
+	mu      sync.Mutex
+	state   string
+	errMsg  string
+	records uint64
+	camp    agg.Campaign
+	swp     agg.Sweep
+}
+
+// gridSize is the job's total grid point count (whole grid, pre-shard).
+func (j *Job) gridSize() int {
+	if j.campaignGrid != nil {
+		return len(j.campaignGrid)
+	}
+	return len(j.sweepGrid)
+}
+
+// Server is the campaign service. Create with New; serve via Handler.
+type Server struct {
+	cfg Config
+
+	// pool is the global worker semaphore; busy counts held slots (the
+	// "shards in flight" metric).
+	pool chan struct{}
+	busy atomic.Int64
+
+	recordsComputed atomic.Uint64
+	recordsStreamed atomic.Uint64
+
+	// baseCtx parents detached (aggregate-mode) jobs so Close cancels
+	// them; detached tracks them so Close can wait.
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	detached sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order: deterministic listings, no map-range
+	nextID int
+}
+
+// New builds a Server. The zero Config selects defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		pool:    make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Close cancels detached jobs and waits for them to drain. Streaming jobs
+// are owned by their HTTP handlers; http.Server.Shutdown waits for those.
+func (s *Server) Close() {
+	s.cancel()
+	s.detached.Wait()
+}
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/aggregates", s.handleAggregates)
+	return mux
+}
+
+// errorBody is the JSON error envelope. Fields carries spec field paths
+// for validation failures, so a bad spec is a 400 naming the exact axis
+// entry at fault — never a daemon death.
+type errorBody struct {
+	Error  string             `json:"error"`
+	Fields []*spec.FieldError `json:"fields,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// Status is the serialized job state.
+type Status struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	GridSize int    `json:"grid_size"`
+	Shard    string `json:"shard"`
+	Workers  int    `json:"workers"`
+	Records  uint64 `json:"records"`
+	Error    string `json:"error,omitempty"`
+
+	StreamURL     string `json:"stream_url"`
+	AggregatesURL string `json:"aggregates_url"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:            j.id,
+		Kind:          j.spec.Kind,
+		State:         j.state,
+		GridSize:      j.gridSize(),
+		Shard:         j.shard.String(),
+		Workers:       j.workers,
+		Records:       j.records,
+		Error:         j.errMsg,
+		StreamURL:     "/api/v1/jobs/" + j.id + "/stream",
+		AggregatesURL: "/api/v1/jobs/" + j.id + "/aggregates",
+	}
+}
+
+// handleSubmit creates a job from a spec body. Query parameters:
+// workers=N (capped at the server pool), shard=i/n (run one slice of the
+// grid, for fleet-split campaigns), mode=stream|aggregate (aggregate
+// starts the run immediately with a discarded stream — the
+// millions-of-runs shape where only /aggregates matters).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading spec: "+err.Error())
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		var verr *spec.ValidationError
+		if errors.As(err, &verr) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid spec", Fields: verr.Fields})
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	q := r.URL.Query()
+	workers := s.cfg.Workers
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("workers=%q: want a positive integer", v))
+			return
+		}
+		workers = min(n, s.cfg.Workers)
+	}
+	sh, err := sweep.ParseShard(q.Get("shard"))
+	if err == nil {
+		err = sh.Validate()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = "stream"
+	}
+	if mode != "stream" && mode != "aggregate" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("mode=%q: want stream or aggregate", mode))
+		return
+	}
+
+	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending}
+	// Grids build here so the spec's semantic reach (unknown scenario
+	// names and the like) is also a 400, not a stream-time failure.
+	switch sp.Kind {
+	case spec.KindSweep:
+		j.sweepGrid, err = sp.Sweep.Grid()
+	case spec.KindCampaign:
+		j.campaignGrid, err = sp.Campaign.Grid()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if len(s.order) >= s.cfg.MaxJobs {
+		s.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job table full (%d jobs retained)", s.cfg.MaxJobs))
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%04d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	if mode == "aggregate" {
+		s.startDetached(j)
+	}
+	writeJSON(w, http.StatusCreated, j.status())
+}
+
+// startDetached claims the job and runs it in the background against a
+// discarded sink; only the online aggregates are observable. The job is
+// freshly created and unpublished to no other runner, so the claim cannot
+// race a stream handler.
+func (s *Server) startDetached(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	s.detached.Add(1)
+	go func() {
+		defer s.detached.Done()
+		err := s.run(s.baseCtx, j, io.Discard, nil, false)
+		s.finish(j, s.baseCtx, err)
+	}()
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	statuses := make([]Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleStream claims a pending job and executes its grid in this
+// handler's goroutine, streaming JSONL as runs complete. The client's
+// read pace is the pipeline's emission pace (credit-gated, bounded
+// buffering); closing the connection cancels the request context, which
+// stops dispatch and drains the in-flight workers.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.state != StatePending {
+		state := j.state
+		j.mu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; a job streams once", j.id, state))
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	err := s.run(r.Context(), j, w, rc, true)
+	s.finish(j, r.Context(), err)
+}
+
+// run executes the job's grid through the sweep pipeline — the exact
+// path mpsocsim takes, which is what the byte-identity gate checks. Each
+// run wrapper holds a global pool slot, so total simulation concurrency
+// respects Config.Workers no matter how many jobs stream at once.
+func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.ResponseController, streamed bool) error {
+	acquire := func() {
+		s.pool <- struct{}{}
+		s.busy.Add(1)
+	}
+	release := func() {
+		s.busy.Add(-1)
+		<-s.pool
+	}
+	account := func(add func()) error {
+		if rc != nil {
+			if err := rc.Flush(); err != nil {
+				return err
+			}
+		}
+		j.mu.Lock()
+		add()
+		j.records++
+		j.mu.Unlock()
+		if streamed {
+			s.recordsStreamed.Add(1)
+		}
+		return nil
+	}
+	if j.campaignGrid != nil {
+		write := sweep.EmitJSONL[campaign.Record](w)
+		return sweep.StreamContext(ctx, len(j.campaignGrid), j.shard,
+			campaign.Weights(j.campaignGrid), j.workers,
+			func(i int) campaign.Record {
+				acquire()
+				defer release()
+				rec := campaign.RunOne(j.campaignGrid[i])
+				rec.Index = i
+				s.recordsComputed.Add(1)
+				return rec
+			},
+			func(rec campaign.Record) error {
+				if err := write(rec); err != nil {
+					return err
+				}
+				return account(func() { j.camp.Add(rec) })
+			})
+	}
+	write := sweep.EmitJSONL[sweep.RunResult](w)
+	return sweep.StreamContext(ctx, len(j.sweepGrid), j.shard,
+		sweep.Weights(j.sweepGrid), j.workers,
+		func(i int) sweep.RunResult {
+			acquire()
+			defer release()
+			rec := sweep.RunOne(j.sweepGrid[i])
+			rec.Index = i
+			s.recordsComputed.Add(1)
+			return rec
+		},
+		func(rec sweep.RunResult) error {
+			if err := write(rec); err != nil {
+				return err
+			}
+			return account(func() { j.swp.Add(rec) })
+		})
+}
+
+// finish records the job's terminal state. A canceled context means the
+// client went away (or the server is shutting down) — that is a canceled
+// job, not a failed one, even when the surfaced error is a write error on
+// the dead connection.
+func (s *Server) finish(j *Job, ctx context.Context, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case ctx.Err() != nil:
+		j.state = StateCanceled
+		j.errMsg = context.Cause(ctx).Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// Aggregates is the /aggregates payload: job identity plus the online
+// aggregate snapshot (agg.CampaignSnapshot or agg.SweepSnapshot).
+type Aggregates struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Records uint64 `json:"records"`
+	// Aggregates marshals the kind-specific snapshot; recomputing it
+	// offline over the job's JSONL stream yields byte-identical JSON
+	// (gated by make serve-determinism).
+	Aggregates any `json:"aggregates"`
+}
+
+func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	out := Aggregates{ID: j.id, State: j.state, Records: j.records}
+	if j.campaignGrid != nil {
+		out.Aggregates = j.camp.Snapshot()
+	} else {
+		out.Aggregates = j.swp.Snapshot()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Jobs struct {
+		Pending  int `json:"pending"`
+		Running  int `json:"running"`
+		Done     int `json:"done"`
+		Failed   int `json:"failed"`
+		Canceled int `json:"canceled"`
+	} `json:"jobs"`
+	// ShardsInFlight is the number of grid points executing right now ==
+	// held worker-pool slots.
+	ShardsInFlight int64 `json:"shards_in_flight"`
+	// RecordsComputed counts finished simulation runs; RecordsStreamed
+	// counts records written to connected clients (detached jobs compute
+	// without streaming). Computed can exceed streamed by at most the sum
+	// of per-job reorder windows (2x workers each) plus detached work —
+	// the backpressure bound.
+	RecordsComputed uint64 `json:"records_computed"`
+	RecordsStreamed uint64 `json:"records_streamed"`
+	Workers         struct {
+		Capacity    int     `json:"capacity"`
+		Busy        int64   `json:"busy"`
+		Utilization float64 `json:"utilization"`
+	} `json:"workers"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m Metrics
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case StatePending:
+			m.Jobs.Pending++
+		case StateRunning:
+			m.Jobs.Running++
+		case StateDone:
+			m.Jobs.Done++
+		case StateFailed:
+			m.Jobs.Failed++
+		case StateCanceled:
+			m.Jobs.Canceled++
+		}
+	}
+	m.ShardsInFlight = s.busy.Load()
+	m.RecordsComputed = s.recordsComputed.Load()
+	m.RecordsStreamed = s.recordsStreamed.Load()
+	m.Workers.Capacity = s.cfg.Workers
+	m.Workers.Busy = m.ShardsInFlight
+	m.Workers.Utilization = float64(m.ShardsInFlight) / float64(s.cfg.Workers)
+	writeJSON(w, http.StatusOK, m)
+}

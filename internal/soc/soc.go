@@ -206,13 +206,17 @@ func padRules(rules []core.Policy, n int) []core.Policy {
 	return rules
 }
 
+// MaxCores bounds Config.NumCores; the bus arbiter and the per-core
+// policy SPIs are sized for it.
+const MaxCores = 16
+
 // New builds the platform.
 func New(cfg Config) (*System, error) {
 	if cfg.NumCores == 0 {
 		cfg.NumCores = 3
 	}
-	if cfg.NumCores < 1 || cfg.NumCores > 16 {
-		return nil, fmt.Errorf("soc: NumCores %d out of range [1,16]", cfg.NumCores)
+	if cfg.NumCores < 1 || cfg.NumCores > MaxCores {
+		return nil, fmt.Errorf("soc: NumCores %d out of range [1,%d]", cfg.NumCores, MaxCores)
 	}
 	if cfg.Frequency == 0 {
 		cfg.Frequency = sim.DefaultFrequency
@@ -245,6 +249,15 @@ func New(cfg Config) (*System, error) {
 		}
 
 	case Distributed:
+		// CorePolicies is the one rule set that can come from user input
+		// (policy files, campaign specs); validate it here so New returns
+		// an error instead of the MustConfig panic below — a malformed
+		// request must not kill a serving process.
+		if cfg.CorePolicies != nil {
+			if _, err := core.NewConfigMemory(cfg.CorePolicies...); err != nil {
+				return nil, fmt.Errorf("soc: core policies: %w", err)
+			}
+		}
 		// Slave-side Local Firewalls on internal IPs.
 		bramRules := padRules([]core.Policy{
 			{SPI: 200, Zone: core.Zone{Base: BRAMBase, Size: BRAMSize}, RWA: core.ReadWrite,

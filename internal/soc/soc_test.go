@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/soc"
 	"repro/internal/workload"
 )
@@ -40,6 +41,27 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := soc.New(soc.Config{NumCores: -1}); err == nil {
 		t.Fatal("negative cores accepted")
+	}
+}
+
+// TestBadCorePoliciesError: user-supplied policies (policy files, campaign
+// specs) must surface as an error from New, never as a panic — the
+// campaign service turns this error into a 400.
+func TestBadCorePoliciesError(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("New panicked on malformed core policies: %v", r)
+		}
+	}()
+	_, err := soc.New(soc.Config{
+		Protection:   soc.Distributed,
+		CorePolicies: []core.Policy{{SPI: 1}}, // zero-size zone
+	})
+	if err == nil {
+		t.Fatal("zero-size-zone policy accepted")
+	}
+	if !strings.Contains(err.Error(), "core policies") {
+		t.Fatalf("error %q does not attribute the policy source", err)
 	}
 }
 

@@ -1,0 +1,381 @@
+// Package spec is the serializable experiment API shared by the mpsocsim
+// CLI and the mpsocd campaign service: one versioned JSON document — a
+// Spec envelope holding either a SweepSpec or a CampaignSpec — from which
+// both frontends construct the exact same sweep.Config/campaign.Config
+// grid. The CLI's axis flags compile into a Spec (flags become overrides
+// when -spec loads one from disk) and the HTTP body decodes into the same
+// type, so a campaign submitted over HTTP is byte-identical to the same
+// campaign run from the command line — the determinism gate's contract
+// extends across process boundaries.
+//
+// Validation never panics and never loses the field: every violation is a
+// FieldError carrying the JSON path of the offending value
+// ("campaign.scenarios[2]", "sweep.cores[0]"), aggregated into one
+// ValidationError, so a malformed HTTP request renders as a 400 naming
+// precisely what to fix instead of killing the daemon.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/campaign"
+	"repro/internal/recovery"
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+// Version is the current spec schema version. Decoding rejects any other
+// value: an old daemon seeing a future spec must refuse it loudly rather
+// than silently dropping fields it does not know.
+const Version = 1
+
+// Spec kinds.
+const (
+	KindSweep    = "sweep"
+	KindCampaign = "campaign"
+)
+
+// Spec is the versioned envelope: exactly one of Sweep or Campaign is set,
+// named by Kind.
+type Spec struct {
+	Version  int           `json:"version"`
+	Kind     string        `json:"kind"`
+	Sweep    *SweepSpec    `json:"sweep,omitempty"`
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
+}
+
+// SweepSpec is the benign scenario sweep: the protection x workload x
+// target x core-count grid of internal/sweep. Zero-valued shared
+// parameters select the sweep package defaults (sweep.Config.Normalize).
+type SweepSpec struct {
+	// Axes, outermost first (the grid order of sweep.Grid).
+	Protections []string `json:"protections"`
+	Workloads   []string `json:"workloads"`
+	Targets     []string `json:"targets"`
+	Cores       []int    `json:"cores"`
+	// Shared per-run parameters.
+	Accesses  int    `json:"accesses,omitempty"`
+	Compute   int    `json:"compute,omitempty"`
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+}
+
+// CampaignSpec is the attack campaign: the scenario x protection x
+// core-count x background grid of internal/campaign, with the optional
+// reaction-and-recovery phase.
+type CampaignSpec struct {
+	// Axes, outermost first (the grid order of campaign.Grid).
+	Scenarios   []string `json:"scenarios"`
+	Protections []string `json:"protections"`
+	Cores       []int    `json:"cores"`
+	Backgrounds []string `json:"backgrounds"`
+	// Shared per-run parameters.
+	Accesses    int    `json:"accesses,omitempty"`
+	Compute     int    `json:"compute,omitempty"`
+	InjectDelay uint64 `json:"inject_delay,omitempty"`
+	MaxCycles   uint64 `json:"max_cycles,omitempty"`
+	// Recovery, when present and enabled, arms the quarantine reactor and
+	// the supervisor release schedule on every grid point.
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
+}
+
+// RecoverySpec mirrors recovery.Params in serializable form. Enabled is
+// explicit (rather than inferred from a non-zero threshold) so a spec can
+// carry tuned parameters while the phase is switched off.
+type RecoverySpec struct {
+	Enabled      bool    `json:"enabled"`
+	Threshold    int     `json:"threshold,omitempty"`
+	AlertWindow  uint64  `json:"alert_window,omitempty"`
+	ClearDelay   uint64  `json:"clear_delay,omitempty"`
+	Staged       bool    `json:"staged,omitempty"`
+	StageDelay   uint64  `json:"stage_delay,omitempty"`
+	SampleWindow uint64  `json:"sample_window,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+}
+
+// Params converts the spec into the campaign's phase parameters: the zero
+// recovery.Params when disabled, normalized defaults otherwise.
+func (r *RecoverySpec) Params() recovery.Params {
+	if r == nil || !r.Enabled {
+		return recovery.Params{}
+	}
+	threshold := r.Threshold
+	if threshold == 0 {
+		threshold = recovery.DefaultThreshold
+	}
+	return recovery.Params{
+		QuarantineThreshold: threshold,
+		QuarantineWindow:    r.AlertWindow,
+		ClearDelay:          r.ClearDelay,
+		Staged:              r.Staged,
+		StageDelay:          r.StageDelay,
+		SampleWindow:        r.SampleWindow,
+		Epsilon:             r.Epsilon,
+	}.Normalize()
+}
+
+// FieldError is one validation failure, pinned to the JSON path of the
+// offending value.
+type FieldError struct {
+	Path string `json:"path"`
+	Msg  string `json:"error"`
+}
+
+// Error implements error.
+func (e *FieldError) Error() string { return e.Path + ": " + e.Msg }
+
+// ValidationError aggregates every field failure of one Validate pass, so
+// a client fixes the whole spec in one round trip.
+type ValidationError struct {
+	Fields []*FieldError `json:"fields"`
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return "spec: " + strings.Join(msgs, "; ")
+}
+
+// errs collects field errors during validation.
+type errs struct{ fields []*FieldError }
+
+func (e *errs) addf(path, format string, args ...any) {
+	e.fields = append(e.fields, &FieldError{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (e *errs) err() error {
+	if len(e.fields) == 0 {
+		return nil
+	}
+	return &ValidationError{Fields: e.fields}
+}
+
+// ParseProtection maps the spec/CLI protection names to soc.Protection.
+func ParseProtection(s string) (soc.Protection, error) {
+	switch s {
+	case "unprotected":
+		return soc.Unprotected, nil
+	case "distributed":
+		return soc.Distributed, nil
+	case "centralized":
+		return soc.Centralized, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q (want unprotected, distributed or centralized)", s)
+	}
+}
+
+// ProtectionNames lists the accepted protection names in canonical order.
+func ProtectionNames() []string {
+	return []string{"unprotected", "distributed", "centralized"}
+}
+
+// contains reports membership in a name list.
+func contains(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// validateAxes checks the axes every spec kind shares: protections and
+// core counts, under the given path prefix.
+func validateAxes(e *errs, prefix string, prots []string, cores []int) {
+	if len(prots) == 0 {
+		e.addf(prefix+".protections", "empty axis")
+	}
+	for i, p := range prots {
+		if _, err := ParseProtection(p); err != nil {
+			e.addf(fmt.Sprintf("%s.protections[%d]", prefix, i), "%v", err)
+		}
+	}
+	if len(cores) == 0 {
+		e.addf(prefix+".cores", "empty axis")
+	}
+	for i, n := range cores {
+		if n < 1 || n > soc.MaxCores {
+			e.addf(fmt.Sprintf("%s.cores[%d]", prefix, i), "core count %d out of range [1,%d]", n, soc.MaxCores)
+		}
+	}
+}
+
+// Validate checks the sweep spec and reports every violation with its
+// field path.
+func (s *SweepSpec) Validate() error {
+	var e errs
+	validateAxes(&e, KindSweep, s.Protections, s.Cores)
+	if len(s.Workloads) == 0 {
+		e.addf("sweep.workloads", "empty axis")
+	}
+	for i, w := range s.Workloads {
+		if !contains(sweep.WorkloadNames(), w) {
+			e.addf(fmt.Sprintf("sweep.workloads[%d]", i), "unknown workload %q (want one of %v)", w, sweep.WorkloadNames())
+		}
+	}
+	if len(s.Targets) == 0 {
+		e.addf("sweep.targets", "empty axis")
+	}
+	for i, t := range s.Targets {
+		if !contains(sweep.TargetNames(), t) {
+			e.addf(fmt.Sprintf("sweep.targets[%d]", i), "unknown target %q (want one of %v)", t, sweep.TargetNames())
+		}
+	}
+	if s.Accesses < 0 {
+		e.addf("sweep.accesses", "negative access count %d", s.Accesses)
+	}
+	if s.Compute < 0 {
+		e.addf("sweep.compute", "negative compute count %d", s.Compute)
+	}
+	return e.err()
+}
+
+// Grid validates the spec and builds its sweep grid — the same grid the
+// mpsocsim axis flags would have produced.
+func (s *SweepSpec) Grid() ([]sweep.Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	prots := make([]soc.Protection, len(s.Protections))
+	for i, p := range s.Protections {
+		prots[i], _ = ParseProtection(p)
+	}
+	return sweep.Grid(prots, s.Workloads, s.Targets, s.Cores, s.Accesses, s.Compute, s.MaxCycles), nil
+}
+
+// Validate checks the campaign spec and reports every violation with its
+// field path.
+func (c *CampaignSpec) Validate() error {
+	var e errs
+	validateAxes(&e, KindCampaign, c.Protections, c.Cores)
+	if len(c.Scenarios) == 0 {
+		e.addf("campaign.scenarios", "empty axis")
+	}
+	for i, sc := range c.Scenarios {
+		if !contains(attack.Names(), sc) {
+			e.addf(fmt.Sprintf("campaign.scenarios[%d]", i), "unknown scenario %q (want one of %v)", sc, attack.Names())
+		}
+	}
+	if len(c.Backgrounds) == 0 {
+		e.addf("campaign.backgrounds", "empty axis")
+	}
+	for i, bg := range c.Backgrounds {
+		if bg != "none" && !contains(campaign.BackgroundNames(), bg) {
+			e.addf(fmt.Sprintf("campaign.backgrounds[%d]", i), "unknown background %q (want one of %v or none)", bg, campaign.BackgroundNames())
+		}
+	}
+	if c.Accesses < 0 {
+		e.addf("campaign.accesses", "negative access count %d", c.Accesses)
+	}
+	if c.Compute < 0 {
+		e.addf("campaign.compute", "negative compute count %d", c.Compute)
+	}
+	if c.Recovery != nil && c.Recovery.Enabled {
+		if c.Recovery.Threshold < 0 {
+			e.addf("campaign.recovery.threshold", "negative threshold %d", c.Recovery.Threshold)
+		}
+		if eps := c.Recovery.Epsilon; eps < 0 || eps >= 1 {
+			e.addf("campaign.recovery.epsilon", "epsilon %g out of range [0,1)", eps)
+		}
+	}
+	return e.err()
+}
+
+// Grid validates the spec and builds its campaign grid — the same grid the
+// mpsocsim -attack axis flags would have produced, recovery phase
+// included.
+func (c *CampaignSpec) Grid() ([]campaign.Config, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	prots := make([]soc.Protection, len(c.Protections))
+	for i, p := range c.Protections {
+		prots[i], _ = ParseProtection(p)
+	}
+	grid := campaign.Grid(c.Scenarios, prots, c.Cores, c.Backgrounds,
+		c.Accesses, c.Compute, c.InjectDelay, c.MaxCycles)
+	if p := c.Recovery.Params(); p.Enabled() {
+		grid = campaign.WithRecovery(grid, p)
+	}
+	return grid, nil
+}
+
+// Validate checks the envelope: version, kind, and exactly one populated
+// branch, then the branch itself.
+func (s *Spec) Validate() error {
+	var e errs
+	if s.Version != Version {
+		e.addf("version", "unsupported spec version %d (this build speaks %d)", s.Version, Version)
+	}
+	switch s.Kind {
+	case KindSweep:
+		if s.Campaign != nil {
+			e.addf("campaign", "kind is %q but campaign branch is set", KindSweep)
+		}
+		if s.Sweep == nil {
+			e.addf("sweep", "kind is %q but sweep branch is missing", KindSweep)
+		}
+	case KindCampaign:
+		if s.Sweep != nil {
+			e.addf("sweep", "kind is %q but sweep branch is set", KindCampaign)
+		}
+		if s.Campaign == nil {
+			e.addf("campaign", "kind is %q but campaign branch is missing", KindCampaign)
+		}
+	default:
+		e.addf("kind", "unknown kind %q (want %q or %q)", s.Kind, KindSweep, KindCampaign)
+	}
+	if err := e.err(); err != nil {
+		return err
+	}
+	if s.Sweep != nil {
+		return s.Sweep.Validate()
+	}
+	return s.Campaign.Validate()
+}
+
+// Parse decodes and validates a spec document. Unknown fields are errors:
+// a typo in an axis name must not silently select a default grid.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	// Trailing garbage after the document is a malformed request, not an
+	// extended one.
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// JSON renders the spec with stable formatting — the canonical on-disk and
+// on-the-wire form (mpsocsim -dump-spec emits it, Parse accepts it).
+func (s *Spec) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// NewSweep wraps a sweep spec in its envelope.
+func NewSweep(s SweepSpec) *Spec {
+	return &Spec{Version: Version, Kind: KindSweep, Sweep: &s}
+}
+
+// NewCampaign wraps a campaign spec in its envelope.
+func NewCampaign(c CampaignSpec) *Spec {
+	return &Spec{Version: Version, Kind: KindCampaign, Campaign: &c}
+}

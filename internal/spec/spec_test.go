@@ -1,0 +1,163 @@
+package spec_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/recovery"
+	"repro/internal/spec"
+)
+
+func campaignSpec() *spec.Spec {
+	return spec.NewCampaign(spec.CampaignSpec{
+		Scenarios:   []string{"tamper", "zone-escape", "dos-flood"},
+		Protections: []string{"unprotected", "distributed", "centralized"},
+		Cores:       []int{3},
+		Backgrounds: []string{"stream", "secure-scrub"},
+		Accesses:    64,
+		Compute:     4,
+		InjectDelay: 100,
+		MaxCycles:   2_000_000,
+		Recovery: &spec.RecoverySpec{
+			Enabled:    true,
+			ClearDelay: 1500,
+			Staged:     true,
+		},
+	})
+}
+
+func sweepSpec() *spec.Spec {
+	return spec.NewSweep(spec.SweepSpec{
+		Protections: []string{"unprotected", "distributed"},
+		Workloads:   []string{"mix", "stream"},
+		Targets:     []string{"internal", "external"},
+		Cores:       []int{1, 2},
+		Accesses:    16,
+		Compute:     4,
+		MaxCycles:   2_000_000,
+	})
+}
+
+// TestRoundTrip is the single-source-of-truth contract: encoding a spec
+// and decoding it back must build the exact same grid.
+func TestRoundTrip(t *testing.T) {
+	for _, sp := range []*spec.Spec{campaignSpec(), sweepSpec()} {
+		data, err := sp.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spec.Parse(data)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v\n%s", err, data)
+		}
+		if !reflect.DeepEqual(sp, got) {
+			t.Fatalf("spec drifted over the round trip:\nbefore %+v\nafter  %+v", sp, got)
+		}
+		switch sp.Kind {
+		case spec.KindCampaign:
+			g1, err1 := sp.Campaign.Grid()
+			g2, err2 := got.Campaign.Grid()
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(g1, g2) {
+				t.Fatal("campaign grid drifted over the round trip")
+			}
+			if len(g1) != 3*3*1*2 {
+				t.Fatalf("campaign grid size = %d", len(g1))
+			}
+			if !g1[0].Recovery.Enabled() || g1[0].Recovery.ClearDelay != 1500 || !g1[0].Recovery.Staged {
+				t.Fatalf("recovery params lost: %+v", g1[0].Recovery)
+			}
+		case spec.KindSweep:
+			g1, err1 := sp.Sweep.Grid()
+			g2, err2 := got.Sweep.Grid()
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(g1, g2) {
+				t.Fatal("sweep grid drifted over the round trip")
+			}
+			if len(g1) != 2*2*2*2 {
+				t.Fatalf("sweep grid size = %d", len(g1))
+			}
+		}
+	}
+}
+
+// TestRecoveryDefaults pins the spec->params mapping: enabled with a zero
+// threshold selects the package default, disabled is the zero value no
+// matter what else is set.
+func TestRecoveryDefaults(t *testing.T) {
+	p := (&spec.RecoverySpec{Enabled: true}).Params()
+	if p.QuarantineThreshold != recovery.DefaultThreshold {
+		t.Fatalf("threshold = %d, want default %d", p.QuarantineThreshold, recovery.DefaultThreshold)
+	}
+	if p.ClearDelay != recovery.DefaultClearDelay || p.SampleWindow != recovery.DefaultSampleWindow {
+		t.Fatalf("normalize not applied: %+v", p)
+	}
+	if p := (&spec.RecoverySpec{Enabled: false, Threshold: 5}).Params(); p.Enabled() {
+		t.Fatalf("disabled spec produced enabled params: %+v", p)
+	}
+	if p := (*spec.RecoverySpec)(nil).Params(); p.Enabled() {
+		t.Fatal("nil spec produced enabled params")
+	}
+}
+
+// TestValidationFieldPaths checks that every rejection names the offending
+// field's JSON path — the contract the daemon's 400 responses rely on.
+func TestValidationFieldPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		path string
+	}{
+		{"bad version", `{"version":99,"kind":"sweep","sweep":{"protections":["distributed"],"workloads":["mix"],"targets":["internal"],"cores":[1]}}`, "version"},
+		{"bad kind", `{"version":1,"kind":"audit"}`, "kind"},
+		{"missing branch", `{"version":1,"kind":"campaign"}`, "campaign"},
+		{"wrong branch", `{"version":1,"kind":"sweep","sweep":{"protections":["distributed"],"workloads":["mix"],"targets":["internal"],"cores":[1]},"campaign":{"scenarios":["tamper"],"protections":["distributed"],"cores":[3],"backgrounds":["stream"]}}`, "campaign"},
+		{"bad scenario", `{"version":1,"kind":"campaign","campaign":{"scenarios":["tamper","nosuch"],"protections":["distributed"],"cores":[3],"backgrounds":["stream"]}}`, "campaign.scenarios[1]"},
+		{"bad protection", `{"version":1,"kind":"campaign","campaign":{"scenarios":["tamper"],"protections":["seca"],"cores":[3],"backgrounds":["stream"]}}`, "campaign.protections[0]"},
+		{"bad background", `{"version":1,"kind":"campaign","campaign":{"scenarios":["tamper"],"protections":["distributed"],"cores":[3],"backgrounds":["nosuch"]}}`, "campaign.backgrounds[0]"},
+		{"core count", `{"version":1,"kind":"campaign","campaign":{"scenarios":["tamper"],"protections":["distributed"],"cores":[99],"backgrounds":["stream"]}}`, "campaign.cores[0]"},
+		{"empty axis", `{"version":1,"kind":"campaign","campaign":{"scenarios":[],"protections":["distributed"],"cores":[3],"backgrounds":["stream"]}}`, "campaign.scenarios"},
+		{"bad workload", `{"version":1,"kind":"sweep","sweep":{"protections":["distributed"],"workloads":["nosuch"],"targets":["internal"],"cores":[1]}}`, "sweep.workloads[0]"},
+		{"bad target", `{"version":1,"kind":"sweep","sweep":{"protections":["distributed"],"workloads":["mix"],"targets":["nosuch"],"cores":[1]}}`, "sweep.targets[0]"},
+		{"bad epsilon", `{"version":1,"kind":"campaign","campaign":{"scenarios":["tamper"],"protections":["distributed"],"cores":[3],"backgrounds":["stream"],"recovery":{"enabled":true,"epsilon":2}}}`, "campaign.recovery.epsilon"},
+	}
+	for _, tc := range cases {
+		_, err := spec.Parse([]byte(tc.doc))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.path) {
+			t.Fatalf("%s: error %q does not name path %q", tc.name, err, tc.path)
+		}
+	}
+}
+
+// TestValidationAggregates checks that one pass reports every broken
+// field, not just the first.
+func TestValidationAggregates(t *testing.T) {
+	doc := `{"version":1,"kind":"campaign","campaign":{"scenarios":["nosuch"],"protections":["seca"],"cores":[0],"backgrounds":["bogus"]}}`
+	_, err := spec.Parse([]byte(doc))
+	ve, ok := err.(*spec.ValidationError)
+	if !ok {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+	if len(ve.Fields) != 4 {
+		t.Fatalf("want 4 field errors, got %d: %v", len(ve.Fields), ve)
+	}
+}
+
+// TestParseRejectsUnknownFields: a typo must not silently select defaults.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	doc := `{"version":1,"kind":"sweep","sweep":{"protections":["distributed"],"worklodas":["mix"],"targets":["internal"],"cores":[1]}}`
+	if _, err := spec.Parse([]byte(doc)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := spec.Parse([]byte(`{"version":1,"kind":"sweep","sweep":{"protections":["distributed"],"workloads":["mix"],"targets":["internal"],"cores":[1]}} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"runtime"
@@ -80,7 +81,20 @@ type indexed[R any] struct {
 // (in-flight jobs finish and are discarded) and Stream returns that error,
 // so a dead output sink does not burn the rest of the grid.
 func Stream[R any](n int, sh Shard, weights []float64, workers int, run func(i int) R, emit func(R) error) error {
+	return StreamContext(context.Background(), n, sh, weights, workers, run, emit)
+}
+
+// StreamContext is Stream with cancellation: when ctx is canceled, no
+// further jobs are dispatched, in-flight jobs finish and are discarded,
+// every worker goroutine exits, and the call returns ctx's error (unless
+// emit already failed — the first cause wins). This is what lets a serving
+// process abandon a grid the moment its client disconnects without
+// leaking workers or records.
+func StreamContext[R any](ctx context.Context, n int, sh Shard, weights []float64, workers int, run func(i int) R, emit func(R) error) error {
 	if err := sh.Validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	idxs := sh.Slice(n, weights)
@@ -124,10 +138,14 @@ func Stream[R any](n int, sh Shard, weights []float64, workers int, run func(i i
 			case <-credits:
 			case <-stop:
 				return
+			case <-ctx.Done():
+				return
 			}
 			select {
 			case jobs <- i:
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -138,13 +156,25 @@ func Stream[R any](n int, sh Shard, weights []float64, workers int, run func(i i
 	}()
 
 	// Index-ordered reorder buffer: emit strictly in grid order so every
-	// downstream encoding is independent of scheduling.
+	// downstream encoding is independent of scheduling. The loop always
+	// drains the results channel so every worker goroutine exits; the
+	// first failure — emit error or context cancellation — wins.
 	pending := make(map[int]R, window)
 	next := 0
-	var emitErr error
+	var streamErr error
+	cancel := func(err error) {
+		if streamErr == nil {
+			streamErr = err
+			close(stop)
+		}
+	}
 	for res := range results {
-		if emitErr != nil {
+		if streamErr != nil {
 			continue // draining in-flight jobs after cancellation
+		}
+		if err := ctx.Err(); err != nil {
+			cancel(err)
+			continue
 		}
 		pending[res.i] = res.r
 		for next < len(idxs) {
@@ -152,14 +182,29 @@ func Stream[R any](n int, sh Shard, weights []float64, workers int, run func(i i
 			if !ok {
 				break
 			}
+			// emit may have canceled the context (client disconnect
+			// observed mid-write): stop before the next record rather
+			// than draining the reorder buffer to a dead sink.
+			if err := ctx.Err(); err != nil {
+				cancel(err)
+				break
+			}
 			delete(pending, idxs[next])
 			next++
-			if emitErr = emit(rdy); emitErr != nil {
-				close(stop)
+			if err := emit(rdy); err != nil {
+				cancel(err)
 				break
 			}
 			credits <- struct{}{}
 		}
 	}
-	return emitErr
+	if streamErr == nil {
+		// The cancellation can land during the emit of the last in-flight
+		// record: the dispatcher quits on ctx.Done before handing out the
+		// next job, results drains clean, and no later receive re-checks
+		// the context. The contract is that a canceled ctx yields its
+		// error, so check once more after the drain.
+		streamErr = ctx.Err()
+	}
+	return streamErr
 }

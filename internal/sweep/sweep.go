@@ -18,6 +18,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -261,7 +262,13 @@ func Weights(cfgs []Config) []float64 {
 // cost-aware (Weights), so multi-process sweeps balance wall-clock even
 // though centralized grid points run ~3x longer.
 func Each(cfgs []Config, sh Shard, workers int, emit func(RunResult) error) error {
-	return Stream(len(cfgs), sh, Weights(cfgs), workers, func(i int) RunResult {
+	return EachContext(context.Background(), cfgs, sh, workers, emit)
+}
+
+// EachContext is Each with cancellation — see StreamContext for the
+// contract a canceled context buys.
+func EachContext(ctx context.Context, cfgs []Config, sh Shard, workers int, emit func(RunResult) error) error {
+	return StreamContext(ctx, len(cfgs), sh, Weights(cfgs), workers, func(i int) RunResult {
 		r := RunOne(cfgs[i])
 		r.Index = i
 		return r
@@ -319,6 +326,18 @@ func RunOne(cfg Config) RunResult {
 	res.Alerts = s.Alerts.Len()
 	res.Firewalls = s.FirewallStats()
 	return res
+}
+
+// WorkloadNames lists the accepted workload kernels in canonical order —
+// the single list behind LoadWorkload, the mpsocsim -workload flag and
+// spec validation.
+func WorkloadNames() []string {
+	return []string{"matmul", "memcopy", "stream", "scrub", "mix", "producer-consumer"}
+}
+
+// TargetNames lists the accepted access targets in canonical order.
+func TargetNames() []string {
+	return []string{"internal", "external", "cipher", "plain"}
 }
 
 // ParseTarget maps a target name to its base address and span.

@@ -1,0 +1,175 @@
+// Command servediff is the serve-determinism gate: it proves the campaign
+// service and the CLI are the same pipeline. It boots an in-process mpsocd
+// (internal/server) on a loopback listener, submits the given spec twice,
+// streams one job with 1 worker and one with 8, and byte-compares both
+// streams against each other and against a direct CLI-produced JSONL file
+// of the same spec. It then fetches the first job's /aggregates snapshot
+// and recomputes the aggregates offline from the streamed records,
+// requiring byte-identical JSON — the online fold and an offline
+// recomputation must be indistinguishable.
+//
+//	servediff -spec build/attack-spec.json -direct build/attack-direct.jsonl
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/campaign"
+	"repro/internal/server"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "spec JSON file to submit")
+	directPath := flag.String("direct", "", "JSONL stream from a direct CLI run of the same spec")
+	flag.Parse()
+	if *specPath == "" || *directPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*specPath, *directPath); err != nil {
+		fmt.Fprintln(os.Stderr, "servediff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, directPath string) error {
+	body, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		return err
+	}
+	direct, err := os.ReadFile(directPath)
+	if err != nil {
+		return err
+	}
+
+	svc := server.New(server.Config{Workers: 8})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	one, aggOne, err := submitAndStream(ts.URL, body, 1)
+	if err != nil {
+		return err
+	}
+	eight, _, err := submitAndStream(ts.URL, body, 8)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(one, eight) {
+		return fmt.Errorf("HTTP streams differ across worker counts (1 vs 8)")
+	}
+	if !bytes.Equal(one, direct) {
+		return fmt.Errorf("HTTP stream differs from the direct CLI stream %s", directPath)
+	}
+
+	offline, err := recompute(sp, one)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(aggOne), offline) {
+		return fmt.Errorf("online /aggregates differ from the offline recomputation:\n  online  %s\n  offline %s",
+			aggOne, offline)
+	}
+
+	records := bytes.Count(one, []byte("\n"))
+	fmt.Printf("serve-determinism: OK — %d records byte-identical across HTTP worker counts and vs the CLI; /aggregates == offline recompute\n", records)
+	return nil
+}
+
+// submitAndStream creates a job, drains its stream, and returns the JSONL
+// bytes plus the raw aggregates snapshot.
+func submitAndStream(base string, body []byte, workers int) (stream, aggregates []byte, err error) {
+	resp, err := http.Post(fmt.Sprintf("%s/api/v1/jobs?workers=%d", base, workers),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	var st struct {
+		StreamURL     string `json:"stream_url"`
+		AggregatesURL string `json:"aggregates_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, nil, err
+	}
+
+	sresp, err := http.Get(base + st.StreamURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(sresp.Body)
+		return nil, nil, fmt.Errorf("stream: status %d: %s", sresp.StatusCode, msg)
+	}
+	if stream, err = io.ReadAll(sresp.Body); err != nil {
+		return nil, nil, err
+	}
+
+	aresp, err := http.Get(base + st.AggregatesURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer aresp.Body.Close()
+	var ag struct {
+		Aggregates json.RawMessage `json:"aggregates"`
+	}
+	if err := json.NewDecoder(aresp.Body).Decode(&ag); err != nil {
+		return nil, nil, err
+	}
+	return stream, ag.Aggregates, nil
+}
+
+// recompute folds the streamed records through the same aggregator the
+// server uses, offline, and returns the marshaled snapshot.
+func recompute(sp *spec.Spec, stream []byte) ([]byte, error) {
+	sc := bufio.NewScanner(bytes.NewReader(stream))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	switch sp.Kind {
+	case spec.KindCampaign:
+		var a agg.Campaign
+		for sc.Scan() {
+			var rec campaign.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return nil, err
+			}
+			a.Add(rec)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return json.Marshal(a.Snapshot())
+	default:
+		var a agg.Sweep
+		for sc.Scan() {
+			var rec sweep.RunResult
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return nil, err
+			}
+			a.Add(rec)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return json.Marshal(a.Snapshot())
+	}
+}
