@@ -4,6 +4,7 @@
 #   make modelcheck   # prove invariants (a)-(d) over the bounded policy+reactor model
 #   make staticcheck  # determinism lint: map-range / wallclock / goroutine hazards in internal/...
 #   make determinism  # sweep + attack campaign twice (different worker counts) + shard/merge, fail on any byte diff
+#   make trace-determinism # traced campaign: Chrome trace JSON byte-identical across worker counts
 #   make attack       # the paper's detection matrix (one-command repro)
 #   make bench-smoke  # short throughput benchmarks so regressions surface in CI logs
 #   make bench-json   # benchmark suite -> build/BENCH_<pr>.json (perf trajectory; CI artifact)
@@ -43,9 +44,9 @@ RECOVERY_GRID := -attack-scenarios burst-flood,zone-escape,dos-flood \
                  -accesses 256 -inject-delay 100 -max 2000000 \
                  -recovery -recovery-staged -recovery-clear-delay 1500
 
-.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism serve-determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
+.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism serve-determinism trace-determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
 
-ci: verify modelcheck staticcheck determinism serve-determinism attack bench-smoke bench-diff
+ci: verify modelcheck staticcheck determinism serve-determinism trace-determinism attack bench-smoke bench-diff
 
 verify: fmt vet build test race staticcheck
 
@@ -67,7 +68,7 @@ test:
 # run concurrently (one engine per goroutine in sweeps); keep them
 # race-clean.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server ./internal/obs
 
 # modelcheck: the proof gate. Exhaustively enumerate the bounded
 # policy+reactor state space (internal/modelcheck) and fail on any
@@ -135,6 +136,33 @@ serve-determinism:
 	cmp $(BUILD)/attack-direct.jsonl $(BUILD)/attack-fromspec.jsonl
 	$(BUILD)/servediff -spec $(BUILD)/attack-spec.json -direct $(BUILD)/attack-direct.jsonl
 	@echo "serve-determinism: OK (flag/spec/HTTP streams byte-identical; online aggregates == offline recompute)"
+
+# Traced-campaign grid for the trace-determinism gate: the recovery regime
+# (quarantine, staged release, probation, throughput windows) is the
+# densest event source, so its trace exercises every track kind.
+TRACE_GRID := -attack-scenarios burst-flood,zone-escape \
+              -sweep-protections unprotected,distributed \
+              -attack-cores 3 -attack-backgrounds stream \
+              -accesses 256 -inject-delay 100 -max 2000000 \
+              -recovery -recovery-staged -recovery-clear-delay 1500
+
+# trace-determinism: the observability gate. A traced campaign must
+# produce byte-identical Chrome trace JSON (and JSONL) across worker
+# counts — trace events are timestamped in sim cycles and rendered in
+# emission order, so any wall-clock or scheduling leak shows up as a byte
+# diff here. The grep guards against vacuity: the trace must actually
+# contain an incident lifecycle.
+trace-determinism:
+	@mkdir -p $(BUILD)
+	$(GO) build -o $(BUILD)/mpsocsim ./cmd/mpsocsim
+	$(BUILD)/mpsocsim -attack $(TRACE_GRID) -workers 1 -trace $(BUILD)/trace-w1.json -sweep-out $(BUILD)/trace-w1.jsonl
+	$(BUILD)/mpsocsim -attack $(TRACE_GRID) -workers 4 -trace $(BUILD)/trace-w4.json -sweep-out $(BUILD)/trace-w4.jsonl
+	$(BUILD)/mpsocsim -attack $(TRACE_GRID) -workers 8 -trace $(BUILD)/trace-w8.json -sweep-out $(BUILD)/trace-w8.jsonl
+	cmp $(BUILD)/trace-w1.json $(BUILD)/trace-w4.json
+	cmp $(BUILD)/trace-w1.json $(BUILD)/trace-w8.json
+	cmp $(BUILD)/trace-w1.jsonl $(BUILD)/trace-w8.jsonl
+	grep -q '"quarantine"' $(BUILD)/trace-w1.json  # non-vacuous: the trace covers an incident
+	@echo "trace-determinism: OK (Chrome trace JSON byte-identical across -workers 1/4/8)"
 
 # attack: the paper's detection matrix on your terminal — every default
 # scenario against all three architectures, under internal and

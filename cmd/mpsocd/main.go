@@ -2,12 +2,19 @@
 // simulation fleet behind an HTTP API. It accepts the same versioned JSON
 // specs the CLI consumes (internal/spec), schedules grids across a
 // bounded worker pool, and streams results as JSONL with backpressure —
-// byte-identical to a direct mpsocsim run with the same spec.
+// byte-identical to a direct mpsocsim run with the same spec. The root
+// path serves a dependency-free live dashboard (job progress, containment
+// rates, latency percentiles) fed by each job's /events SSE feed, and
+// /metrics speaks both JSON and Prometheus text exposition.
 //
 //	mpsocd -addr :8080 -workers 8
-//	curl -X POST --data-binary @campaign.json localhost:8080/api/v1/jobs
+//	open http://localhost:8080/                  # live dashboard
+//	curl -X POST --data-binary @campaign.json localhost:8080/api/v1/jobs?trace=4096
 //	curl localhost:8080/api/v1/jobs/job-0001/stream > records.jsonl
 //	curl localhost:8080/api/v1/jobs/job-0001/aggregates
+//	curl -N localhost:8080/api/v1/jobs/job-0001/events   # SSE: state + snapshots
+//	curl localhost:8080/api/v1/jobs/job-0001/trace > trace.json  # open in Perfetto
+//	curl -H 'Accept: text/plain' localhost:8080/metrics  # Prometheus exposition
 package main
 
 import (
@@ -29,17 +36,18 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "global worker-pool size (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 0, "maximum retained jobs (0 = default 1024)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "/events snapshot cadence in records (0 = default 256)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight streams")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxJobs, *drain); err != nil {
+	if err := run(*addr, *workers, *maxJobs, *snapshotEvery, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxJobs int, drain time.Duration) error {
-	svc := server.New(server.Config{Workers: workers, MaxJobs: maxJobs})
+func run(addr string, workers, maxJobs, snapshotEvery int, drain time.Duration) error {
+	svc := server.New(server.Config{Workers: workers, MaxJobs: maxJobs, SnapshotEvery: snapshotEvery})
 	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

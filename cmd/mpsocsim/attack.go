@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -27,6 +29,9 @@ func buildCampaignGrid(o *options) ([]campaign.Config, error) {
 // the report to w.
 func runAttack(o *options, w io.Writer) error {
 	if o.merge != "" {
+		if o.traceFile != "" {
+			return fmt.Errorf("-trace requires running the campaign (mutually exclusive with -merge)")
+		}
 		if o.format != "jsonl" {
 			return fmt.Errorf("-merge only supports JSONL shard streams (got -format %s)", o.format)
 		}
@@ -41,6 +46,12 @@ func runAttack(o *options, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "attack: shard %s of %d campaign runs (%s)\n", sh, len(grid), o.format)
+	if o.traceFile != "" {
+		if o.format != "jsonl" {
+			return fmt.Errorf("-trace requires -format jsonl in attack mode (got %s)", o.format)
+		}
+		return runAttackTraced(o, w, grid, sh)
+	}
 	switch o.format {
 	case "jsonl":
 		return campaign.WriteJSONL(w, grid, sh, o.workers)
@@ -51,6 +62,34 @@ func runAttack(o *options, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown attack format %q (want jsonl, csv or table)", o.format)
 	}
+}
+
+// runAttackTraced streams the campaign's JSONL to w while appending every
+// run's incident trace to -trace as one Chrome process (pid = global grid
+// index + 1, name = the grid point). Records and traces ride the same
+// index-ordered pipeline, so both files are byte-identical across worker
+// counts.
+func runAttackTraced(o *options, w io.Writer, grid []campaign.Config, sh sweep.Shard) error {
+	f, err := os.Create(o.traceFile)
+	if err != nil {
+		return err
+	}
+	tw := obs.NewTraceWriter(f)
+	write := sweep.EmitJSONL[campaign.Record](w)
+	err = campaign.EachTrace(context.Background(), grid, sh, o.workers, o.traceLimit,
+		func(r campaign.Record, tr *obs.Tracer) error {
+			if err := write(r); err != nil {
+				return err
+			}
+			return tw.Process(r.Index+1, r.Name, tr)
+		})
+	if err == nil {
+		err = tw.Close()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeAttackTables renders the paper's detection matrix: one row per

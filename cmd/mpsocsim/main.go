@@ -13,9 +13,9 @@
 //	mpsocsim -sweep -merge shard0.jsonl,shard1.jsonl     # == the unsharded stream
 //	mpsocsim -attack                           # attack campaign under benign load, JSONL
 //	mpsocsim -attack -format table             # the paper's detection matrix
-//	mpsocsim -attack -format csv -sweep-out campaign.csv # for tools/plot/containment.gp
+//	mpsocsim -attack -format csv -sweep-out campaign.csv # long/tidy rows for external tooling
 //	mpsocsim -attack -recovery -format table   # + reaction & recovery table (quarantine/release/recovery)
-//	mpsocsim -attack -recovery -recovery-staged -format csv -sweep-out campaign.csv # windows for tools/plot/recovery.gp
+//	mpsocsim -attack -recovery -trace incidents.json # Chrome trace_event JSON of every incident (Perfetto)
 //	mpsocsim -modelcheck                       # prove invariants (a)-(d) over the bounded policy+reactor model
 package main
 
@@ -29,6 +29,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/soc"
 	"repro/internal/spec"
@@ -85,6 +86,9 @@ type options struct {
 	recStageDelay uint64
 	recSample     uint64
 	recEpsilon    float64
+
+	traceFile  string
+	traceLimit int
 }
 
 // recoveryParams folds the -recovery* flags into the campaign's phase
@@ -165,6 +169,11 @@ func parseFlags(args []string) (*options, error) {
 		"recovery: throughput sampling window in cycles")
 	fs.Float64Var(&o.recEpsilon, "recovery-epsilon", recovery.DefaultEpsilon,
 		"recovery: recovered when a post-release window is within this fraction of twin throughput")
+
+	fs.StringVar(&o.traceFile, "trace", "",
+		"write a Chrome trace_event JSON incident trace (Perfetto/chrome://tracing) to this file; single runs and -attack JSONL campaigns, timestamps in sim cycles")
+	fs.IntVar(&o.traceLimit, "trace-limit", obs.DefaultLimit,
+		"trace: events retained per run before counting drops")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -199,6 +208,17 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	if o.traceFile != "" {
+		if o.traceLimit < 1 {
+			fatal(fmt.Errorf("-trace-limit must be >= 1 with -trace (got %d)", o.traceLimit))
+		}
+		if o.doSweep {
+			fatal(fmt.Errorf("-trace applies to single runs and -attack campaigns, not -sweep"))
+		}
+		if o.doModelcheck {
+			fatal(fmt.Errorf("-trace does not apply to -modelcheck"))
+		}
 	}
 	switch {
 	case o.doSweep && o.doAttack:
@@ -265,12 +285,39 @@ func runSingle(o *options) error {
 		return err
 	}
 
+	var tr *obs.Tracer
+	if o.traceFile != "" {
+		tr = obs.New(o.traceLimit)
+		obs.Attach(tr, s)
+	}
 	cycles, ok := s.Run(o.maxCycles)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "warning: cycle budget exhausted before all cores halted\n")
 	}
+	if tr != nil {
+		obs.Harvest(tr, s)
+		name := fmt.Sprintf("%s/%s", o.workload, s.Cfg.Protection)
+		if err := writeTraceFile(o.traceFile, name, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n",
+			tr.Len(), tr.Dropped(), o.traceFile)
+	}
 	printSummary(s, cycles)
 	return nil
+}
+
+// writeTraceFile renders a single-run trace document to path.
+func writeTraceFile(path, process string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f, process); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // buildGrid constructs the sweep grid through the spec layer — the same

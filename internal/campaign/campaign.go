@@ -22,9 +22,11 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/soc"
 	"repro/internal/sweep"
@@ -351,6 +353,15 @@ func loadBackground(s *soc.System, name string, cores []int, accesses, compute i
 // attacked half at the deterministic cycle, measure both background
 // windows, and classify. The caller owns Index; RunOne leaves it zero.
 func RunOne(cfg Config) Record {
+	return RunOneTrace(cfg, nil)
+}
+
+// RunOneTrace is RunOne with an incident tracer attached to the attacked
+// platform: alerts, reactor transitions, the injection marker, recovery
+// throughput windows, core halts and quarantine spans land in tr as the
+// run executes. A nil tracer is RunOne exactly — no subscriptions, no
+// extra work on the hot path.
+func RunOneTrace(cfg Config, tr *obs.Tracer) Record {
 	cfg = cfg.Normalize()
 	rec := Record{
 		Name:       cfg.Name(),
@@ -396,6 +407,9 @@ func RunOne(cfg Config) Record {
 	if err != nil {
 		return fail(err)
 	}
+	// The tracer watches the attacked half only; the twin is the
+	// counterfactual baseline, not a timeline of interest.
+	obs.Attach(tr, pair.Attacked)
 	var sup *recovery.Supervisor
 	if cfg.Recovery.Enabled() {
 		rec.RecoveryOn = true
@@ -440,6 +454,8 @@ func RunOne(cfg Config) Record {
 		return fail(fmt.Errorf("campaign: background finished before injection at cycle %d (inject delay %d too long for %s/%d accesses)",
 			injectAt, cfg.InjectDelay, cfg.Background, cfg.Accesses))
 	}
+	tr.Emit(obs.Event{Kind: obs.KindInject, Cycle: injectAt,
+		Track: obs.TrackAttack, Name: "inject", Arg: cfg.Scenario})
 	if err := scAtk.Inject(pair.Attacked); err != nil {
 		return fail(err)
 	}
@@ -503,7 +519,21 @@ func RunOne(cfg Config) Record {
 	}
 	rec.Cores = pair.Attacked.CoreStats()
 	rec.Firewalls = pair.Attacked.FirewallStats()
+	for _, s := range rec.Windows {
+		tr.Emit(obs.Event{Kind: obs.KindWindow, Cycle: s.End,
+			Value: ratioMilli(s.Ratio), Track: obs.TrackThroughput, Name: "window"})
+	}
+	obs.Harvest(tr, pair.Attacked)
 	return rec
+}
+
+// ratioMilli fixes a throughput ratio into thousandths for the trace's
+// counter track.
+func ratioMilli(v float64) uint64 {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return uint64(math.Round(v * 1000))
 }
 
 // applyRecovery copies the incident bill into the record.
@@ -536,4 +566,27 @@ func EachContext(ctx context.Context, cfgs []Config, sh sweep.Shard, workers int
 		r.Index = i
 		return r
 	}, emit)
+}
+
+// traced pairs a record with its run's tracer for the reorder pipeline.
+type traced struct {
+	rec Record
+	tr  *obs.Tracer
+}
+
+// EachTrace is EachContext with a fresh bounded tracer per run (limit
+// events each; a non-positive limit disables tracing and passes nil
+// tracers). Tracers ride the same index-ordered reorder pipeline as their
+// records, so emit sees run i's record and trace together, in ascending
+// global grid order — which is what makes a whole campaign's concatenated
+// trace byte-identical across worker counts.
+func EachTrace(ctx context.Context, cfgs []Config, sh sweep.Shard, workers, limit int, emit func(Record, *obs.Tracer) error) error {
+	return sweep.StreamContext(ctx, len(cfgs), sh, Weights(cfgs), workers, func(i int) traced {
+		tr := obs.New(limit)
+		r := RunOneTrace(cfgs[i], tr)
+		r.Index = i
+		return traced{rec: r, tr: tr}
+	}, func(t traced) error {
+		return emit(t.rec, t.tr)
+	})
 }

@@ -26,7 +26,7 @@ func WriteJSONL(w io.Writer, cfgs []Config, sh sweep.Shard, workers int) error {
 // core, one scope=firewall row per enforcement point, and one
 // scope=window row per throughput sample when the reaction-and-recovery
 // phase ran, so detection-latency, per-firewall and recovery-timeline
-// series plot directly (tools/plot/recovery.gp consumes the window rows).
+// series plot directly from the window rows.
 // The recovery columns are empty — not zero — when the phase was off, so
 // "did not quarantine" and "recovery disabled" stay distinguishable.
 var CSVHeader = []string{

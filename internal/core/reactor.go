@@ -42,6 +42,12 @@ type Reactor struct {
 	// it to schedule the release.
 	OnQuarantine func(master string, cycle uint64)
 
+	// observers receive every lifecycle transition (OnEvent). Unlike the
+	// single OnQuarantine slot — owned by the recovery supervisor — this
+	// is a multicast hook, so tracing can watch the reactor without
+	// displacing the control loop.
+	observers []func(ReactorEvent)
+
 	guarded   map[string]*ConfigMemory
 	history   map[string][]uint64 // violation cycles per master, capped at Threshold
 	saved     map[string][]Policy // policies stashed at quarantine time
@@ -74,6 +80,46 @@ type QuarantineStamp struct {
 	// ReleasedAt is the cycle the full policy was restored; zero while the
 	// master is still quarantined (or on probation).
 	ReleasedAt uint64 `json:"released_at,omitempty"`
+}
+
+// ReactorEvent is one lifecycle transition, delivered synchronously to
+// OnEvent observers at the cycle it happens.
+type ReactorEvent struct {
+	// Kind is the transition: "quarantine" (threshold trip),
+	// "requarantine" (probation violation), "staged-release" (partial
+	// restore, probation begins) or "release" (full restore, incident
+	// closed).
+	Kind string
+	// Master is the IP the transition concerns.
+	Master string
+	// Cycle is when it happened (the triggering alert's cycle for the
+	// quarantine kinds, the reactor clock for the release kinds).
+	Cycle uint64
+}
+
+// Reactor lifecycle transition kinds (ReactorEvent.Kind).
+const (
+	EventQuarantine    = "quarantine"
+	EventRequarantine  = "requarantine"
+	EventStagedRelease = "staged-release"
+	EventRelease       = "release"
+)
+
+// OnEvent registers an observer for every lifecycle transition. Observers
+// run synchronously in registration order, after the transition's policy
+// rewrite (and after OnQuarantine for the quarantine kinds).
+func (r *Reactor) OnEvent(fn func(ReactorEvent)) {
+	if fn == nil {
+		panic("core: OnEvent(nil)")
+	}
+	r.observers = append(r.observers, fn)
+}
+
+// notify fans a transition out to the observers.
+func (r *Reactor) notify(kind, master string, cycle uint64) {
+	for _, fn := range r.observers {
+		fn(ReactorEvent{Kind: kind, Master: master, Cycle: cycle})
+	}
 }
 
 // NewReactor subscribes a reactor to the alert log. Call Guard to place
@@ -195,6 +241,7 @@ func (r *Reactor) Release(master string) error {
 		r.stamps[i].ReleasedAt = r.now()
 		delete(r.open, master)
 	}
+	r.notify(EventRelease, master, r.now())
 	return nil
 }
 
@@ -223,6 +270,7 @@ func (r *Reactor) ReleaseStaged(master string, allow func(Policy) bool) error {
 	if i, ok := r.open[master]; ok && r.stamps[i].StagedAt == 0 {
 		r.stamps[i].StagedAt = r.now()
 	}
+	r.notify(EventStagedRelease, master, r.now())
 	return nil
 }
 
@@ -252,6 +300,7 @@ func (r *Reactor) quarantine(master string, cm *ConfigMemory, firstAlert, cycle 
 	if r.OnQuarantine != nil {
 		r.OnQuarantine(master, cycle)
 	}
+	r.notify(EventQuarantine, master, cycle)
 }
 
 func (r *Reactor) onAlert(a Alert) {
@@ -277,6 +326,7 @@ func (r *Reactor) onAlert(a Alert) {
 		if r.OnQuarantine != nil {
 			r.OnQuarantine(a.Master, a.Cycle)
 		}
+		r.notify(EventRequarantine, a.Master, a.Cycle)
 		return
 	}
 	if r.Quarantined(a.Master) {

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestReactorEventSequence drives one full incident through the reactor
+// and checks the observer sees every transition, in order, with the
+// master and cycle attached — the contract internal/obs builds its
+// reactor track on.
+func TestReactorEventSequence(t *testing.T) {
+	log := core.NewAlertLog()
+	cm := core.MustConfig(
+		core.Policy{SPI: 1, Zone: core.Zone{Base: 0x1000, Size: 0x100}, RWA: core.ReadWrite, ADF: core.AnyWidth, CM: true, IM: true},
+		core.Policy{SPI: 2, Zone: core.Zone{Base: 0x2000, Size: 0x100}, RWA: core.ReadOnly, ADF: core.W32},
+	)
+	r := core.NewReactor(log, 2, 0)
+	cycle := new(uint64)
+	r.Clock = func() uint64 { return *cycle }
+	r.Guard("cpu0", cm)
+
+	var got []core.ReactorEvent
+	r.OnEvent(func(e core.ReactorEvent) { got = append(got, e) })
+	// A second observer must also be called: OnEvent is multicast, so the
+	// tracer can watch without stealing recovery's subscription.
+	calls := 0
+	r.OnEvent(func(core.ReactorEvent) { calls++ })
+
+	*cycle = 10
+	log.Record(core.Alert{Cycle: 10, Master: "cpu0", Violation: core.VZone})
+	log.Record(core.Alert{Cycle: 20, Master: "cpu0", Violation: core.VZone})
+	*cycle = 100
+	if err := r.ReleaseStaged("cpu0", func(p core.Policy) bool { return p.IM }); err != nil {
+		t.Fatal(err)
+	}
+	// One probation violation slams the door again.
+	log.Record(core.Alert{Cycle: 150, Master: "cpu0", Violation: core.VZone})
+	*cycle = 300
+	if err := r.Release("cpu0"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []core.ReactorEvent{
+		{Kind: core.EventQuarantine, Master: "cpu0", Cycle: 20},
+		{Kind: core.EventStagedRelease, Master: "cpu0", Cycle: 100},
+		{Kind: core.EventRequarantine, Master: "cpu0", Cycle: 150},
+		{Kind: core.EventRelease, Master: "cpu0", Cycle: 300},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event sequence:\n got %+v\nwant %+v", got, want)
+	}
+	if calls != len(want) {
+		t.Fatalf("second observer saw %d events, want %d", calls, len(want))
+	}
+}
+
+func TestReactorOnEventNilPanics(t *testing.T) {
+	r, _, _ := stagedRig(t, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnEvent(nil) did not panic")
+		}
+	}()
+	r.OnEvent(nil)
+}

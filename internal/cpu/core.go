@@ -101,10 +101,11 @@ type Core struct {
 	regs [32]uint32
 	pc   uint32
 
-	halted  bool
-	cause   HaltCause
-	waitBus bool
-	pause   uint64 // extra cycles to burn (local mem op)
+	halted    bool
+	cause     HaltCause
+	haltCycle uint64 // cycle the current halt happened (valid while halted)
+	waitBus   bool
+	pause     uint64 // extra cycles to burn (local mem op)
 
 	scratch uint32
 	thread  uint32
@@ -204,6 +205,7 @@ func (c *Core) Load(p *isa.Program) {
 	c.pc = p.Entry("_start")
 	c.halted = false
 	c.cause = HaltNone
+	c.haltCycle = 0
 }
 
 // Reset rewinds architectural state (registers, pc, counters) without
@@ -214,6 +216,7 @@ func (c *Core) Reset() {
 	c.pc = c.cfg.LocalBase
 	c.halted = false
 	c.cause = HaltNone
+	c.haltCycle = 0
 	c.waitBus = false
 	c.pause = 0
 	c.irqPending = false
@@ -226,7 +229,13 @@ func (c *Core) Reset() {
 func (c *Core) halt(cause HaltCause) {
 	c.halted = true
 	c.cause = cause
+	c.haltCycle = c.eng.Now()
 }
+
+// HaltCycle reports the cycle the core halted at, and whether it is
+// halted. The stamp is only meaningful while halted: Load and Reset revive
+// the core and invalidate it.
+func (c *Core) HaltCycle() (uint64, bool) { return c.haltCycle, c.halted }
 
 func (c *Core) isLocal(addr uint32, n uint32) bool {
 	return c.local.InRange(addr, n)

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceWriter streams one Chrome trace_event JSON document (the "JSON
+// object format": {"traceEvents": [...], ...}) to w. Each traced run is
+// added as one process via Process — pid is the run's 1-based grid index,
+// the process name its grid-point name — so a whole campaign loads into
+// Perfetto as parallel process timelines with one thread (track) per
+// core/firewall/lifecycle lane.
+//
+// Timestamps are sim cycles written into the format's microsecond field:
+// viewers display "µs" but the unit is cycles (otherData.clock says so).
+// Everything is rendered in deterministic order — events in emission
+// order, args with sorted keys — so trace bytes are identical across
+// worker counts whenever the underlying runs are.
+type TraceWriter struct {
+	w       io.Writer
+	err     error
+	wrote   bool // at least one event written (comma management)
+	emitted uint64
+	dropped uint64
+}
+
+// chromeEvent is one trace_event record. Field order fixes the rendered
+// byte order; Args uses a map because encoding/json sorts map keys, which
+// keeps arbitrary per-kind detail deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// NewTraceWriter starts the document. Call Process once per traced run,
+// then Close.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: w}
+	tw.writeString(`{"traceEvents":[`)
+	return tw
+}
+
+func (tw *TraceWriter) writeString(s string) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = io.WriteString(tw.w, s)
+}
+
+func (tw *TraceWriter) writeEvent(e chromeEvent) {
+	if tw.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if tw.wrote {
+		tw.writeString(",\n")
+	} else {
+		tw.writeString("\n")
+	}
+	tw.wrote = true
+	if tw.err == nil {
+		_, tw.err = tw.w.Write(data)
+	}
+}
+
+// Process appends one run's events as process pid. A nil tracer writes
+// nothing (an untraced run occupies no pid). Tracks become threads in
+// first-emission order; metadata events name the process and each thread.
+func (tw *TraceWriter) Process(pid int, name string, t *Tracer) error {
+	if t == nil {
+		return tw.err
+	}
+	tw.emitted += t.Emitted()
+	tw.dropped += t.Dropped()
+	tw.writeEvent(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name},
+	})
+	// Tids are assigned in first-emission order, which is deterministic
+	// because the event buffer is. The map is lookup-only (no iteration).
+	tids := make(map[string]int, 8)
+	events := t.Events()
+	for i := range events {
+		track := events[i].Track
+		if _, ok := tids[track]; ok {
+			continue
+		}
+		tid := len(tids)
+		tids[track] = tid
+		tw.writeEvent(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]string{"name": track},
+		})
+	}
+	for i := range events {
+		e := &events[i]
+		ce := chromeEvent{Name: e.Name, Ts: e.Cycle, Pid: pid, Tid: tids[e.Track]}
+		switch e.Kind {
+		case KindIncident:
+			ce.Ph, ce.Dur = "X", e.Dur
+		case KindWindow:
+			ce.Ph = "C"
+			ce.Args = map[string]string{"ratio_milli": fmt.Sprintf("%d", e.Value)}
+		default:
+			ce.Ph, ce.S = "i", "t"
+		}
+		if e.Arg != "" {
+			if ce.Args == nil {
+				ce.Args = map[string]string{"detail": e.Arg}
+			} else {
+				ce.Args["detail"] = e.Arg
+			}
+		}
+		tw.writeEvent(ce)
+	}
+	return tw.err
+}
+
+// Close ends the document, recording the clock domain and the
+// emitted/dropped totals across every process.
+func (tw *TraceWriter) Close() error {
+	tw.writeString(fmt.Sprintf(
+		"\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"sim-cycles\",\"emitted\":%d,\"dropped\":%d}}\n",
+		tw.emitted, tw.dropped))
+	return tw.err
+}
+
+// WriteTrace renders this tracer alone as a single-process trace document
+// — the mpsocsim single-run shape.
+func (t *Tracer) WriteTrace(w io.Writer, process string) error {
+	tw := NewTraceWriter(w)
+	if err := tw.Process(1, process, t); err != nil {
+		return err
+	}
+	return tw.Close()
+}

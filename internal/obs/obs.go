@@ -1,0 +1,167 @@
+// Package obs is the deterministic observability layer: an event tracer
+// for the incident lifecycle the rest of the stack already computes —
+// transfers denied, alerts raised, quarantine / staged release / probation
+// re-quarantine / release, recovery-window throughput samples — timestamped
+// in sim cycles (never wall clock, so every byte-identity gate keeps
+// holding), buffered in a fixed ring with an explicit drop counter, and
+// exported as Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing (chrome.go).
+//
+// The tracer is opt-in per run and free when absent: a nil *Tracer is a
+// valid no-op receiver, Attach on a nil tracer registers nothing, and the
+// engine hot path never sees a branch it did not already have. Enabled,
+// Emit appends into a preallocated buffer — no allocation until the buffer
+// is full, after which events are dropped (newest first) and counted, never
+// reordered.
+package obs
+
+// DefaultLimit is the event-buffer capacity the CLI and server default to
+// for enabled tracers. (New treats a non-positive limit as "tracing off"
+// and returns the nil tracer.)
+const DefaultLimit = 16384
+
+// Kind classifies a trace event. The kinds mirror the incident lifecycle:
+// detection (deny/alert), reaction (quarantine/requarantine/staged-release/
+// release), measurement (window/halt) and the harvested incident span.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindDeny is one discarded transfer, on the raising firewall's track.
+	KindDeny Kind = iota
+	// KindAlert is the same detection on the global "alerts" track,
+	// labeled by violation class.
+	KindAlert
+	// KindQuarantine is a threshold trip: deny-all written at the master's
+	// interface.
+	KindQuarantine
+	// KindRequarantine is a probation violation slamming the door again.
+	KindRequarantine
+	// KindStagedRelease is a partial restore beginning probation.
+	KindStagedRelease
+	// KindRelease is the full policy restore closing the incident.
+	KindRelease
+	// KindInject marks the attack injection cycle.
+	KindInject
+	// KindHalt marks a core halting, on that core's track.
+	KindHalt
+	// KindWindow is one recovery-throughput sample; Value carries the
+	// attacked/twin rate ratio in thousandths (1000 = unharmed).
+	KindWindow
+	// KindIncident is a harvested quarantine span (QuarantineStamp); Dur
+	// carries its length in cycles.
+	KindIncident
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDeny:
+		return "deny"
+	case KindAlert:
+		return "alert"
+	case KindQuarantine:
+		return "quarantine"
+	case KindRequarantine:
+		return "requarantine"
+	case KindStagedRelease:
+		return "staged-release"
+	case KindRelease:
+		return "release"
+	case KindInject:
+		return "inject"
+	case KindHalt:
+		return "halt"
+	case KindWindow:
+		return "window"
+	case KindIncident:
+		return "incident"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. Cycle is the sim-cycle timestamp; Track names
+// the timeline the event belongs to (a firewall ID, a core name, "reactor",
+// "alerts", "attack", "bg-throughput", "incident:<master>"); Name is the
+// display label; Arg carries free-form detail. Dur is the span length for
+// KindIncident; Value is the counter sample for KindWindow.
+type Event struct {
+	Kind  Kind
+	Cycle uint64
+	Dur   uint64
+	Value uint64
+	Track string
+	Name  string
+	Arg   string
+}
+
+// Tracer is a bounded, allocation-free event buffer. The zero *Tracer
+// (nil) is the disabled tracer: every method is a no-op and Emit costs one
+// predictable branch. Construct enabled tracers with New.
+type Tracer struct {
+	events  []Event
+	emitted uint64
+	dropped uint64
+}
+
+// New returns a tracer retaining at most limit events, or nil (the
+// disabled tracer) when limit is not positive. The buffer is allocated
+// once, up front — Emit never grows it.
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		return nil
+	}
+	return &Tracer{events: make([]Event, 0, limit)}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records an event. On a nil or full tracer the event is discarded;
+// a full tracer counts the loss in Dropped. Retained events keep exact
+// emission order — overflow drops the newest, it never reorders.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.emitted++
+	if len(t.events) == cap(t.events) {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the retained events in emission order. The slice aliases
+// the tracer's buffer; callers must not append to it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len is the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Emitted counts every Emit on an enabled tracer, retained or dropped.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Dropped counts events lost to the buffer bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}

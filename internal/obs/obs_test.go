@@ -1,0 +1,267 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/recovery"
+	"repro/internal/soc"
+	"repro/internal/sweep"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *obs.Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(obs.Event{Kind: obs.KindAlert, Cycle: 1})
+	if tr.Len() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer retained state: len=%d emitted=%d dropped=%d",
+			tr.Len(), tr.Emitted(), tr.Dropped())
+	}
+	if got := obs.New(0); got != nil {
+		t.Fatal("New(0) != nil")
+	}
+	if got := obs.New(-5); got != nil {
+		t.Fatal("New(-5) != nil")
+	}
+}
+
+// TestOverflowKeepsOrderAndCounts pins the ring contract: a full buffer
+// drops the newest events and counts them; it never reorders or evicts
+// what it already retained.
+func TestOverflowKeepsOrderAndCounts(t *testing.T) {
+	tr := obs.New(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(obs.Event{Kind: obs.KindDeny, Cycle: uint64(i), Name: fmt.Sprintf("e%d", i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Emitted() != 7 || tr.Dropped() != 3 {
+		t.Fatalf("emitted=%d dropped=%d, want 7/3", tr.Emitted(), tr.Dropped())
+	}
+	for i, e := range tr.Events() {
+		if e.Cycle != uint64(i) || e.Name != fmt.Sprintf("e%d", i) {
+			t.Fatalf("event %d = %+v: overflow reordered retained events", i, e)
+		}
+	}
+}
+
+// TestEmitAllocs pins the hot path at zero allocations — both the
+// disabled (nil) tracer the engine sees by default and an enabled tracer
+// appending within its preallocated capacity.
+func TestEmitAllocs(t *testing.T) {
+	e := obs.Event{Kind: obs.KindDeny, Cycle: 42, Track: "lf-cpu0", Name: "deny"}
+
+	var nilTr *obs.Tracer
+	if n := testing.AllocsPerRun(1000, func() { nilTr.Emit(e) }); n != 0 {
+		t.Fatalf("nil tracer Emit allocates %.1f/op, want 0", n)
+	}
+
+	tr := obs.New(4096)
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(e) }); n != 0 {
+		t.Fatalf("enabled tracer Emit allocates %.1f/op, want 0", n)
+	}
+	// Past capacity the drop path must also be allocation-free.
+	full := obs.New(1)
+	full.Emit(e)
+	if n := testing.AllocsPerRun(1000, func() { full.Emit(e) }); n != 0 {
+		t.Fatalf("full tracer Emit allocates %.1f/op, want 0", n)
+	}
+}
+
+// chromeDoc mirrors the trace_event JSON object format for round-trip
+// checks.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   uint64            `json:"ts"`
+		Dur  uint64            `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		S    string            `json:"s"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Clock   string `json:"clock"`
+		Emitted uint64 `json:"emitted"`
+		Dropped uint64 `json:"dropped"`
+	} `json:"otherData"`
+}
+
+// TestChromeRoundTrip renders a tracer covering every phase mapping and
+// parses the document back through encoding/json.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := obs.New(16)
+	tr.Emit(obs.Event{Kind: obs.KindDeny, Cycle: 10, Track: "lf-cpu1", Name: "deny", Arg: "cpu1 write @0x7000_0000/4B"})
+	tr.Emit(obs.Event{Kind: obs.KindQuarantine, Cycle: 20, Track: obs.TrackReactor, Name: "quarantine", Arg: "cpu1"})
+	tr.Emit(obs.Event{Kind: obs.KindWindow, Cycle: 30, Value: 750, Track: obs.TrackThroughput, Name: "window"})
+	tr.Emit(obs.Event{Kind: obs.KindIncident, Cycle: 20, Dur: 1500, Track: "incident:cpu1", Name: "incident", Arg: "cpu1"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf, "burst-flood/distributed"); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+
+	// 1 process_name + 4 thread_name metadata events + 4 events.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("traceEvents = %d, want 9", len(doc.TraceEvents))
+	}
+	if m := doc.TraceEvents[0]; m.Ph != "M" || m.Name != "process_name" || m.Args["name"] != "burst-flood/distributed" {
+		t.Fatalf("first event is not the process metadata: %+v", m)
+	}
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		byName[e.Name] = i
+	}
+	if e := doc.TraceEvents[byName["deny"]]; e.Ph != "i" || e.S != "t" || e.Ts != 10 || e.Args["detail"] == "" {
+		t.Fatalf("deny instant mis-rendered: %+v", e)
+	}
+	if e := doc.TraceEvents[byName["window"]]; e.Ph != "C" || e.Args["ratio_milli"] != "750" {
+		t.Fatalf("window counter mis-rendered: %+v", e)
+	}
+	if e := doc.TraceEvents[byName["incident"]]; e.Ph != "X" || e.Dur != 1500 || e.Ts != 20 {
+		t.Fatalf("incident span mis-rendered: %+v", e)
+	}
+	if doc.OtherData.Clock != "sim-cycles" || doc.OtherData.Emitted != 4 || doc.OtherData.Dropped != 0 {
+		t.Fatalf("otherData = %+v", doc.OtherData)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}
+
+// TestRenderDeterministic renders the same tracer twice and expects
+// identical bytes — the property make trace-determinism checks end to end.
+func TestRenderDeterministic(t *testing.T) {
+	tr := obs.New(64)
+	for i := 0; i < 20; i++ {
+		tr.Emit(obs.Event{Kind: obs.Kind(i % 10), Cycle: uint64(i * 7),
+			Track: fmt.Sprintf("track-%d", i%3), Name: "e", Arg: "detail"})
+	}
+	var a, b bytes.Buffer
+	if err := tr.WriteTrace(&a, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteTrace(&b, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same tracer differ")
+	}
+}
+
+// TestTraceWriterSkipsNilTracer: untraced runs occupy no pid and write no
+// bytes between the document frame.
+func TestTraceWriterSkipsNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	if err := tw.Process(1, "untraced", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer produced %d events", len(doc.TraceEvents))
+	}
+}
+
+// campaignCfg is a small traced run that exercises the whole incident
+// lifecycle: burst-flood against the distributed platform with the
+// reaction-and-recovery phase armed.
+func campaignCfg() campaign.Config {
+	return campaign.Config{
+		Scenario:    "burst-flood",
+		Protection:  soc.Distributed,
+		NumCores:    3,
+		Background:  "stream",
+		Accesses:    64,
+		InjectDelay: 100,
+		MaxCycles:   500_000,
+		Recovery: recovery.Params{
+			QuarantineThreshold: recovery.DefaultThreshold,
+			ClearDelay:          1500,
+			Staged:              true,
+		},
+	}
+}
+
+// TestCampaignTraceCoversLifecycle runs one traced campaign point and
+// checks the events the paper's incident lifecycle promises are all there.
+func TestCampaignTraceCoversLifecycle(t *testing.T) {
+	tr := obs.New(obs.DefaultLimit)
+	rec := campaign.RunOneTrace(campaignCfg(), tr)
+	if rec.Err != "" {
+		t.Fatalf("run failed: %s", rec.Err)
+	}
+	if !rec.Detected {
+		t.Fatal("burst-flood undetected on distributed platform")
+	}
+	counts := map[obs.Kind]int{}
+	for _, e := range tr.Events() {
+		counts[e.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindInject, obs.KindDeny, obs.KindAlert,
+		obs.KindQuarantine, obs.KindWindow, obs.KindIncident} {
+		if counts[k] == 0 {
+			t.Errorf("no %s events in campaign trace (counts: %v)", k, counts)
+		}
+	}
+	// The trace must not perturb the simulation: the traced record equals
+	// the untraced one.
+	plain := campaign.RunOne(campaignCfg())
+	if !reflect.DeepEqual(plain, rec) {
+		t.Fatalf("tracing changed the record:\n traced: %+v\nuntraced: %+v", rec, plain)
+	}
+}
+
+// TestEachTraceDeterministicAcrossWorkers renders a 2-point traced grid at
+// 1 and 4 workers and expects byte-identical trace documents — the
+// in-test version of the make trace-determinism gate.
+func TestEachTraceDeterministicAcrossWorkers(t *testing.T) {
+	grid := []campaign.Config{campaignCfg(), func() campaign.Config {
+		c := campaignCfg()
+		c.Scenario = "zone-escape"
+		return c
+	}()}
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		tw := obs.NewTraceWriter(&buf)
+		err := campaign.EachTrace(t.Context(), grid, sweep.Shard{}, workers, obs.DefaultLimit,
+			func(r campaign.Record, tr *obs.Tracer) error {
+				return tw.Process(r.Index+1, r.Name, tr)
+			})
+		if err == nil {
+			err = tw.Close()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := render(1)
+	four := render(4)
+	if !bytes.Equal(one, four) {
+		t.Fatal("trace bytes differ between -workers 1 and -workers 4")
+	}
+	if !bytes.Contains(one, []byte(`"quarantine"`)) {
+		t.Fatal("determinism check is vacuous: no quarantine event in trace")
+	}
+}

@@ -6,8 +6,8 @@ import "repro/internal/soc"
 // instructions the background cores retired on the attacked platform and
 // on its attack-free twin during (prevEnd, End], and the attacked rate
 // normalized to the twin's steady-state rate. The timeline of samples is
-// what tools/plot/recovery.gp draws around the inject/quarantine/release
-// markers.
+// what the mpsocd dashboard and the -trace counter track draw around the
+// inject/quarantine/release markers.
 type Sample struct {
 	// End is the window's closing cycle (absolute).
 	End uint64 `json:"end"`

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus renders the registry in the Prometheus text exposition format
+// (version 0.0.4) — hand-rolled, dependency-free, and driven off the same
+// Metrics snapshot the JSON payload marshals, which is the whole
+// anti-drift design: there is no second registry to forget to update.
+// Every numeric leaf of Metrics appears as exactly one sample here (the
+// five job-state gauges share one metric name with a state label); the
+// drift test in prom_test.go enforces the bijection by reflection.
+func (m Metrics) Prometheus(w io.Writer) {
+	gauge := func(name, help string, value string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, value)
+	}
+	counter := func(name, help string, value uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+
+	fmt.Fprintf(w, "# HELP mpsocd_jobs Jobs in the table by lifecycle state.\n# TYPE mpsocd_jobs gauge\n")
+	fmt.Fprintf(w, "mpsocd_jobs{state=\"pending\"} %d\n", m.Jobs.Pending)
+	fmt.Fprintf(w, "mpsocd_jobs{state=\"running\"} %d\n", m.Jobs.Running)
+	fmt.Fprintf(w, "mpsocd_jobs{state=\"done\"} %d\n", m.Jobs.Done)
+	fmt.Fprintf(w, "mpsocd_jobs{state=\"failed\"} %d\n", m.Jobs.Failed)
+	fmt.Fprintf(w, "mpsocd_jobs{state=\"canceled\"} %d\n", m.Jobs.Canceled)
+
+	gauge("mpsocd_shards_in_flight", "Grid points executing right now (held worker-pool slots).",
+		strconv.FormatInt(m.ShardsInFlight, 10))
+	counter("mpsocd_records_computed_total", "Finished simulation runs.", m.RecordsComputed)
+	counter("mpsocd_records_streamed_total", "Records written to connected clients.", m.RecordsStreamed)
+	gauge("mpsocd_worker_capacity", "Global worker-pool size.", strconv.Itoa(m.Workers.Capacity))
+	gauge("mpsocd_workers_busy", "Worker-pool slots held.", strconv.FormatInt(m.Workers.Busy, 10))
+	gauge("mpsocd_worker_utilization", "Busy workers over capacity.",
+		strconv.FormatFloat(m.Workers.Utilization, 'g', -1, 64))
+	gauge("mpsocd_sse_subscribers", "Connected /events subscribers.",
+		strconv.FormatInt(m.SSE.Subscribers, 10))
+	counter("mpsocd_sse_dropped_total", "Events dropped by the bounded SSE fan-out.", m.SSE.Dropped)
+	counter("mpsocd_trace_events_emitted_total", "Trace events emitted across traced jobs.", m.Trace.EventsEmitted)
+	counter("mpsocd_trace_events_dropped_total", "Trace events lost to per-run buffer bounds.", m.Trace.EventsDropped)
+}

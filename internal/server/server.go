@@ -24,11 +24,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/sweep"
 )
@@ -55,6 +57,39 @@ type Config struct {
 	// MaxJobs bounds retained jobs; submissions beyond it are rejected
 	// with 429 until the server restarts. Defaults to 1024.
 	MaxJobs int
+	// SnapshotEvery is the /events cadence: a partial aggregate snapshot
+	// is published to subscribers every N records. Record counts, not
+	// timers — the service stays wall-clock free. Defaults to 256.
+	SnapshotEvery int
+}
+
+// maxTraceLimit caps the per-run event buffer a client may request with
+// ?trace=N, bounding per-job trace memory.
+const maxTraceLimit = 1 << 20
+
+// sseBuf is the per-subscriber channel depth. A subscriber that falls
+// further behind than this loses messages (counted in the sse_dropped
+// metric) rather than stalling the job: sends never block.
+const sseBuf = 16
+
+// sseMsg is one server-sent event.
+type sseMsg struct {
+	event string
+	data  []byte
+}
+
+// subscriber is one /events client. Kept in a slice, not a map, so
+// publish order is deterministic and the lint stays clean.
+type subscriber struct {
+	id int
+	ch chan sseMsg
+}
+
+// runTrace is one traced run retained for /trace, in emit (= grid) order.
+type runTrace struct {
+	pid  int
+	name string
+	tr   *obs.Tracer
 }
 
 // Job is one submitted spec and its execution state.
@@ -68,12 +103,18 @@ type Job struct {
 	campaignGrid []campaign.Config
 	sweepGrid    []sweep.Config
 
+	// traceLimit > 0 makes every run carry a bounded tracer (?trace=N).
+	traceLimit int
+
 	mu      sync.Mutex
 	state   string
 	errMsg  string
 	records uint64
 	camp    agg.Campaign
 	swp     agg.Sweep
+	traces  []runTrace
+	subs    []*subscriber
+	nextSub int
 }
 
 // gridSize is the job's total grid point count (whole grid, pre-shard).
@@ -96,6 +137,11 @@ type Server struct {
 	recordsComputed atomic.Uint64
 	recordsStreamed atomic.Uint64
 
+	sseSubs      atomic.Int64
+	sseDropped   atomic.Uint64
+	traceEmitted atomic.Uint64
+	traceDropped atomic.Uint64
+
 	// baseCtx parents detached (aggregate-mode) jobs so Close cancels
 	// them; detached tracks them so Close can wait.
 	baseCtx  context.Context
@@ -115,6 +161,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -136,13 +185,16 @@ func (s *Server) Close() {
 // Handler returns the service's routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/aggregates", s.handleAggregates)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	return mux
 }
 
@@ -182,12 +234,13 @@ type Status struct {
 
 	StreamURL     string `json:"stream_url"`
 	AggregatesURL string `json:"aggregates_url"`
+	EventsURL     string `json:"events_url"`
+	TraceURL      string `json:"trace_url,omitempty"`
 }
 
-func (j *Job) status() Status {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return Status{
+// statusLocked builds the Status; j.mu must be held.
+func (j *Job) statusLocked() Status {
+	st := Status{
 		ID:            j.id,
 		Kind:          j.spec.Kind,
 		State:         j.state,
@@ -198,7 +251,18 @@ func (j *Job) status() Status {
 		Error:         j.errMsg,
 		StreamURL:     "/api/v1/jobs/" + j.id + "/stream",
 		AggregatesURL: "/api/v1/jobs/" + j.id + "/aggregates",
+		EventsURL:     "/api/v1/jobs/" + j.id + "/events",
 	}
+	if j.traceLimit > 0 {
+		st.TraceURL = "/api/v1/jobs/" + j.id + "/trace"
+	}
+	return st
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
 }
 
 // handleSubmit creates a job from a spec body. Query parameters:
@@ -249,8 +313,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("mode=%q: want stream or aggregate", mode))
 		return
 	}
+	traceLimit := 0
+	if v := q.Get("trace"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("trace=%q: want a positive event limit", v))
+			return
+		}
+		if sp.Kind != spec.KindCampaign {
+			httpError(w, http.StatusBadRequest, "trace=N applies to campaign jobs only (sweeps have no incident timeline)")
+			return
+		}
+		traceLimit = min(n, maxTraceLimit)
+	}
 
-	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending}
+	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending, traceLimit: traceLimit}
 	// Grids build here so the spec's semantic reach (unknown scenario
 	// names and the like) is also a 400, not a stream-time failure.
 	switch sp.Kind {
@@ -290,6 +367,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) startDetached(j *Job) {
 	j.mu.Lock()
 	j.state = StateRunning
+	s.publishLocked(j, "state", mustJSON(j.statusLocked()))
 	j.mu.Unlock()
 	s.detached.Add(1)
 	go func() {
@@ -348,6 +426,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.state = StateRunning
+	s.publishLocked(j, "state", mustJSON(j.statusLocked()))
 	j.mu.Unlock()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -379,6 +458,12 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		j.mu.Lock()
 		add()
 		j.records++
+		// Partial aggregate snapshots fan out to /events subscribers every
+		// SnapshotEvery records — a record count, not a timer, so cadence
+		// is deterministic and the service stays wall-clock free.
+		if len(j.subs) > 0 && j.records%uint64(s.cfg.SnapshotEvery) == 0 {
+			s.publishLocked(j, "snapshot", mustJSON(j.aggregatesLocked()))
+		}
 		j.mu.Unlock()
 		if streamed {
 			s.recordsStreamed.Add(1)
@@ -386,22 +471,39 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		return nil
 	}
 	if j.campaignGrid != nil {
+		// Campaign runs always flow through the traced runner; an untraced
+		// job passes nil tracers, which cost nothing (campaign.RunOneTrace
+		// attaches no subscriptions for them).
+		type tracedRec struct {
+			rec campaign.Record
+			tr  *obs.Tracer
+		}
 		write := sweep.EmitJSONL[campaign.Record](w)
 		return sweep.StreamContext(ctx, len(j.campaignGrid), j.shard,
 			campaign.Weights(j.campaignGrid), j.workers,
-			func(i int) campaign.Record {
+			func(i int) tracedRec {
 				acquire()
 				defer release()
-				rec := campaign.RunOne(j.campaignGrid[i])
+				tr := obs.New(j.traceLimit)
+				rec := campaign.RunOneTrace(j.campaignGrid[i], tr)
 				rec.Index = i
 				s.recordsComputed.Add(1)
-				return rec
+				return tracedRec{rec: rec, tr: tr}
 			},
-			func(rec campaign.Record) error {
-				if err := write(rec); err != nil {
+			func(t tracedRec) error {
+				if err := write(t.rec); err != nil {
 					return err
 				}
-				return account(func() { j.camp.Add(rec) })
+				if t.tr != nil {
+					s.traceEmitted.Add(t.tr.Emitted())
+					s.traceDropped.Add(t.tr.Dropped())
+				}
+				return account(func() {
+					j.camp.Add(t.rec)
+					if t.tr != nil {
+						j.traces = append(j.traces, runTrace{pid: t.rec.Index + 1, name: t.rec.Name, tr: t.tr})
+					}
+				})
 			})
 	}
 	write := sweep.EmitJSONL[sweep.RunResult](w)
@@ -440,6 +542,38 @@ func (s *Server) finish(j *Job, ctx context.Context, err error) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	// Terminal fan-out: the final aggregate snapshot, the terminal state,
+	// then close every subscriber channel so /events handlers end their
+	// streams. Later subscribers get an immediate replay instead.
+	if len(j.subs) > 0 {
+		s.publishLocked(j, "snapshot", mustJSON(j.aggregatesLocked()))
+		s.publishLocked(j, "state", mustJSON(j.statusLocked()))
+		for _, sub := range j.subs {
+			close(sub.ch)
+		}
+		j.subs = nil
+	}
+}
+
+// publishLocked sends one event to every subscriber without ever blocking:
+// a full channel drops the message and counts it. j.mu must be held.
+func (s *Server) publishLocked(j *Job, event string, data []byte) {
+	for _, sub := range j.subs {
+		select {
+		case sub.ch <- sseMsg{event: event, data: data}:
+		default:
+			s.sseDropped.Add(1)
+		}
+	}
+}
+
+// mustJSON marshals values whose types cannot fail to marshal.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"marshal failure"}`)
+	}
+	return data
 }
 
 // Aggregates is the /aggregates payload: job identity plus the online
@@ -454,27 +588,138 @@ type Aggregates struct {
 	Aggregates any `json:"aggregates"`
 }
 
-func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
-		return
-	}
-	j.mu.Lock()
+// aggregatesLocked builds the payload; j.mu must be held.
+func (j *Job) aggregatesLocked() Aggregates {
 	out := Aggregates{ID: j.id, State: j.state, Records: j.records}
 	if j.campaignGrid != nil {
 		out.Aggregates = j.camp.Snapshot()
 	} else {
 		out.Aggregates = j.swp.Snapshot()
 	}
+	return out
+}
+
+func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	out := j.aggregatesLocked()
 	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// terminal reports whether a state is a job's final one.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// handleEvents is the live job feed: a server-sent event stream carrying
+// "state" events on every lifecycle transition and "snapshot" events (the
+// /aggregates payload) every Config.SnapshotEvery records. Subscribing
+// replays the current state and snapshot immediately; a terminal job's
+// stream ends right after the replay. Sends to a slow subscriber drop
+// rather than block, so a stalled dashboard can never stall a job.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	j.mu.Lock()
+	st := j.statusLocked()
+	snap := j.aggregatesLocked()
+	var ch chan sseMsg
+	var id int
+	if !terminal(st.State) {
+		ch = make(chan sseMsg, sseBuf)
+		j.nextSub++
+		id = j.nextSub
+		j.subs = append(j.subs, &subscriber{id: id, ch: ch})
+	}
+	j.mu.Unlock()
+
+	writeSSE := func(event string, data []byte) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !writeSSE("state", mustJSON(st)) || !writeSSE("snapshot", mustJSON(snap)) {
+		// fall through to unsubscribe below (ch may be registered)
+	}
+	if ch == nil {
+		return
+	}
+	s.sseSubs.Add(1)
+	defer s.sseSubs.Add(-1)
+	defer func() {
+		j.mu.Lock()
+		for i, sub := range j.subs {
+			if sub.id == id {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m, ok := <-ch:
+			if !ok {
+				return // job finished; terminal state already delivered
+			}
+			if !writeSSE(m.event, m.data) {
+				return
+			}
+		}
+	}
+}
+
+// handleTrace renders a traced job's runs as one Chrome trace_event JSON
+// document — pid per run, in grid order. 404 unless the job was submitted
+// with ?trace=N. Serving mid-run is fine: the document covers the runs
+// emitted so far.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	limit := j.traceLimit
+	traces := append([]runTrace(nil), j.traces...)
+	j.mu.Unlock()
+	if limit == 0 {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("job %s was not traced (submit with ?trace=N)", j.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	tw := obs.NewTraceWriter(w)
+	for _, rt := range traces {
+		if err := tw.Process(rt.pid, rt.name, rt.tr); err != nil {
+			return // client went away mid-stream; nothing to salvage
+		}
+	}
+	tw.Close()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// Metrics is the /metrics payload.
+// Metrics is the one metrics registry: a single snapshot struct that both
+// the JSON payload and the Prometheus text exposition (prom.go) render
+// from, so the two views can never drift — the drift test counts this
+// struct's numeric leaves against the Prometheus sample count.
 type Metrics struct {
 	Jobs struct {
 		Pending  int `json:"pending"`
@@ -498,9 +743,22 @@ type Metrics struct {
 		Busy        int64   `json:"busy"`
 		Utilization float64 `json:"utilization"`
 	} `json:"workers"`
+	// SSE covers the /events feeds: currently-connected subscribers and
+	// messages dropped by the bounded non-blocking fan-out.
+	SSE struct {
+		Subscribers int64  `json:"subscribers"`
+		Dropped     uint64 `json:"dropped"`
+	} `json:"sse"`
+	// Trace covers per-run incident tracers across traced jobs: events
+	// emitted and events lost to per-run buffer bounds.
+	Trace struct {
+		EventsEmitted uint64 `json:"events_emitted"`
+		EventsDropped uint64 `json:"events_dropped"`
+	} `json:"trace"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsSnapshot gathers the registry from the live counters.
+func (s *Server) metricsSnapshot() Metrics {
 	var m Metrics
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
@@ -531,5 +789,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Workers.Capacity = s.cfg.Workers
 	m.Workers.Busy = m.ShardsInFlight
 	m.Workers.Utilization = float64(m.ShardsInFlight) / float64(s.cfg.Workers)
+	m.SSE.Subscribers = s.sseSubs.Load()
+	m.SSE.Dropped = s.sseDropped.Load()
+	m.Trace.EventsEmitted = s.traceEmitted.Load()
+	m.Trace.EventsDropped = s.traceDropped.Load()
+	return m
+}
+
+// handleMetrics serves the registry. JSON by default (the original
+// payload); the Prometheus text exposition with ?format=prometheus or an
+// Accept header asking for text/plain or openmetrics (what scrapers send).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metricsSnapshot()
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	if format == "prometheus" ||
+		(format == "" && (strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics"))) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		m.Prometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, m)
 }
