@@ -5,6 +5,7 @@
 #   make staticcheck  # determinism lint: map-range / wallclock / goroutine hazards in internal/...
 #   make determinism  # sweep + attack campaign twice (different worker counts) + shard/merge, fail on any byte diff
 #   make trace-determinism # traced campaign: Chrome trace JSON byte-identical across worker counts
+#   make chaos        # crash the daemon mid-job + kill a fleet backend; recovered streams must byte-match
 #   make attack       # the paper's detection matrix (one-command repro)
 #   make bench-smoke  # short throughput benchmarks so regressions surface in CI logs
 #   make bench-json   # benchmark suite -> build/BENCH_<pr>.json (perf trajectory; CI artifact)
@@ -44,9 +45,9 @@ RECOVERY_GRID := -attack-scenarios burst-flood,zone-escape,dos-flood \
                  -accesses 256 -inject-delay 100 -max 2000000 \
                  -recovery -recovery-staged -recovery-clear-delay 1500
 
-.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism serve-determinism trace-determinism attack bench-smoke bench bench-json bench-diff bench-baseline clean
+.PHONY: ci verify fmt vet build test race modelcheck staticcheck determinism serve-determinism trace-determinism chaos attack bench-smoke bench bench-json bench-diff bench-baseline clean
 
-ci: verify modelcheck staticcheck determinism serve-determinism trace-determinism attack bench-smoke bench-diff
+ci: verify modelcheck staticcheck determinism serve-determinism trace-determinism chaos attack bench-smoke bench-diff
 
 verify: fmt vet build test race staticcheck
 
@@ -66,9 +67,9 @@ test:
 
 # The engine, bus, sweep harness and attack campaign are the packages that
 # run concurrently (one engine per goroutine in sweeps); keep them
-# race-clean.
+# race-clean. journal and faultpoint sit on every concurrent shard path.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server ./internal/obs
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server ./internal/obs ./internal/journal ./internal/faultpoint
 
 # modelcheck: the proof gate. Exhaustively enumerate the bounded
 # policy+reactor state space (internal/modelcheck) and fail on any
@@ -163,6 +164,16 @@ trace-determinism:
 	cmp $(BUILD)/trace-w1.jsonl $(BUILD)/trace-w8.jsonl
 	grep -q '"quarantine"' $(BUILD)/trace-w1.json  # non-vacuous: the trace covers an incident
 	@echo "trace-determinism: OK (Chrome trace JSON byte-identical across -workers 1/4/8)"
+
+# chaos: the crash-safety gate (tools/chaos). Builds the real daemon, arms
+# a faultpoint that exits 137 right after a shard ack is durable, restarts
+# over the same journal, and the resumed job's stream must byte-match an
+# uninterrupted run; then a fleet coordinator must survive a backend
+# crashing mid-job with a byte-identical merged stream. Both scenarios
+# verify the crash actually fired (exit code + stderr marker), so the gate
+# cannot pass vacuously.
+chaos:
+	$(GO) run ./tools/chaos
 
 # attack: the paper's detection matrix on your terminal — every default
 # scenario against all three architectures, under internal and

@@ -15,6 +15,22 @@
 //	curl -N localhost:8080/api/v1/jobs/job-0001/events   # SSE: state + snapshots
 //	curl localhost:8080/api/v1/jobs/job-0001/trace > trace.json  # open in Perfetto
 //	curl -H 'Accept: text/plain' localhost:8080/metrics  # Prometheus exposition
+//
+// With -journal DIR the daemon is crash-safe: accepted specs, per-shard
+// completion acks and terminal states are fsync'd to an append-only log,
+// and a restarted daemon replays it, re-serving finished jobs and resuming
+// interrupted ones by recomputing only the unacked shards — the resumed
+// stream is byte-identical to an uninterrupted run (gated by make chaos).
+//
+//	mpsocd -addr :8080 -journal /var/lib/mpsocd/journal
+//
+// With -coordinator -backends a,b,c the daemon simulates nothing itself:
+// it fans each job out as cost-balanced ?shard=i/n streams across the
+// healthy backends (drain-aware /healthz probes), re-dispatches shards
+// lost to a dead backend, and k-way merges the results byte-identically
+// to a single-node run.
+//
+//	mpsocd -addr :9090 -coordinator -backends http://a:8080,http://b:8080
 package main
 
 import (
@@ -26,9 +42,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -38,17 +57,77 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "maximum retained jobs (0 = default 1024)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "/events snapshot cadence in records (0 = default 256)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight streams")
+	journalDir := flag.String("journal", "", "journal directory for crash-safe jobs (empty = in-memory only)")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator (requires -backends)")
+	backends := flag.String("backends", "", "comma-separated backend base URLs for -coordinator")
+	retryMax := flag.Int("retry-max", 0, "attempts per shard before poisoning (0 = default 3)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-attempt deadline (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxJobs, *snapshotEvery, *drain); err != nil {
+	cfg := server.Config{
+		Workers: *workers, MaxJobs: *maxJobs, SnapshotEvery: *snapshotEvery,
+		RetryMax: *retryMax, ShardTimeout: *shardTimeout,
+	}
+	if *coordinator {
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				cfg.Backends = append(cfg.Backends, strings.TrimSuffix(b, "/"))
+			}
+		}
+		if len(cfg.Backends) == 0 {
+			fmt.Fprintln(os.Stderr, "mpsocd: -coordinator requires -backends url[,url...]")
+			os.Exit(2)
+		}
+	}
+
+	if err := run(*addr, *journalDir, *drain, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxJobs, snapshotEvery int, drain time.Duration) error {
-	svc := server.New(server.Config{Workers: workers, MaxJobs: maxJobs, SnapshotEvery: snapshotEvery})
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+func run(addr, journalDir string, drain time.Duration, cfg server.Config) error {
+	// Deterministic fault injection, armed only via the environment: the
+	// chaos gate sets MPSOCD_FAULTPOINTS to crash the daemon at exact
+	// commit points. Disarmed, every faultpoint is a single atomic load.
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		return err
+	}
+
+	var jn *journal.Journal
+	if journalDir != "" {
+		var err error
+		// The wall clock feeds only the fsync latency metric, never output
+		// bytes — which is why it is injected here at the edge instead of
+		// read inside the deterministic core.
+		jn, err = journal.Open(journalDir, journal.Options{NowNanos: func() int64 { return time.Now().UnixNano() }})
+		if err != nil {
+			return err
+		}
+		defer jn.Close()
+		cfg.Journal = jn
+	}
+
+	svc := server.New(cfg)
+	if jn != nil {
+		resumed, err := svc.Restore()
+		if err != nil {
+			return fmt.Errorf("journal replay: %w", err)
+		}
+		log.Printf("mpsocd: journal %s replayed, %d interrupted job(s) resumed", journalDir, resumed)
+	}
+
+	// Hardened listener: header read and idle deadlines plus a header size
+	// cap, so a stalled or abusive client costs a connection, not the
+	// daemon. Streams are exempt by construction — only header reads and
+	// idle keep-alives are bounded, never response writes.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -65,15 +144,19 @@ func run(addr string, workers, maxJobs, snapshotEvery int, drain time.Duration) 
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, give in-flight streams the drain window, then
-	// cancel detached jobs and wait for them.
-	log.Printf("mpsocd: shutting down (drain %s)", drain)
+	// Drain: flip /healthz to 503 first so routers and coordinators stop
+	// sending work (and so journaled jobs cut off mid-stream stay
+	// resumable), then stop accepting, give in-flight streams the drain
+	// window, then cancel detached jobs and wait for them.
+	log.Printf("mpsocd: draining (window %s)", drain)
+	svc.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(sctx)
 	svc.Close()
 	if errors.Is(err, context.DeadlineExceeded) {
-		// Streams outlasting the window are cut; their jobs end canceled.
+		// Streams outlasting the window are cut; their jobs end canceled —
+		// or, when journaled, resume on the next boot.
 		srv.Close()
 	}
 	return err

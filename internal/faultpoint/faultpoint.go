@@ -1,0 +1,221 @@
+// Package faultpoint is the deterministic fault-injection harness: named
+// points threaded through the crash-safety-critical paths of the campaign
+// service (journal appends, shard completion, coordinator dispatch) that
+// tests and the `make chaos` gate arm to kill, stall or fail the process
+// at the worst possible instant — and then prove that resume and failover
+// still produce the uninterrupted bytes.
+//
+// Points are disarmed by default and cost one atomic load and nothing else
+// (no allocation, no lock, no map lookup — pinned by an AllocsPerRun
+// test), so production paths carry them for free. Arming is explicit, via
+// Arm or the MPSOCD_FAULTPOINTS environment variable consumed by
+// ArmFromEnv:
+//
+//	MPSOCD_FAULTPOINTS='journal.ack=crash@5'          # exit(137) on the 5th ack
+//	MPSOCD_FAULTPOINTS='server.shard=error@1'         # first shard attempt fails
+//	MPSOCD_FAULTPOINTS='coord.dispatch=stall:200ms'   # every dispatch stalls 200ms
+//
+// The spec is a comma-separated list of name=action[:arg][@n] terms.
+// Actions: "crash" (print a marker to stderr, then os.Exit(137) — the
+// exit path of a kill -9, no deferred cleanup, so exactly the fsync'd
+// bytes survive), "error" (the hit returns an injected error), and
+// "stall:<duration>" (the hit blocks for the duration or until its
+// context is canceled, whichever comes first — which is how per-shard
+// deadlines are exercised). "@n" fires the action on the nth hit of that
+// point only; without it the action fires on every hit.
+//
+// Everything here is deterministic: which hit fires is a function of the
+// armed spec and the hit count alone, never of time or randomness, so a
+// chaos run that crashes at journal.ack hit 5 crashes at the same record
+// every time.
+package faultpoint
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Action kinds.
+const (
+	actCrash = "crash"
+	actError = "error"
+	actStall = "stall"
+)
+
+// EnvVar is the environment variable ArmFromEnv consumes.
+const EnvVar = "MPSOCD_FAULTPOINTS"
+
+// point is one armed injection point.
+type point struct {
+	name   string
+	action string
+	msg    string        // error action: injected message
+	stall  time.Duration // stall action: block duration
+	onHit  uint64        // fire on this hit only; 0 = every hit
+	hits   atomic.Uint64 // times the point was evaluated
+	fired  atomic.Uint64 // times the action actually ran
+}
+
+// armed is the package state: an atomic flag for the disabled fast path
+// and a mutex-guarded table behind it. The table is replaced wholesale by
+// Arm/Disarm and only read under the mutex, so Hit never races Arm.
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	points  map[string]*point
+)
+
+// exit is swapped by tests that must observe a crash without dying.
+var exit = os.Exit
+
+// Arm replaces the armed point set from a spec string (see the package
+// comment for the syntax). An empty spec disarms everything.
+func Arm(spec string) error {
+	parsed := make(map[string]*point)
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, rhs, ok := strings.Cut(term, "=")
+		if !ok || name == "" || rhs == "" {
+			return fmt.Errorf("faultpoint: bad term %q (want name=action[:arg][@n])", term)
+		}
+		p := &point{name: name}
+		if at := strings.LastIndexByte(rhs, '@'); at >= 0 {
+			n, err := strconv.ParseUint(rhs[at+1:], 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("faultpoint: bad hit selector in %q (want @n, n >= 1)", term)
+			}
+			p.onHit = n
+			rhs = rhs[:at]
+		}
+		action, arg, _ := strings.Cut(rhs, ":")
+		switch action {
+		case actCrash:
+			if arg != "" {
+				return fmt.Errorf("faultpoint: crash takes no argument in %q", term)
+			}
+		case actError:
+			p.msg = arg
+			if p.msg == "" {
+				p.msg = "injected fault"
+			}
+		case actStall:
+			d, err := time.ParseDuration(arg)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("faultpoint: bad stall duration in %q (want stall:<duration>)", term)
+			}
+			p.stall = d
+		default:
+			return fmt.Errorf("faultpoint: unknown action %q in %q", action, term)
+		}
+		p.action = action
+		if _, dup := parsed[name]; dup {
+			return fmt.Errorf("faultpoint: duplicate point %q", name)
+		}
+		parsed[name] = p
+	}
+	mu.Lock()
+	points = parsed
+	mu.Unlock()
+	enabled.Store(len(parsed) > 0)
+	return nil
+}
+
+// ArmFromEnv arms from the MPSOCD_FAULTPOINTS environment variable. An
+// unset or empty variable leaves everything disarmed.
+func ArmFromEnv() error {
+	return Arm(os.Getenv(EnvVar))
+}
+
+// Disarm clears every point.
+func Disarm() {
+	enabled.Store(false)
+	mu.Lock()
+	points = nil
+	mu.Unlock()
+}
+
+// Hit evaluates the named point with no cancellation context. See HitCtx.
+func Hit(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return hitSlow(context.Background(), name)
+}
+
+// HitCtx evaluates the named point: a no-op returning nil unless the point
+// is armed and its hit selector matches. A crash action never returns; an
+// error action returns the injected error; a stall action blocks for the
+// armed duration or until ctx is canceled (returning ctx's error), which
+// is what lets a per-shard deadline preempt a stalled attempt.
+func HitCtx(ctx context.Context, name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return hitSlow(ctx, name)
+}
+
+func hitSlow(ctx context.Context, name string) error {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	hit := p.hits.Add(1)
+	if p.onHit != 0 && hit != p.onHit {
+		return nil
+	}
+	p.fired.Add(1)
+	switch p.action {
+	case actCrash:
+		// The marker line is the chaos gate's non-vacuity evidence: the
+		// process provably died here, not of natural causes. Exit code 137
+		// mirrors a SIGKILL death — no deferred cleanup runs, so exactly
+		// the fsync'd state survives.
+		fmt.Fprintf(os.Stderr, "faultpoint: crash at %s (hit %d)\n", name, hit)
+		exit(137)
+		return nil // unreachable outside tests that swap exit
+	case actError:
+		return fmt.Errorf("faultpoint: %s: %s", name, p.msg)
+	case actStall:
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(p.stall):
+			return nil
+		}
+	}
+	return nil
+}
+
+// Fired reports how many times the named point's action ran. Zero for
+// unarmed points — the non-vacuity check chaos tests hang asserts on.
+func Fired(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// Hits reports how many times the named point was evaluated while armed.
+func Hits(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}

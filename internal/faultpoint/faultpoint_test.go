@@ -1,0 +1,126 @@
+package faultpoint
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFreeAndAllocFree(t *testing.T) {
+	Disarm()
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disarmed hit returned %v", err)
+	}
+	// The disabled path is on every shard completion and journal append:
+	// it must never allocate.
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := Hit("server.shard"); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("disarmed Hit allocates %v per run", n)
+	}
+}
+
+func TestErrorEveryHit(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("p=error:boom"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := Hit("p")
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("hit %d: err = %v, want injected boom", i, err)
+		}
+	}
+	if Fired("p") != 3 || Hits("p") != 3 {
+		t.Fatalf("fired=%d hits=%d, want 3/3", Fired("p"), Hits("p"))
+	}
+	// Other points stay unarmed.
+	if err := Hit("q"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestHitSelectorFiresOnce(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("p=error@2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit("p"); err == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 3 fired again: %v", err)
+	}
+	if Fired("p") != 1 || Hits("p") != 3 {
+		t.Fatalf("fired=%d hits=%d, want 1/3", Fired("p"), Hits("p"))
+	}
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("p=stall:10s"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := HitCtx(ctx, "p")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("stalled hit returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall ignored the context deadline")
+	}
+	// A short stall with no deadline completes and returns nil.
+	if err := Arm("p=stall:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("completed stall returned %v", err)
+	}
+}
+
+func TestCrashCallsExit(t *testing.T) {
+	t.Cleanup(Disarm)
+	t.Cleanup(func() { exit = testExitSave })
+	var code = -1
+	exit = func(c int) { code = c; panic("exit") }
+	if err := Arm("p=crash"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		Hit("p")
+	}()
+	if code != 137 {
+		t.Fatalf("crash exit code = %d, want 137", code)
+	}
+}
+
+var testExitSave = exit
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Disarm)
+	for _, bad := range []string{
+		"noaction", "p=", "=crash", "p=crash:arg", "p=stall", "p=stall:xyz",
+		"p=error@0", "p=error@x", "p=unknown", "p=crash,p=crash",
+	} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted", bad)
+		}
+	}
+	// A failed Arm must not leave stale state half-armed; the last
+	// successful Arm wins.
+	if err := Arm(""); err != nil {
+		t.Fatal(err)
+	}
+	if enabled.Load() {
+		t.Fatal("empty spec left the package enabled")
+	}
+}

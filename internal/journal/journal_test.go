@@ -1,0 +1,199 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func openT(t *testing.T) *Journal {
+	t.Helper()
+	var fakeNow int64
+	j, err := Open(t.TempDir(), Options{NowNanos: func() int64 { fakeNow += 1000; return fakeNow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j.Close)
+	return j
+}
+
+func TestRoundTrip(t *testing.T) {
+	j := openT(t)
+	spec := []byte(`{"version":1,"campaign":{}}`)
+	opts := SubmitOpts{Workers: 4, Shard: "0/1", Mode: "stream"}
+	if err := j.Accept("job-0001", spec, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 0, []byte(`{"index":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 2, []byte(`{"index":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Term("job-0001", "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if j.Appends() != 4 {
+		t.Fatalf("appends = %d, want 4", j.Appends())
+	}
+	if j.FsyncNanos() == 0 {
+		t.Fatal("fsync latency not accumulated with NowNanos set")
+	}
+
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(logs))
+	}
+	lg := logs[0]
+	if lg.ID != "job-0001" || lg.State != "done" || lg.ErrMsg != "" || lg.Discarded != 0 {
+		t.Fatalf("bad log: %+v", lg)
+	}
+	if !bytes.Equal(lg.Spec, spec) || lg.Opts != opts {
+		t.Fatalf("spec/opts did not round-trip: %s %+v", lg.Spec, lg.Opts)
+	}
+	if len(lg.Acks) != 2 || lg.Acks[0].Index != 0 || lg.Acks[1].Index != 2 ||
+		string(lg.Acks[1].Record) != `{"index":2}` {
+		t.Fatalf("acks did not round-trip: %+v", lg.Acks)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	logs, err := Replay(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || logs != nil {
+		t.Fatalf("Replay(missing) = %v, %v", logs, err)
+	}
+}
+
+// corrupt appends raw bytes to a job's log, simulating a torn append.
+func corrupt(t *testing.T, j *Journal, jobID string, raw string) {
+	t.Helper()
+	f, err := os.OpenFile(j.path(jobID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedTailLineDiscarded(t *testing.T) {
+	j := openT(t)
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{Mode: "stream"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 0, []byte(`{"index":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A crash mid-append leaves a torn, newline-less tail.
+	corrupt(t, j, "job-0001", `{"op":"ack","job":"job-0`)
+
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || logs[0].State != "" {
+		t.Fatalf("bad replay: %+v", logs)
+	}
+	if len(logs[0].Acks) != 1 || logs[0].Discarded != 1 {
+		t.Fatalf("acks=%d discarded=%d, want 1/1", len(logs[0].Acks), logs[0].Discarded)
+	}
+}
+
+func TestGarbageTailDiscardsRest(t *testing.T) {
+	j := openT(t)
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{Mode: "stream"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Garbage followed by a decodable line: the log cannot vouch for
+	// anything after the tear, so both go.
+	corrupt(t, j, "job-0001", "\x00\x01garbage\n{\"op\":\"ack\",\"job\":\"job-0001\",\"index\":0,\"record\":{}}\n")
+
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || len(logs[0].Acks) != 0 || logs[0].Discarded != 2 {
+		t.Fatalf("bad replay: %+v", logs)
+	}
+}
+
+func TestDoubleAckIdempotent(t *testing.T) {
+	j := openT(t)
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 3, []byte(`{"index":3,"v":"first"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between the ack fsync and the caller's next step makes the
+	// restarted daemon re-ack the same shard: the first entry wins.
+	if err := j.AckShard("job-0001", 3, []byte(`{"index":3,"v":"second"}`)); err != nil {
+		t.Fatal(err)
+	}
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs[0].Acks) != 1 || string(logs[0].Acks[0].Record) != `{"index":3,"v":"first"}` {
+		t.Fatalf("double ack not idempotent: %+v", logs[0].Acks)
+	}
+}
+
+func TestAcksAfterTerminalIgnored(t *testing.T) {
+	j := openT(t)
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Term("job-0001", "failed", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 0, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := logs[0]
+	if lg.State != "failed" || lg.ErrMsg != "boom" || len(lg.Acks) != 0 {
+		t.Fatalf("terminal replay wrong: %+v", lg)
+	}
+}
+
+func TestFileWithoutAcceptYieldsNoJob(t *testing.T) {
+	j := openT(t)
+	if err := os.WriteFile(j.path("job-0009"), []byte("{\"op\":\"ack\",\"job\":\"job-0009\",\"index\":0,\"record\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logs, err := Replay(j.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 0 {
+		t.Fatalf("job without durable accept replayed: %+v", logs)
+	}
+}
+
+func TestFaultpointInjectsAppendError(t *testing.T) {
+	t.Cleanup(faultpoint.Disarm)
+	j := openT(t)
+	if err := faultpoint.Arm("journal.append=error:disk gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err == nil {
+		t.Fatal("injected append error not surfaced")
+	}
+	faultpoint.Disarm()
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/campaign"
+	"repro/internal/faultpoint"
+	"repro/internal/sweep"
+)
+
+// Fleet coordination. A Server with Config.Backends set simulates nothing
+// itself: it accepts the same spec API, splits each job's grid into one
+// cost-balanced sub-shard per healthy backend (sweep.Shard.Slice weighs
+// grid points by simulated work, so backends finish together), POSTs the
+// spec with ?shard=i/n&mode=stream to each, and k-way merges the shard
+// streams back through sweep.Merge — producing the exact byte stream a
+// single-node run of the same spec would have, which is what the chaos
+// gate checks.
+//
+// The design is goroutine-free (keeping the determinism lint clean): each
+// backend stream is dispatched sequentially — cheap, because handleStream
+// flushes response headers before running, so the dispatch returns as soon
+// as the backend accepts — and the concurrency lives server-side in the
+// backends. Merge then consumes the live bodies with its one-line-per-shard
+// buffer, which is also the fleet's backpressure: a slow coordinator
+// client stalls Merge, which stops reading backend streams, which stalls
+// backend emission through their own credit gates.
+//
+// Failover is byte-offset resume: every backend stream is wrapped in a
+// fleetStream that counts consumed bytes; when a backend dies mid-stream
+// (read error — a clean EOF means the shard completed), the shard is
+// re-dispatched to the next live backend and the replacement stream's
+// first `consumed` bytes are discarded. Skipping by byte count is sound
+// for exactly one reason: shard streams are byte-identical across
+// backends, the repo-wide determinism contract.
+
+// healthy reports whether a backend answers GET /healthz with 200 within
+// the probe window. Draining backends answer 503 and are skipped — that
+// is the drain-aware half of graceful fleet shutdown.
+func (s *Server) healthy(ctx context.Context, backend string) bool {
+	if s.cfg.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ShardTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.cfg.FleetClient.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// runFleet executes a job by fanning its grid across the healthy backends
+// and merging the shard streams. Called from run() when Backends is set.
+func (s *Server) runFleet(ctx context.Context, j *Job, w io.Writer, rc *http.ResponseController, streamed bool) error {
+	var live []string
+	for _, b := range s.cfg.Backends {
+		if s.healthy(ctx, b) {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("fleet: none of %d backends are healthy", len(s.cfg.Backends))
+	}
+
+	// One sub-shard per healthy backend, never more shards than grid
+	// points. A job submitted to the coordinator with its own ?shard=i/n
+	// is already one slice of a larger partition, so it is forwarded whole
+	// to a single backend (failover still applies).
+	var shards []sweep.Shard
+	if j.shard.Count > 1 {
+		shards = []sweep.Shard{j.shard}
+	} else {
+		n := min(len(live), j.gridSize())
+		for i := 0; i < n; i++ {
+			shards = append(shards, sweep.Shard{Index: i, Count: n})
+		}
+	}
+
+	streams := make([]io.Reader, len(shards))
+	closers := make([]io.Closer, 0, len(shards))
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for i, sh := range shards {
+		fs := &fleetStream{
+			s: s, ctx: ctx, body: j.body, shard: sh.String(), workers: j.workers,
+			backends: live, next: i % len(live),
+		}
+		// Dispatch now, sequentially: header-flushing backends make this
+		// return as soon as the shard is accepted, so dispatch latency is
+		// one round-trip per backend, not one grid slice.
+		if err := fs.dispatch(); err != nil {
+			return err
+		}
+		streams[i] = fs
+		closers = append(closers, fs)
+	}
+	return sweep.Merge(&fleetSink{s: s, j: j, rc: rc, streamed: streamed, w: w}, streams...)
+}
+
+// fleetStream is one sub-shard's merged input: a live backend response
+// body with transparent re-dispatch. Read never surfaces a mid-stream
+// backend death; it fails only when every backend has refused the shard.
+type fleetStream struct {
+	s        *Server
+	ctx      context.Context
+	body     []byte
+	shard    string
+	workers  int
+	backends []string
+	next     int // rotation cursor into backends
+	cur      io.ReadCloser
+	consumed int64
+}
+
+func (f *fleetStream) Read(p []byte) (int, error) {
+	for {
+		n, err := f.cur.Read(p)
+		f.consumed += int64(n)
+		if err == nil || err == io.EOF {
+			// A clean EOF is a completed shard: the backend's handler
+			// returned normally and closed the chunked body properly. A
+			// killed backend tears the connection instead, which is the
+			// error branch below.
+			return n, err
+		}
+		if f.ctx.Err() != nil {
+			return n, err // our own client went away; no failover
+		}
+		f.cur.Close()
+		f.s.coordFailovers.Add(1)
+		if derr := f.dispatch(); derr != nil {
+			return n, derr
+		}
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+func (f *fleetStream) Close() error {
+	if f.cur != nil {
+		return f.cur.Close()
+	}
+	return nil
+}
+
+// dispatch submits the shard to the next backend in rotation that will
+// take it, then fast-forwards the replacement stream past the bytes the
+// merge already consumed (byte-identity makes the skip exact). Each
+// refusal counts as a coordinator retry; when the rotation is exhausted
+// the job fails.
+func (f *fleetStream) dispatch() error {
+	var lastErr error
+	for try := 0; try < len(f.backends); try++ {
+		backend := f.backends[f.next%len(f.backends)]
+		f.next++
+		body, err := f.dispatchTo(backend)
+		if err != nil {
+			lastErr = fmt.Errorf("fleet: %s: %w", backend, err)
+			f.s.coordRetries.Add(1)
+			continue
+		}
+		if f.consumed > 0 {
+			if _, err := io.CopyN(io.Discard, body, f.consumed); err != nil {
+				body.Close()
+				lastErr = fmt.Errorf("fleet: %s: replaying %d consumed bytes: %w", backend, f.consumed, err)
+				f.s.coordRetries.Add(1)
+				continue
+			}
+		}
+		f.cur = body
+		f.s.coordDispatches.Add(1)
+		return nil
+	}
+	return fmt.Errorf("fleet: shard %s: every backend refused: %w", f.shard, lastErr)
+}
+
+// dispatchTo POSTs the spec as a shard job on one backend and opens its
+// stream. The armed "coord.dispatch" faultpoint injects dispatch failures
+// here — upstream of any backend I/O — to exercise the rotation.
+func (f *fleetStream) dispatchTo(backend string) (io.ReadCloser, error) {
+	if err := faultpoint.Hit("coord.dispatch"); err != nil {
+		return nil, err
+	}
+	q := url.Values{"shard": {f.shard}, "mode": {"stream"}, "workers": {fmt.Sprint(f.workers)}}
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodPost,
+		backend+"/api/v1/jobs?"+q.Encode(), bytes.NewReader(f.body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.s.cfg.FleetClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	sreq, err := http.NewRequestWithContext(f.ctx, http.MethodGet, backend+st.StreamURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	sresp, err := f.s.cfg.FleetClient.Do(sreq)
+	if err != nil {
+		return nil, err
+	}
+	if sresp.StatusCode != http.StatusOK {
+		sresp.Body.Close()
+		return nil, fmt.Errorf("stream: status %d", sresp.StatusCode)
+	}
+	return sresp.Body, nil
+}
+
+// fleetSink is the merge output: it forwards each merged record line to
+// the client and folds it into the job's aggregates, so /aggregates,
+// /events snapshots and record counts work identically to a local run.
+// sweep.Merge writes exactly one line per call.
+type fleetSink struct {
+	s        *Server
+	j        *Job
+	w        io.Writer
+	rc       *http.ResponseController
+	streamed bool
+}
+
+func (fs *fleetSink) Write(p []byte) (int, error) {
+	if _, err := fs.w.Write(p); err != nil {
+		return 0, err
+	}
+	if fs.rc != nil {
+		if err := fs.rc.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	line := append([]byte(nil), bytes.TrimSuffix(p, []byte("\n"))...)
+	j := fs.j
+	if j.journaled {
+		var hdr struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal(line, &hdr); err != nil {
+			return 0, fmt.Errorf("fleet: backend record: %w", err)
+		}
+		if err := fs.s.cfg.Journal.AckShard(j.id, hdr.Index, line); err != nil {
+			return 0, err
+		}
+	}
+	if err := foldFleet(j, line); err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	j.records++
+	if j.journaled {
+		j.archive = append(j.archive, line)
+	}
+	if len(j.subs) > 0 && j.records%uint64(fs.s.cfg.SnapshotEvery) == 0 {
+		fs.s.publishLocked(j, "snapshot", mustJSON(j.aggregatesLocked()))
+	}
+	j.mu.Unlock()
+	if fs.streamed {
+		fs.s.recordsStreamed.Add(1)
+	}
+	return len(p), nil
+}
+
+// foldFleet decodes one merged line into the job's aggregate under j.mu.
+func foldFleet(j *Job, line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.campaignGrid != nil {
+		var rec campaign.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("fleet: backend record: %w", err)
+		}
+		j.camp.Add(rec)
+		return nil
+	}
+	var rec sweep.RunResult
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("fleet: backend record: %w", err)
+	}
+	j.swp.Add(rec)
+	return nil
+}
+
+// Backends reports the coordinator's configured backend list (empty on a
+// single-node daemon).
+func (s *Server) Backends() []string { return s.cfg.Backends }

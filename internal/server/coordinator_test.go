@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// newFleet builds a coordinator over n real backend servers.
+func newFleet(t *testing.T, n int, cfg Config) (*Server, *httptest.Server, []*Server, []*httptest.Server) {
+	t.Helper()
+	var backends []*Server
+	var backendTS []*httptest.Server
+	for i := 0; i < n; i++ {
+		s, ts := newTestServer(t, Config{Workers: 2})
+		backends = append(backends, s)
+		backendTS = append(backendTS, ts)
+		cfg.Backends = append(cfg.Backends, ts.URL)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	coord, coordTS := newTestServer(t, cfg)
+	return coord, coordTS, backends, backendTS
+}
+
+// TestFleetMergesByteIdentically is the coordinator's core contract: a
+// spec fanned across two backends streams the exact bytes a single-node
+// run produces, and the coordinator's aggregates match too.
+func TestFleetMergesByteIdentically(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 2})
+	sid := submit(t, single, campaignSpecJSON(t), "").ID
+	want := streamAll(t, single, sid)
+	var wantAgg json.RawMessage
+	getJSON(t, single.URL+"/api/v1/jobs/"+sid+"/aggregates", &wantAgg)
+
+	coord, coordTS, _, _ := newFleet(t, 2, Config{})
+	st := submit(t, coordTS, campaignSpecJSON(t), "")
+	got := streamAll(t, coordTS, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet-merged stream differs from single-node run")
+	}
+	var gotAgg json.RawMessage
+	getJSON(t, coordTS.URL+"/api/v1/jobs/"+st.ID+"/aggregates", &gotAgg)
+	if !bytes.Equal(gotAgg, wantAgg) {
+		t.Fatalf("fleet aggregates differ:\n got %s\nwant %s", gotAgg, wantAgg)
+	}
+	m := coord.metricsSnapshot()
+	if m.Coordinator.Dispatches != 2 || m.Coordinator.Failovers != 0 {
+		t.Fatalf("dispatches=%d failovers=%d, want 2/0", m.Coordinator.Dispatches, m.Coordinator.Failovers)
+	}
+	if m.RecordsComputed != 0 {
+		t.Fatal("coordinator claims to have computed records itself")
+	}
+}
+
+// TestFleetSkipsDrainingBackend: a draining backend answers /healthz with
+// 503 and must receive no shards.
+func TestFleetSkipsDrainingBackend(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 2})
+	want := streamAll(t, single, submit(t, single, sweepSpecJSON(t), "").ID)
+
+	coord, coordTS, backends, _ := newFleet(t, 2, Config{})
+	backends[1].BeginDrain()
+	st := submit(t, coordTS, sweepSpecJSON(t), "")
+	got := streamAll(t, coordTS, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("stream with a draining backend differs from single-node run")
+	}
+	if n := backends[1].metricsSnapshot().RecordsComputed; n != 0 {
+		t.Fatalf("draining backend computed %d records", n)
+	}
+	if d := coord.metricsSnapshot().Coordinator.Dispatches; d != 1 {
+		t.Fatalf("dispatches = %d, want 1 (everything on the healthy backend)", d)
+	}
+}
+
+// TestFleetNoHealthyBackendsFailsJob: with every backend down the job
+// fails cleanly instead of hanging.
+func TestFleetNoHealthyBackendsFailsJob(t *testing.T) {
+	_, coordTS, _, backendTS := newFleet(t, 1, Config{})
+	backendTS[0].Close()
+	st := submit(t, coordTS, sweepSpecJSON(t), "")
+	resp, err := http.Get(coordTS.URL + st.StreamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var got Status
+	getJSON(t, coordTS.URL+"/api/v1/jobs/"+st.ID, &got)
+	if got.State != StateFailed || !strings.Contains(got.Error, "healthy") {
+		t.Fatalf("job = %s (%q), want failed with no-healthy-backends error", got.State, got.Error)
+	}
+}
+
+// flakyBackend proxies one real backend but tears the connection after
+// forwarding half of each stream — a backend that dies mid-job.
+type flakyBackend struct {
+	mu      sync.Mutex
+	target  string
+	client  *http.Client
+	tripped bool // tear at most once, so the retried dispatch can finish
+}
+
+func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		w.Write([]byte(`{"status":"ok"}`))
+	case r.Method == http.MethodPost:
+		body, _ := io.ReadAll(r.Body)
+		resp, err := f.client.Post(f.target+r.URL.Path+"?"+r.URL.RawQuery, "application/json", bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	default: // stream GET: forward half, then die
+		resp, err := f.client.Get(f.target + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		full, _ := io.ReadAll(resp.Body)
+		f.mu.Lock()
+		trip := !f.tripped
+		f.tripped = true
+		f.mu.Unlock()
+		if !trip {
+			w.Write(full)
+			return
+		}
+		w.Write(full[:len(full)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // tear the connection: no terminal chunk
+	}
+}
+
+// TestFleetFailoverSurvivesBackendDeath is the headline robustness claim:
+// a backend dying mid-stream costs nothing but a re-dispatch — the merged
+// output is still byte-identical to a single-node run, because the
+// replacement stream is fast-forwarded past the consumed bytes.
+func TestFleetFailoverSurvivesBackendDeath(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 2})
+	want := streamAll(t, single, submit(t, single, campaignSpecJSON(t), "").ID)
+
+	_, realTS := newTestServer(t, Config{Workers: 2})
+	flaky := httptest.NewServer(&flakyBackend{target: realTS.URL, client: realTS.Client()})
+	t.Cleanup(flaky.Close)
+
+	coord, coordTS, _, _ := newFleet(t, 0, Config{Backends: []string{flaky.URL, realTS.URL}})
+	st := submit(t, coordTS, campaignSpecJSON(t), "")
+	got := streamAll(t, coordTS, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover stream differs from single-node run")
+	}
+	m := coord.metricsSnapshot()
+	if m.Coordinator.Failovers == 0 {
+		t.Fatal("no failover recorded — the flaky backend never tripped, test is vacuous")
+	}
+}
+
+// TestFleetDispatchFaultpointRotates: an injected dispatch error on the
+// first attempt rotates to the next backend and counts a retry.
+func TestFleetDispatchFaultpointRotates(t *testing.T) {
+	t.Cleanup(faultpoint.Disarm)
+	_, single := newTestServer(t, Config{Workers: 2})
+	want := streamAll(t, single, submit(t, single, sweepSpecJSON(t), "").ID)
+
+	coord, coordTS, _, _ := newFleet(t, 2, Config{})
+	if err := faultpoint.Arm("coord.dispatch=error:injected@1"); err != nil {
+		t.Fatal(err)
+	}
+	st := submit(t, coordTS, sweepSpecJSON(t), "")
+	got := streamAll(t, coordTS, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("stream after dispatch retry differs")
+	}
+	m := coord.metricsSnapshot()
+	if m.Coordinator.Retries != 1 || m.Coordinator.Dispatches != 2 {
+		t.Fatalf("retries=%d dispatches=%d, want 1/2", m.Coordinator.Retries, m.Coordinator.Dispatches)
+	}
+}

@@ -114,6 +114,36 @@ mpsocd_trace_events_emitted_total 0
 # HELP mpsocd_trace_events_dropped_total Trace events lost to per-run buffer bounds.
 # TYPE mpsocd_trace_events_dropped_total counter
 mpsocd_trace_events_dropped_total 0
+# HELP mpsocd_shard_retries_total Shard attempts retried after a failure.
+# TYPE mpsocd_shard_retries_total counter
+mpsocd_shard_retries_total 0
+# HELP mpsocd_shards_poisoned_total Shards emitted as error records after exhausting retries.
+# TYPE mpsocd_shards_poisoned_total counter
+mpsocd_shards_poisoned_total 0
+# HELP mpsocd_journal_appends_total Journal entries committed (written and fsync'd).
+# TYPE mpsocd_journal_appends_total counter
+mpsocd_journal_appends_total 0
+# HELP mpsocd_journal_fsync_nanos_total Cumulative journal fsync time in nanoseconds.
+# TYPE mpsocd_journal_fsync_nanos_total counter
+mpsocd_journal_fsync_nanos_total 0
+# HELP mpsocd_journal_jobs_resumed_total Jobs resumed from the journal after a restart.
+# TYPE mpsocd_journal_jobs_resumed_total counter
+mpsocd_journal_jobs_resumed_total 0
+# HELP mpsocd_journal_records_resumed_total Records replayed verbatim from journal acks.
+# TYPE mpsocd_journal_records_resumed_total counter
+mpsocd_journal_records_resumed_total 0
+# HELP mpsocd_journal_lines_discarded_total Torn journal tail lines discarded during replay.
+# TYPE mpsocd_journal_lines_discarded_total counter
+mpsocd_journal_lines_discarded_total 0
+# HELP mpsocd_coordinator_dispatches_total Shard streams dispatched to fleet backends.
+# TYPE mpsocd_coordinator_dispatches_total counter
+mpsocd_coordinator_dispatches_total 0
+# HELP mpsocd_coordinator_retries_total Coordinator dispatch retries.
+# TYPE mpsocd_coordinator_retries_total counter
+mpsocd_coordinator_retries_total 0
+# HELP mpsocd_coordinator_failovers_total Shards re-dispatched away from dead or draining backends.
+# TYPE mpsocd_coordinator_failovers_total counter
+mpsocd_coordinator_failovers_total 0
 `
 
 func TestMetricsPrometheusGolden(t *testing.T) {

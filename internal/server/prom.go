@@ -41,4 +41,14 @@ func (m Metrics) Prometheus(w io.Writer) {
 	counter("mpsocd_sse_dropped_total", "Events dropped by the bounded SSE fan-out.", m.SSE.Dropped)
 	counter("mpsocd_trace_events_emitted_total", "Trace events emitted across traced jobs.", m.Trace.EventsEmitted)
 	counter("mpsocd_trace_events_dropped_total", "Trace events lost to per-run buffer bounds.", m.Trace.EventsDropped)
+	counter("mpsocd_shard_retries_total", "Shard attempts retried after a failure.", m.Shards.Retries)
+	counter("mpsocd_shards_poisoned_total", "Shards emitted as error records after exhausting retries.", m.Shards.Poisoned)
+	counter("mpsocd_journal_appends_total", "Journal entries committed (written and fsync'd).", m.Journal.Appends)
+	counter("mpsocd_journal_fsync_nanos_total", "Cumulative journal fsync time in nanoseconds.", m.Journal.FsyncNanosTotal)
+	counter("mpsocd_journal_jobs_resumed_total", "Jobs resumed from the journal after a restart.", m.Journal.JobsResumed)
+	counter("mpsocd_journal_records_resumed_total", "Records replayed verbatim from journal acks.", m.Journal.RecordsResumed)
+	counter("mpsocd_journal_lines_discarded_total", "Torn journal tail lines discarded during replay.", m.Journal.LinesDiscarded)
+	counter("mpsocd_coordinator_dispatches_total", "Shard streams dispatched to fleet backends.", m.Coordinator.Dispatches)
+	counter("mpsocd_coordinator_retries_total", "Coordinator dispatch retries.", m.Coordinator.Retries)
+	counter("mpsocd_coordinator_failovers_total", "Shards re-dispatched away from dead or draining backends.", m.Coordinator.Failovers)
 }

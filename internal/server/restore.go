@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Restore rebuilds the job table from the configured journal — the boot
+// step of a crash-safe daemon. Terminal jobs come back queryable: their
+// aggregates are re-folded from the journaled records, and done jobs keep
+// a stream archive so clients can re-read the byte-identical output.
+// Interrupted jobs come back pending with a resume map (grid index -> the
+// exact journaled record line); running them re-emits those lines verbatim
+// and recomputes only the unacked shards, which reproduces the
+// uninterrupted stream byte-for-byte because runs are deterministic.
+// Interrupted aggregate-mode jobs restart detached immediately; stream-mode
+// jobs wait for a client to claim the stream again.
+//
+// Restore returns the number of interrupted jobs resumed. A journal entry
+// that no longer parses as a valid spec fails Restore — the journal was
+// written by this server, so that is corruption, not input error.
+func (s *Server) Restore() (resumed int, err error) {
+	if s.cfg.Journal == nil {
+		return 0, nil
+	}
+	logs, err := journal.Replay(s.cfg.Journal.Dir())
+	if err != nil {
+		return 0, err
+	}
+	for _, lg := range logs {
+		j, err := s.rebuild(lg)
+		if err != nil {
+			return resumed, fmt.Errorf("restore %s: %w", lg.ID, err)
+		}
+		s.linesDiscarded.Add(uint64(lg.Discarded))
+
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		// Keep fresh submissions from colliding with restored ids.
+		if n, perr := strconv.Atoi(strings.TrimPrefix(j.id, "job-")); perr == nil && n > s.nextID {
+			s.nextID = n
+		}
+		s.mu.Unlock()
+
+		if j.state == StatePending {
+			resumed++
+			s.jobsResumed.Add(1)
+			if j.mode == "aggregate" {
+				s.startDetached(j)
+			}
+		}
+	}
+	return resumed, nil
+}
+
+// rebuild reconstructs one job from its journal log.
+func (s *Server) rebuild(lg journal.JobLog) (*Job, error) {
+	sp, err := spec.Parse(lg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := sweep.ParseShard(lg.Opts.Shard)
+	if err == nil {
+		err = sh.Validate()
+	}
+	if err != nil {
+		return nil, err
+	}
+	workers := lg.Opts.Workers
+	if workers < 1 {
+		workers = s.cfg.Workers
+	}
+	mode := lg.Opts.Mode
+	if mode == "" {
+		mode = "stream"
+	}
+	// traceLimit stays zero: trace buffers are in-memory only and do not
+	// survive a restart (the journal deliberately does not persist them).
+	j := &Job{id: lg.ID, spec: sp, shard: sh, workers: min(workers, s.cfg.Workers),
+		mode: mode, journaled: true, body: lg.Spec}
+	switch sp.Kind {
+	case spec.KindSweep:
+		j.sweepGrid, err = sp.Sweep.Grid()
+	case spec.KindCampaign:
+		j.campaignGrid, err = sp.Campaign.Grid()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if lg.State != "" {
+		// Terminal: fold the journaled records back into the aggregates and
+		// keep the emitted lines as the replayable archive.
+		j.state = lg.State
+		j.errMsg = lg.ErrMsg
+		for _, ack := range lg.Acks {
+			if err := j.fold(ack.Record); err != nil {
+				return nil, err
+			}
+			j.records++
+			j.archive = append(j.archive, ack.Record)
+		}
+		return j, nil
+	}
+
+	// Interrupted: pending with every acked shard staged for verbatim
+	// re-emission. Aggregates rebuild as the resumed run re-emits.
+	j.state = StatePending
+	j.resume = make(map[int][]byte, len(lg.Acks))
+	for _, ack := range lg.Acks {
+		j.resume[ack.Index] = ack.Record
+	}
+	return j, nil
+}
+
+// fold decodes one journaled record line into the job's aggregate.
+func (j *Job) fold(line []byte) error {
+	if j.campaignGrid != nil {
+		var rec campaign.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("journaled record: %w", err)
+		}
+		j.camp.Add(rec)
+		return nil
+	}
+	var rec sweep.RunResult
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("journaled record: %w", err)
+	}
+	j.swp.Add(rec)
+	return nil
+}

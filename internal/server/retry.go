@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// Shard retry policy defaults: up to RetryMax attempts per shard, delays
+// growing exponentially from DefaultRetryBase and capped at
+// DefaultRetryCap.
+const (
+	DefaultRetryMax  = 3
+	DefaultRetryBase = 25 * time.Millisecond
+	DefaultRetryCap  = time.Second
+)
+
+// Backoff returns the delay before the next attempt of one shard, after
+// `attempt` (1-based) failed: bounded exponential with deterministic
+// jitter. The jitter is a hash of (job id, shard index, attempt) mapped
+// into the upper half of the exponential step — no math/rand, no wall
+// clock, so two daemons retrying the same shard spread out while any one
+// daemon's schedule is exactly reproducible. Backoff never feeds output
+// bytes (it only decides when work happens, not what it produces), which
+// is what keeps retries inside the byte-identity contract.
+func Backoff(jobID string, index, attempt int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if cap < base {
+		cap = base
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(retryHash(jobID, index, attempt)%uint64(half))
+}
+
+// retryHash is FNV-1a over (jobID, index, attempt) — the deterministic
+// jitter source.
+func retryHash(jobID string, index, attempt int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(jobID); i++ {
+		h ^= uint64(jobID[i])
+		h *= prime64
+	}
+	for _, v := range [2]int{index, attempt} {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(v>>s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// executeShard runs one shard attempt loop: the armed "server.shard"
+// faultpoint can fail or stall an attempt (a stall past
+// Config.ShardTimeout is a deadline miss, also a failed attempt), failed
+// attempts retry with Backoff, and a shard still failing after
+// Config.RetryMax attempts is poisoned — executeShard returns the last
+// error and the caller emits an error record for that shard without
+// failing the job. Retries and poisonings are counted in the metrics
+// registry and published on the job's /events feed. A canceled job stops
+// retrying immediately and does not count as poisoned.
+func (s *Server) executeShard(ctx context.Context, j *Job, index int, runOnce func()) error {
+	for attempt := 1; ; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if s.cfg.ShardTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.cfg.ShardTimeout)
+		}
+		err := faultpoint.HitCtx(actx, "server.shard")
+		if err == nil {
+			runOnce()
+		}
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err // job canceled mid-retry: not a poisoning
+		}
+		if attempt >= s.cfg.RetryMax {
+			s.shardsPoisoned.Add(1)
+			s.publishShard(j, "poison", index, attempt, err)
+			return err
+		}
+		s.shardRetries.Add(1)
+		s.publishShard(j, "retry", index, attempt, err)
+		s.cfg.Sleep(Backoff(j.id, index, attempt, s.cfg.RetryBase, s.cfg.RetryCap))
+	}
+}
+
+// shardEvent is the /events payload for "retry" and "poison" events.
+type shardEvent struct {
+	Job     string `json:"job"`
+	Index   int    `json:"index"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error"`
+}
+
+// publishShard fans a shard retry/poison event out to /events subscribers.
+func (s *Server) publishShard(j *Job, event string, index, attempt int, err error) {
+	j.mu.Lock()
+	if len(j.subs) > 0 {
+		s.publishLocked(j, event, mustJSON(shardEvent{
+			Job: j.id, Index: index, Attempt: attempt, Error: err.Error(),
+		}))
+	}
+	j.mu.Unlock()
+}

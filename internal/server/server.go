@@ -27,9 +27,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agg"
 	"repro/internal/campaign"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -61,6 +63,35 @@ type Config struct {
 	// is published to subscribers every N records. Record counts, not
 	// timers — the service stays wall-clock free. Defaults to 256.
 	SnapshotEvery int
+	// Journal, when non-nil, makes jobs durable: accepted specs, per-shard
+	// completion acks and terminal states are fsync'd to it, and Restore
+	// rebuilds the job table from it after a restart, resuming interrupted
+	// jobs by re-dispatching only unacked shards.
+	Journal *journal.Journal
+	// RetryMax bounds attempts per shard before it is poisoned (emitted as
+	// an error record without failing the job). Defaults to DefaultRetryMax.
+	RetryMax int
+	// RetryBase and RetryCap bound the exponential backoff between shard
+	// attempts (deterministic jitter; see Backoff). Defaults
+	// DefaultRetryBase / DefaultRetryCap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// ShardTimeout is the per-attempt deadline. It preempts stalled
+	// injectable work (faultpoints, and in the coordinator, backend I/O);
+	// the simulation itself is bounded deterministically by the spec's
+	// max_cycles. Zero means no deadline.
+	ShardTimeout time.Duration
+	// Sleep is the backoff sleep, injectable so tests run instantly.
+	// Defaults to time.Sleep.
+	Sleep func(time.Duration)
+	// Backends, when non-empty, turns the server into a fleet coordinator:
+	// jobs are not simulated locally but fanned out as ?shard=i/n streams
+	// across the listed backend base URLs and k-way merged back
+	// (byte-identically, via sweep.Merge). See coordinator.go.
+	Backends []string
+	// FleetClient is the coordinator's HTTP client (injectable for tests).
+	// Defaults to http.DefaultClient.
+	FleetClient *http.Client
 }
 
 // maxTraceLimit caps the per-run event buffer a client may request with
@@ -106,6 +137,24 @@ type Job struct {
 	// traceLimit > 0 makes every run carry a bounded tracer (?trace=N).
 	traceLimit int
 
+	// mode is the submit mode (stream or aggregate), retained for the
+	// journal and for resuming after a restart.
+	mode string
+	// body is the raw spec body, retained so a coordinator can re-POST it
+	// to backends (dispatch and failover both need the exact bytes).
+	body []byte
+	// journaled marks jobs recorded in the server's journal.
+	journaled bool
+	// resume maps grid index -> the exact record line journaled before a
+	// restart. Populated only by Restore, read-only afterwards: a resumed
+	// run emits these bytes verbatim instead of recomputing the shard.
+	resume map[int][]byte
+	// archive collects every emitted record line (journaled jobs only), in
+	// emission order, so a terminal job's stream can be replayed — by a
+	// client that reconnects after a daemon restart, or by the chaos gate
+	// comparing resumed output against an uninterrupted run.
+	archive [][]byte
+
 	mu      sync.Mutex
 	state   string
 	errMsg  string
@@ -142,6 +191,26 @@ type Server struct {
 	traceEmitted atomic.Uint64
 	traceDropped atomic.Uint64
 
+	// Robustness counters: shard attempts retried, shards poisoned after
+	// RetryMax attempts, and the journal resume trail.
+	shardRetries   atomic.Uint64
+	shardsPoisoned atomic.Uint64
+	jobsResumed    atomic.Uint64
+	recordsResumed atomic.Uint64
+	linesDiscarded atomic.Uint64
+
+	// Coordinator counters (zero on single-node daemons): shard streams
+	// dispatched to backends, dispatch retries, and shards re-dispatched
+	// away from a dead or draining backend.
+	coordDispatches atomic.Uint64
+	coordRetries    atomic.Uint64
+	coordFailovers  atomic.Uint64
+
+	// draining flips /healthz to 503 once shutdown begins so routers stop
+	// sending work; jobs canceled while draining skip the terminal journal
+	// entry and stay resumable.
+	draining atomic.Bool
+
 	// baseCtx parents detached (aggregate-mode) jobs so Close cancels
 	// them; detached tracks them so Close can wait.
 	baseCtx  context.Context
@@ -165,6 +234,21 @@ func New(cfg Config) *Server {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 256
 	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = DefaultRetryCap
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.FleetClient == nil {
+		cfg.FleetClient = http.DefaultClient
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:     cfg,
@@ -187,6 +271,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
@@ -327,7 +412,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		traceLimit = min(n, maxTraceLimit)
 	}
 
-	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending, traceLimit: traceLimit}
+	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending, traceLimit: traceLimit, mode: mode, body: body}
 	// Grids build here so the spec's semantic reach (unknown scenario
 	// names and the like) is also a 400, not a stream-time failure.
 	switch sp.Kind {
@@ -354,10 +439,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 
+	// Durability point: once Accept returns, a crash anywhere after this
+	// line leaves a journal from which Restore rebuilds (and resumes) the
+	// job. A journal that cannot commit the accept refuses the job — the
+	// client must never hold a job id the journal would forget.
+	if s.cfg.Journal != nil {
+		opts := journal.SubmitOpts{Workers: j.workers, Shard: j.shard.String(), Mode: mode}
+		if err := s.cfg.Journal.Accept(j.id, body, opts); err != nil {
+			s.unregister(j.id)
+			httpError(w, http.StatusServiceUnavailable, "journal: "+err.Error())
+			return
+		}
+		j.journaled = true
+	}
+
 	if mode == "aggregate" {
 		s.startDetached(j)
 	}
 	writeJSON(w, http.StatusCreated, j.status())
+}
+
+// unregister removes a job that failed to become durable.
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // startDetached claims the job and runs it in the background against a
@@ -420,6 +532,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Lock()
 	if j.state != StatePending {
+		// A journaled job that already finished can be re-streamed: every
+		// record line it emitted is in the archive, so a client that lost
+		// its connection (or reconnects after a daemon restart) reads the
+		// byte-identical stream back. Unjournaled jobs keep the original
+		// contract: one stream, then 409.
+		if j.state == StateDone && j.journaled && j.archive != nil {
+			archive := j.archive // append-only and complete once done
+			j.mu.Unlock()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			for _, line := range archive {
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					return
+				}
+				s.recordsStreamed.Add(1)
+			}
+			return
+		}
 		state := j.state
 		j.mu.Unlock()
 		httpError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; a job streams once", j.id, state))
@@ -432,6 +562,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
+	// Push the headers out now: the fleet coordinator dispatches every
+	// shard stream before merging, and an unflushed header would make it
+	// wait for the first record of each backend in turn.
+	rc.Flush()
 	err := s.run(r.Context(), j, w, rc, true)
 	s.finish(j, r.Context(), err)
 }
@@ -441,6 +575,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // run wrapper holds a global pool slot, so total simulation concurrency
 // respects Config.Workers no matter how many jobs stream at once.
 func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.ResponseController, streamed bool) error {
+	if len(s.cfg.Backends) > 0 {
+		return s.runFleet(ctx, j, w, rc, streamed)
+	}
 	acquire := func() {
 		s.pool <- struct{}{}
 		s.busy.Add(1)
@@ -449,7 +586,7 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		s.busy.Add(-1)
 		<-s.pool
 	}
-	account := func(add func()) error {
+	account := func(line []byte, add func()) error {
 		if rc != nil {
 			if err := rc.Flush(); err != nil {
 				return err
@@ -458,6 +595,12 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		j.mu.Lock()
 		add()
 		j.records++
+		// Journaled jobs archive every emitted line (in emission order) so a
+		// terminal job's stream can be replayed byte-identically — by a
+		// reconnecting client or the chaos gate.
+		if j.journaled {
+			j.archive = append(j.archive, line)
+		}
 		// Partial aggregate snapshots fan out to /events subscribers every
 		// SnapshotEvery records — a record count, not a timer, so cadence
 		// is deterministic and the service stays wall-clock free.
@@ -470,6 +613,21 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		}
 		return nil
 	}
+	// emit writes one record line and, for a freshly computed shard of a
+	// journaled job, commits its ack. Resumed shards (raw != nil) were acked
+	// in a previous life; re-acking would be a harmless duplicate (replay is
+	// idempotent) but is skipped to keep the log minimal.
+	emit := func(index int, raw []byte, fresh bool) error {
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			return err
+		}
+		if fresh && j.journaled {
+			if err := s.cfg.Journal.AckShard(j.id, index, raw); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if j.campaignGrid != nil {
 		// Campaign runs always flow through the traced runner; an untraced
 		// job passes nil tracers, which cost nothing (campaign.RunOneTrace
@@ -477,28 +635,49 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		type tracedRec struct {
 			rec campaign.Record
 			tr  *obs.Tracer
+			raw []byte // resumed shard: the journaled line, emitted verbatim
 		}
-		write := sweep.EmitJSONL[campaign.Record](w)
 		return sweep.StreamContext(ctx, len(j.campaignGrid), j.shard,
 			campaign.Weights(j.campaignGrid), j.workers,
 			func(i int) tracedRec {
+				if line, ok := j.resume[i]; ok {
+					s.recordsResumed.Add(1)
+					return tracedRec{raw: line}
+				}
 				acquire()
 				defer release()
 				tr := obs.New(j.traceLimit)
-				rec := campaign.RunOneTrace(j.campaignGrid[i], tr)
+				var rec campaign.Record
+				if err := s.executeShard(ctx, j, i, func() {
+					rec = campaign.RunOneTrace(j.campaignGrid[i], tr)
+				}); err != nil {
+					// Poisoned: an error record holds the shard's grid slot so
+					// the stream stays gap-free and the job survives.
+					rec = campaign.Record{Name: j.campaignGrid[i].Name(), Err: "shard poisoned: " + err.Error()}
+					tr = nil
+				}
 				rec.Index = i
 				s.recordsComputed.Add(1)
 				return tracedRec{rec: rec, tr: tr}
 			},
 			func(t tracedRec) error {
-				if err := write(t.rec); err != nil {
+				line := t.raw
+				if line == nil {
+					var err error
+					if line, err = json.Marshal(t.rec); err != nil {
+						return err
+					}
+				} else if err := json.Unmarshal(line, &t.rec); err != nil {
+					return fmt.Errorf("resumed record: %w", err)
+				}
+				if err := emit(t.rec.Index, line, t.raw == nil); err != nil {
 					return err
 				}
 				if t.tr != nil {
 					s.traceEmitted.Add(t.tr.Emitted())
 					s.traceDropped.Add(t.tr.Dropped())
 				}
-				return account(func() {
+				return account(line, func() {
 					j.camp.Add(t.rec)
 					if t.tr != nil {
 						j.traces = append(j.traces, runTrace{pid: t.rec.Index + 1, name: t.rec.Name, tr: t.tr})
@@ -506,22 +685,43 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 				})
 			})
 	}
-	write := sweep.EmitJSONL[sweep.RunResult](w)
+	type sweepOut struct {
+		rec sweep.RunResult
+		raw []byte // resumed shard: the journaled line, emitted verbatim
+	}
 	return sweep.StreamContext(ctx, len(j.sweepGrid), j.shard,
 		sweep.Weights(j.sweepGrid), j.workers,
-		func(i int) sweep.RunResult {
+		func(i int) sweepOut {
+			if line, ok := j.resume[i]; ok {
+				s.recordsResumed.Add(1)
+				return sweepOut{raw: line}
+			}
 			acquire()
 			defer release()
-			rec := sweep.RunOne(j.sweepGrid[i])
+			var rec sweep.RunResult
+			if err := s.executeShard(ctx, j, i, func() {
+				rec = sweep.RunOne(j.sweepGrid[i])
+			}); err != nil {
+				rec = sweep.RunResult{Name: j.sweepGrid[i].Name(), Err: "shard poisoned: " + err.Error()}
+			}
 			rec.Index = i
 			s.recordsComputed.Add(1)
-			return rec
+			return sweepOut{rec: rec}
 		},
-		func(rec sweep.RunResult) error {
-			if err := write(rec); err != nil {
+		func(t sweepOut) error {
+			line := t.raw
+			if line == nil {
+				var err error
+				if line, err = json.Marshal(t.rec); err != nil {
+					return err
+				}
+			} else if err := json.Unmarshal(line, &t.rec); err != nil {
+				return fmt.Errorf("resumed record: %w", err)
+			}
+			if err := emit(t.rec.Index, line, t.raw == nil); err != nil {
 				return err
 			}
-			return account(func() { j.swp.Add(rec) })
+			return account(line, func() { j.swp.Add(t.rec) })
 		})
 }
 
@@ -541,6 +741,12 @@ func (s *Server) finish(j *Job, ctx context.Context, err error) {
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
+	}
+	// Seal the journal — except for jobs canceled by a draining shutdown,
+	// which are interruptions, not decisions: leaving their logs unsealed is
+	// what makes the next life resume them.
+	if j.journaled && !(j.state == StateCanceled && s.draining.Load()) {
+		s.cfg.Journal.Term(j.id, j.state, j.errMsg)
 	}
 	// Terminal fan-out: the final aggregate snapshot, the terminal state,
 	// then close every subscriber channel so /events handlers end their
@@ -712,9 +918,30 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	tw.Close()
 }
 
+// handleHealthz is the readiness probe: 200 while accepting work, 503 once
+// draining so load balancers and the fleet coordinator stop routing new
+// shards here while in-flight streams finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
+
+// handleLivez is the liveness probe: 200 until the process exits, draining
+// or not — restarts are for dead processes, not draining ones.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// BeginDrain flips /healthz to 503. Call it before http.Server.Shutdown;
+// jobs canceled after this point skip their terminal journal entry and
+// stay resumable.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Metrics is the one metrics registry: a single snapshot struct that both
 // the JSON payload and the Prometheus text exposition (prom.go) render
@@ -755,6 +982,30 @@ type Metrics struct {
 		EventsEmitted uint64 `json:"events_emitted"`
 		EventsDropped uint64 `json:"events_dropped"`
 	} `json:"trace"`
+	// Shards covers the retry policy: attempts retried after a failure and
+	// shards poisoned (emitted as error records) after RetryMax attempts.
+	Shards struct {
+		Retries  uint64 `json:"retries"`
+		Poisoned uint64 `json:"poisoned"`
+	} `json:"shards"`
+	// Journal covers durability: committed appends, cumulative fsync time
+	// (mean fsync latency = fsync_nanos_total / appends), jobs and records
+	// resumed after a restart, and torn tail lines discarded by replay.
+	Journal struct {
+		Appends         uint64 `json:"appends"`
+		FsyncNanosTotal uint64 `json:"fsync_nanos_total"`
+		JobsResumed     uint64 `json:"jobs_resumed"`
+		RecordsResumed  uint64 `json:"records_resumed"`
+		LinesDiscarded  uint64 `json:"lines_discarded"`
+	} `json:"journal"`
+	// Coordinator covers fleet fan-out (zero on single-node daemons):
+	// backend shard dispatches, dispatch retries, and failovers away from
+	// dead or draining backends.
+	Coordinator struct {
+		Dispatches uint64 `json:"dispatches"`
+		Retries    uint64 `json:"retries"`
+		Failovers  uint64 `json:"failovers"`
+	} `json:"coordinator"`
 }
 
 // metricsSnapshot gathers the registry from the live counters.
@@ -793,6 +1044,18 @@ func (s *Server) metricsSnapshot() Metrics {
 	m.SSE.Dropped = s.sseDropped.Load()
 	m.Trace.EventsEmitted = s.traceEmitted.Load()
 	m.Trace.EventsDropped = s.traceDropped.Load()
+	m.Shards.Retries = s.shardRetries.Load()
+	m.Shards.Poisoned = s.shardsPoisoned.Load()
+	if s.cfg.Journal != nil {
+		m.Journal.Appends = s.cfg.Journal.Appends()
+		m.Journal.FsyncNanosTotal = s.cfg.Journal.FsyncNanos()
+	}
+	m.Journal.JobsResumed = s.jobsResumed.Load()
+	m.Journal.RecordsResumed = s.recordsResumed.Load()
+	m.Journal.LinesDiscarded = s.linesDiscarded.Load()
+	m.Coordinator.Dispatches = s.coordDispatches.Load()
+	m.Coordinator.Retries = s.coordRetries.Load()
+	m.Coordinator.Failovers = s.coordFailovers.Load()
 	return m
 }
 

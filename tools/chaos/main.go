@@ -1,0 +1,358 @@
+// Command chaos is the crash-safety gate (make chaos). It proves the two
+// headline robustness claims end-to-end, against real mpsocd processes:
+//
+//  1. Crash-resume: a daemon with a journal is crashed by an armed
+//     faultpoint (exit 137 at the worst instant — right after a shard ack
+//     becomes durable), restarted over the same journal, and the resumed
+//     job's full output must be byte-identical to an uninterrupted
+//     in-process run of the same spec.
+//
+//  2. Fleet failover: a coordinator fans a job across two backends, one
+//     backend crashes mid-job (faultpoint in its shard executor), and the
+//     coordinator's merged stream must still be byte-identical to a
+//     single-node run.
+//
+// Both scenarios verify non-vacuity: the crashed process must actually
+// have exited 137 with the faultpoint's stderr marker, so a refactor that
+// silently stops arming faultpoints fails the gate instead of passing it
+// hollowly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos: OK (crash-resume and fleet-failover streams byte-identical)")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "mpsocd-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "mpsocd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mpsocd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building mpsocd: %w", err)
+	}
+
+	if err := crashResume(tmp, bin); err != nil {
+		return fmt.Errorf("crash-resume: %w", err)
+	}
+	if err := fleetFailover(tmp, bin); err != nil {
+		return fmt.Errorf("fleet-failover: %w", err)
+	}
+	return nil
+}
+
+// campaignSpec is the shared workload: 8 campaign runs, enough for the
+// crash faultpoint to fire mid-job with work left to resume.
+func campaignSpec() ([]byte, error) {
+	return spec.NewCampaign(spec.CampaignSpec{
+		Scenarios:   []string{"tamper", "zone-escape"},
+		Protections: []string{"unprotected", "distributed"},
+		Cores:       []int{3},
+		Backgrounds: []string{"none", "stream"},
+		Accesses:    8,
+		InjectDelay: 50,
+		MaxCycles:   300_000,
+	}).JSON()
+}
+
+func sweepSpec() ([]byte, error) {
+	return spec.NewSweep(spec.SweepSpec{
+		Protections: []string{"unprotected", "distributed"},
+		Workloads:   []string{"stream", "memcopy", "scrub"},
+		Targets:     []string{"internal", "external"},
+		Cores:       []int{1, 2},
+		Accesses:    8,
+		MaxCycles:   100_000,
+	}).JSON()
+}
+
+// reference computes the uninterrupted stream in-process — the bytes every
+// crashed-and-recovered path must reproduce exactly.
+func reference(body []byte) ([]byte, error) {
+	svc := server.New(server.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	st, err := submit(ts.URL, body, "")
+	if err != nil {
+		return nil, err
+	}
+	return get(ts.URL + st.StreamURL)
+}
+
+func crashResume(tmp, bin string) error {
+	body, err := campaignSpec()
+	if err != nil {
+		return err
+	}
+	want, err := reference(body)
+	if err != nil {
+		return err
+	}
+
+	jdir := filepath.Join(tmp, "journal")
+	addr := freeAddr()
+
+	// Life 1: armed to crash right after the 5th shard ack is durable —
+	// the worst instant, since the daemon dies between committing work and
+	// using it.
+	d1 := daemon(bin, []string{"-addr", addr, "-workers", "2", "-journal", jdir},
+		"MPSOCD_FAULTPOINTS=journal.ack=crash@5")
+	if err := d1.start(); err != nil {
+		return err
+	}
+	defer d1.kill()
+	if err := waitHealthy(addr); err != nil {
+		return err
+	}
+	// aggregate mode: the job runs detached, so the daemon crashes on its
+	// own schedule and the restarted daemon auto-resumes it on boot.
+	st, err := submit("http://"+addr, body, "?mode=aggregate")
+	if err != nil {
+		return err
+	}
+	code, stderr := d1.wait(30 * time.Second)
+	if code != 137 {
+		return fmt.Errorf("daemon exit code %d, want 137 (did the faultpoint fire?)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "faultpoint: crash at journal.ack") {
+		return fmt.Errorf("no faultpoint crash marker on stderr — the gate is vacuous\nstderr: %s", stderr)
+	}
+
+	// Life 2: same journal, no faultpoints. Boot replays the journal and
+	// restarts the interrupted aggregate job detached.
+	d2 := daemon(bin, []string{"-addr", addr, "-workers", "2", "-journal", jdir}, "")
+	if err := d2.start(); err != nil {
+		return err
+	}
+	defer d2.kill()
+	if err := waitHealthy(addr); err != nil {
+		return err
+	}
+	if err := waitState("http://"+addr, st.ID, "done", 60*time.Second); err != nil {
+		return err
+	}
+	got, err := get("http://" + addr + st.StreamURL)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("resumed stream differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	metrics, err := get("http://" + addr + "/metrics?format=prometheus")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(metrics), "mpsocd_journal_jobs_resumed_total 1") {
+		return fmt.Errorf("journal resume not recorded in metrics — recovery path is vacuous")
+	}
+	d2.terminate()
+	return nil
+}
+
+func fleetFailover(tmp, bin string) error {
+	body, err := sweepSpec()
+	if err != nil {
+		return err
+	}
+	want, err := reference(body)
+	if err != nil {
+		return err
+	}
+
+	addrA, addrB, addrC := freeAddr(), freeAddr(), freeAddr()
+	a := daemon(bin, []string{"-addr", addrA, "-workers", "2"}, "")
+	// Backend B crashes on its 4th shard execution — mid-job, after its
+	// stream is live.
+	b := daemon(bin, []string{"-addr", addrB, "-workers", "2"},
+		"MPSOCD_FAULTPOINTS=server.shard=crash@4")
+	coord := daemon(bin, []string{"-addr", addrC, "-coordinator",
+		"-backends", "http://" + addrA + ",http://" + addrB}, "")
+	for _, d := range []*proc{a, b, coord} {
+		if err := d.start(); err != nil {
+			return err
+		}
+		defer d.kill()
+	}
+	for _, addr := range []string{addrA, addrB, addrC} {
+		if err := waitHealthy(addr); err != nil {
+			return err
+		}
+	}
+
+	st, err := submit("http://"+addrC, body, "")
+	if err != nil {
+		return err
+	}
+	got, err := get("http://" + addrC + st.StreamURL)
+	if err != nil {
+		return err
+	}
+	code, stderr := b.wait(30 * time.Second)
+	if code != 137 || !strings.Contains(stderr, "faultpoint: crash at server.shard") {
+		return fmt.Errorf("backend B exit %d, want 137 with crash marker — failover was vacuous\nstderr: %s", code, stderr)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("fleet-merged stream differs from single-node run (%d vs %d bytes)", len(got), len(want))
+	}
+	metrics, err := get("http://" + addrC + "/metrics?format=prometheus")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(metrics), "mpsocd_coordinator_failovers_total") ||
+		strings.Contains(string(metrics), "mpsocd_coordinator_failovers_total 0\n") &&
+			strings.Contains(string(metrics), "mpsocd_coordinator_retries_total 0\n") {
+		return fmt.Errorf("no failover or dispatch retry recorded:\n%s", metrics)
+	}
+	a.terminate()
+	coord.terminate()
+	return nil
+}
+
+// --- process and HTTP plumbing ---
+
+type proc struct {
+	cmd    *exec.Cmd
+	stderr bytes.Buffer
+	done   chan error
+}
+
+func daemon(bin string, args []string, extraEnv string) *proc {
+	cmd := exec.Command(bin, args...)
+	cmd.Env = os.Environ()
+	if extraEnv != "" {
+		cmd.Env = append(cmd.Env, extraEnv)
+	}
+	return &proc{cmd: cmd, done: make(chan error, 1)}
+}
+
+func (p *proc) start() error {
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return err
+	}
+	go func() { p.done <- p.cmd.Wait() }()
+	return nil
+}
+
+// wait blocks until the process exits and returns its exit code + stderr.
+func (p *proc) wait(timeout time.Duration) (int, string) {
+	select {
+	case <-p.done:
+		return p.cmd.ProcessState.ExitCode(), p.stderr.String()
+	case <-time.After(timeout):
+		return -1, p.stderr.String() + "\n(timed out waiting for exit)"
+	}
+}
+
+func (p *proc) terminate() {
+	p.cmd.Process.Signal(os.Interrupt)
+	p.wait(15 * time.Second)
+}
+
+func (p *proc) kill() {
+	if p.cmd.ProcessState == nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+func waitHealthy(addr string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s never became healthy", addr)
+}
+
+func submit(base string, body []byte, query string) (server.Status, error) {
+	var st server.Status
+	resp, err := http.Post(base+"/api/v1/jobs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	return st, decode(resp.Body, &st)
+}
+
+func waitState(base, id, want string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st server.Status
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err == nil {
+			err = decode(resp.Body, &st)
+			resp.Body.Close()
+		}
+		if err == nil && st.State == want {
+			return nil
+		}
+		if err == nil && (st.State == "failed" || st.State == "canceled") {
+			return fmt.Errorf("job %s ended %s (%s), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s never reached %s", id, want)
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func decode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
