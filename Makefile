@@ -69,7 +69,7 @@ test:
 # run concurrently (one engine per goroutine in sweeps); keep them
 # race-clean. journal and faultpoint sit on every concurrent shard path.
 race:
-	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server ./internal/obs ./internal/journal ./internal/faultpoint
+	$(GO) test -race ./internal/sim ./internal/bus ./internal/sweep ./internal/campaign ./internal/recovery ./internal/server ./internal/obs ./internal/journal ./internal/faultpoint ./internal/hostobs
 
 # modelcheck: the proof gate. Exhaustively enumerate the bounded
 # policy+reactor state space (internal/modelcheck) and fail on any

@@ -14,7 +14,21 @@
 //	curl localhost:8080/api/v1/jobs/job-0001/aggregates
 //	curl -N localhost:8080/api/v1/jobs/job-0001/events   # SSE: state + snapshots
 //	curl localhost:8080/api/v1/jobs/job-0001/trace > trace.json  # open in Perfetto
+//	curl localhost:8080/api/v1/jobs/job-0001/hosttrace > host.json  # wall-clock spans
 //	curl -H 'Accept: text/plain' localhost:8080/metrics  # Prometheus exposition
+//
+// Host observability is always on and strictly off the result path:
+// structured logs (log/slog, stderr only, level via -log-level), a
+// bounded wall-clock span recorder served as a Chrome trace document at
+// /api/v1/jobs/{id}/hosttrace, a crash flight recorder (live at
+// /debug/flightrecorder, dumped to <journal>/flight-<pid>.json when a
+// faultpoint kills the process), and — with -debug-addr — net/http/pprof
+// plus runtime metrics on a separate listener. None of it ever touches
+// stream bytes: the determinism gates run with all of it enabled.
+//
+//	mpsocd -addr :8080 -debug-addr :6060 -log-level debug
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
+//	curl localhost:6060/debug/flightrecorder
 //
 // With -journal DIR the daemon is crash-safe: accepted specs, per-shard
 // completion acks and terminal states are fsync'd to an append-only log,
@@ -38,7 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/faultpoint"
+	"repro/internal/hostobs"
 	"repro/internal/journal"
 	"repro/internal/server"
 )
@@ -62,7 +77,21 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated backend base URLs for -coordinator")
 	retryMax := flag.Int("retry-max", 0, "attempts per shard before poisoning (0 = default 3)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-attempt deadline (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof + runtime metrics + flight recorder (empty = off)")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mpsocd", hostobs.Build().String())
+		return
+	}
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsocd:", err)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
 		Workers: *workers, MaxJobs: *maxJobs, SnapshotEvery: *snapshotEvery,
@@ -80,13 +109,28 @@ func main() {
 		}
 	}
 
-	if err := run(*addr, *journalDir, *drain, cfg); err != nil {
+	if err := run(*addr, *debugAddr, *journalDir, *drain, level, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, journalDir string, drain time.Duration, cfg server.Config) error {
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+}
+
+func run(addr, debugAddr, journalDir string, drain time.Duration, level slog.Level, cfg server.Config) error {
 	// Deterministic fault injection, armed only via the environment: the
 	// chaos gate sets MPSOCD_FAULTPOINTS to crash the daemon at exact
 	// commit points. Disarmed, every faultpoint is a single atomic load.
@@ -94,13 +138,50 @@ func run(addr, journalDir string, drain time.Duration, cfg server.Config) error 
 		return err
 	}
 
+	// Host observability lives entirely at this edge: the wall clock and
+	// stderr are injected here, never read inside the deterministic core.
+	// Logs go to stderr only — stdout stays clean for piped JSONL. The
+	// flight recorder dumps next to the journal so a post-mortem finds the
+	// crash evidence and the surviving log in one place.
+	role := "mpsocd"
+	if len(cfg.Backends) > 0 {
+		role = "mpsocd-coord"
+	}
+	host := hostobs.New(hostobs.Options{
+		Node:      role + "@" + addr,
+		NowNanos:  func() int64 { return time.Now().UnixNano() },
+		LogWriter: os.Stderr,
+		Level:     level,
+		FlightDir: journalDir,
+	})
+	cfg.Host = host
+	cfg.Build = hostobs.Build()
+
+	// An injected kill becomes a readable post-mortem: the hook runs after
+	// the faultpoint's stderr marker and before exit(137), so the dump is
+	// the last durable act of the dying process.
+	faultpoint.SetOnCrash(func(name string, hit uint64) {
+		host.Error("faultpoint crash", hostobs.Fields{
+			Err:    name,
+			Detail: fmt.Sprintf("hit=%d exiting=137", hit),
+		})
+		if path, err := host.WriteFlight(); err == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "mpsocd: flight recorder dumped to %s\n", path)
+		}
+	})
+
 	var jn *journal.Journal
 	if journalDir != "" {
 		var err error
-		// The wall clock feeds only the fsync latency metric, never output
-		// bytes — which is why it is injected here at the edge instead of
-		// read inside the deterministic core.
-		jn, err = journal.Open(journalDir, journal.Options{NowNanos: func() int64 { return time.Now().UnixNano() }})
+		// The wall clock feeds only the fsync latency metric and host
+		// spans, never output bytes — which is why it is injected here at
+		// the edge instead of read inside the deterministic core.
+		jn, err = journal.Open(journalDir, journal.Options{
+			NowNanos: func() int64 { return time.Now().UnixNano() },
+			Observe: func(op, jobID string, startNanos, durNanos int64) {
+				host.Span("journal-fsync", startNanos, hostobs.Fields{Job: jobID, Detail: op})
+			},
+		})
 		if err != nil {
 			return err
 		}
@@ -110,11 +191,11 @@ func run(addr, journalDir string, drain time.Duration, cfg server.Config) error 
 
 	svc := server.New(cfg)
 	if jn != nil {
-		resumed, err := svc.Restore()
-		if err != nil {
+		// Restore logs its own structured replay summary (also surfaced in
+		// /healthz) before any resumed job starts emitting events.
+		if _, err := svc.Restore(); err != nil {
 			return fmt.Errorf("journal replay: %w", err)
 		}
-		log.Printf("mpsocd: journal %s replayed, %d interrupted job(s) resumed", journalDir, resumed)
 	}
 
 	// Hardened listener: header read and idle deadlines plus a header size
@@ -132,9 +213,19 @@ func run(addr, journalDir string, drain time.Duration, cfg server.Config) error 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if debugAddr != "" {
+		// pprof and the live flight recorder on their own listener, so the
+		// profiling surface is never exposed on the service port.
+		dbg := &http.Server{Addr: debugAddr, Handler: hostobs.DebugMux(host)}
+		go func() { dbg.ListenAndServe() }()
+		defer dbg.Close()
+		host.Info("debug listener up", hostobs.Fields{Detail: debugAddr})
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mpsocd: listening on %s", addr)
+		host.Info("listening", hostobs.Fields{Detail: fmt.Sprintf(
+			"addr=%s role=%s journal=%q build=%s", addr, role, journalDir, cfg.Build.String())})
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -148,7 +239,7 @@ func run(addr, journalDir string, drain time.Duration, cfg server.Config) error 
 	// sending work (and so journaled jobs cut off mid-stream stay
 	// resumable), then stop accepting, give in-flight streams the drain
 	// window, then cancel detached jobs and wait for them.
-	log.Printf("mpsocd: draining (window %s)", drain)
+	host.Info("shutdown signal received", hostobs.Fields{Detail: fmt.Sprintf("drain_window=%s", drain)})
 	svc.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -159,5 +250,14 @@ func run(addr, journalDir string, drain time.Duration, cfg server.Config) error 
 		// or, when journaled, resume on the next boot.
 		srv.Close()
 	}
+	host.Info("shutdown complete", hostobs.Fields{Err: errString(err)})
 	return err
+}
+
+// errString renders an error for a log field, empty when nil.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }

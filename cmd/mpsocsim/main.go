@@ -29,6 +29,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/hostobs"
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/soc"
@@ -89,6 +90,8 @@ type options struct {
 
 	traceFile  string
 	traceLimit int
+
+	version bool
 }
 
 // recoveryParams folds the -recovery* flags into the campaign's phase
@@ -174,6 +177,7 @@ func parseFlags(args []string) (*options, error) {
 		"write a Chrome trace_event JSON incident trace (Perfetto/chrome://tracing) to this file; single runs and -attack JSONL campaigns, timestamps in sim cycles")
 	fs.IntVar(&o.traceLimit, "trace-limit", obs.DefaultLimit,
 		"trace: events retained per run before counting drops")
+	fs.BoolVar(&o.version, "version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -197,6 +201,10 @@ func main() {
 			return
 		}
 		os.Exit(2)
+	}
+	if o.version {
+		fmt.Println("mpsocsim", hostobs.Build().String())
+		return
 	}
 	if o.specFile != "" {
 		if err := o.loadSpec(); err != nil {

@@ -74,6 +74,21 @@ var (
 // exit is swapped by tests that must observe a crash without dying.
 var exit = os.Exit
 
+// onCrash holds the crash hook; see SetOnCrash.
+var onCrash atomic.Pointer[func(name string, hit uint64)]
+
+// SetOnCrash registers a hook that runs after a crash action prints its
+// stderr marker and before the process exits — the daemon uses it to dump
+// the flight recorder, turning every injected kill into a readable
+// post-mortem. The hook must not itself hit faultpoints. nil clears it.
+func SetOnCrash(fn func(name string, hit uint64)) {
+	if fn == nil {
+		onCrash.Store(nil)
+		return
+	}
+	onCrash.Store(&fn)
+}
+
 // Arm replaces the armed point set from a spec string (see the package
 // comment for the syntax). An empty spec disarms everything.
 func Arm(spec string) error {
@@ -182,6 +197,9 @@ func hitSlow(ctx context.Context, name string) error {
 		// mirrors a SIGKILL death — no deferred cleanup runs, so exactly
 		// the fsync'd state survives.
 		fmt.Fprintf(os.Stderr, "faultpoint: crash at %s (hit %d)\n", name, hit)
+		if fn := onCrash.Load(); fn != nil {
+			(*fn)(name, hit)
+		}
 		exit(137)
 		return nil // unreachable outside tests that swap exit
 	case actError:

@@ -2,6 +2,7 @@ package faultpoint
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -122,5 +123,47 @@ func TestArmRejectsBadSpecs(t *testing.T) {
 	}
 	if enabled.Load() {
 		t.Fatal("empty spec left the package enabled")
+	}
+}
+
+func TestOnCrashHookRunsBeforeExit(t *testing.T) {
+	t.Cleanup(Disarm)
+	t.Cleanup(func() { exit = testExitSave })
+	t.Cleanup(func() { SetOnCrash(nil) })
+	var order []string
+	exit = func(c int) { order = append(order, fmt.Sprintf("exit:%d", c)); panic("exit") }
+	SetOnCrash(func(name string, hit uint64) {
+		order = append(order, fmt.Sprintf("hook:%s:%d", name, hit))
+	})
+	if err := Arm("p=crash@2"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		Hit("p") // hit 1: selector @2 does not fire
+		Hit("p") // hit 2: fires
+	}()
+	want := []string{"hook:p:2", "exit:137"}
+	if len(order) != len(want) || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("crash order = %v, want %v (hook before exit)", order, want)
+	}
+}
+
+func TestOnCrashNilClears(t *testing.T) {
+	t.Cleanup(Disarm)
+	t.Cleanup(func() { exit = testExitSave })
+	called := false
+	SetOnCrash(func(string, uint64) { called = true })
+	SetOnCrash(nil)
+	exit = func(int) { panic("exit") }
+	if err := Arm("p=crash"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		Hit("p")
+	}()
+	if called {
+		t.Fatal("cleared crash hook still ran")
 	}
 }

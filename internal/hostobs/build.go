@@ -1,0 +1,50 @@
+package hostobs
+
+import "runtime/debug"
+
+// BuildInfo identifies the running binary: the VCS revision baked in by
+// the Go toolchain, whether the tree was dirty, and the Go version.
+type BuildInfo struct {
+	Revision  string `json:"revision"`
+	Dirty     bool   `json:"dirty"`
+	GoVersion string `json:"go_version"`
+}
+
+// Build reads the binary's stamp via runtime/debug.ReadBuildInfo.
+// Revision is "unknown" when the binary was built outside a VCS checkout
+// (e.g. `go run` of an exported tree) — callers can rely on it being
+// non-empty.
+func Build() BuildInfo {
+	b := BuildInfo{Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				b.Revision = s.Value
+			}
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the short human form used by the -version flags.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "+dirty"
+	}
+	if b.GoVersion != "" {
+		rev += " (" + b.GoVersion + ")"
+	}
+	return rev
+}

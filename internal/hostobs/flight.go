@@ -1,0 +1,128 @@
+package hostobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime/metrics"
+)
+
+// FlightDump is the post-mortem document: the node identity plus the
+// recent-event ring, either dumped to disk on a crash or served live at
+// /debug/flightrecorder.
+type FlightDump struct {
+	Node    string  `json:"node"`
+	PID     int     `json:"pid"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteFlight dumps the event ring to <FlightDir>/flight-<pid>.json and
+// returns the path. A nil Host or empty FlightDir writes nothing and
+// returns "". The file is fsynced: the caller is usually about to die.
+func (h *Host) WriteFlight() (string, error) {
+	if h == nil || h.flightDir == "" {
+		return "", nil
+	}
+	events, dropped := h.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	doc := FlightDump{Node: h.node, PID: os.Getpid(), Dropped: dropped, Events: events}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(h.flightDir, fmt.Sprintf("flight-%d.json", os.Getpid()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ServeFlight serves the live event ring as the same JSON document
+// WriteFlight persists. Safe on a nil Host (serves an empty dump).
+func (h *Host) ServeFlight(w http.ResponseWriter, r *http.Request) {
+	events, dropped := h.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	doc := FlightDump{Node: h.NodeName(), PID: os.Getpid(), Dropped: dropped, Events: events}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// DebugMux is the -debug-addr surface: net/http/pprof, a runtime/metrics
+// snapshot, and the live flight recorder. h may be nil (pprof and
+// runtime metrics still work; the flight dump is empty).
+func DebugMux(h *Host) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/flightrecorder", h.ServeFlight)
+	mux.HandleFunc("GET /debug/runtime", handleRuntime)
+	return mux
+}
+
+// handleRuntime dumps every scalar runtime/metrics sample as an ordered
+// {name, value} list (histograms are skipped; pprof covers those).
+func handleRuntime(w http.ResponseWriter, r *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	type sample struct {
+		Name  string `json:"name"`
+		Value any    `json:"value"`
+	}
+	out := make([]sample, 0, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out = append(out, sample{s.Name, s.Value.Uint64()})
+		case metrics.KindFloat64:
+			out = append(out, sample{s.Name, s.Value.Float64()})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// Allocs reads the runtime's cumulative heap-object allocation count,
+// the basis for per-shard alloc deltas. 0 when disabled, so deltas on
+// the disabled path are 0 - 0.
+func (h *Host) Allocs() uint64 {
+	if h == nil {
+		return 0
+	}
+	var s [1]metrics.Sample
+	s[0].Name = "/gc/heap/allocs:objects"
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

@@ -1,0 +1,270 @@
+// Package hostobs is the host-time observability layer for the fleet:
+// structured logging with a canonical field set, bounded wall-clock span
+// tracing exported in the Chrome trace_event shape, per-process resource
+// probes, and a crash flight recorder.
+//
+// Everything here lives strictly on the host side of the host/sim
+// boundary: nothing in this package may leak into the deterministic
+// result streams, and sim-stack packages must not import it (enforced by
+// tools/staticcheck's host-import rule). Logs go to the writer the caller
+// provides — in the daemons that is stderr, never stdout — so every
+// byte-identity gate on stdout streams is untouched.
+//
+// A nil *Host is a valid, fully disabled instance: every method is a
+// nil-receiver-safe no-op, and the disabled path is pinned at zero heap
+// allocations per call by TestDisabledHostZeroAllocs. The package never
+// reads the wall clock itself (the determinism lint forbids time.Now in
+// internal/...); callers inject a clock via Options.NowNanos.
+package hostobs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// Default ring capacities. Sized so a busy node keeps a few seconds of
+// history without the recorder ever growing: the rings overwrite oldest.
+const (
+	DefaultEventRing = 4096
+	DefaultSpanRing  = 8192
+)
+
+// Options configures a Host.
+type Options struct {
+	// Node names this process in logs, span documents, and flight
+	// dumps (e.g. "mpsocd@127.0.0.1:9090"). Defaults to "node".
+	Node string
+
+	// NowNanos supplies wall-clock nanoseconds. When nil, every
+	// timestamp and span duration is zero; the daemons pass
+	// time.Now().UnixNano from main, keeping this package free of
+	// direct clock reads.
+	NowNanos func() int64
+
+	// LogWriter receives slog text lines. nil disables the slog tee;
+	// events still land in the flight-recorder ring.
+	LogWriter io.Writer
+
+	// Level is the minimum slog level for LogWriter output.
+	Level slog.Level
+
+	// EventRing and SpanRing bound the recorder buffers; zero or
+	// negative selects the defaults.
+	EventRing int
+	SpanRing  int
+
+	// FlightDir is where WriteFlight drops flight-<pid>.json. Empty
+	// disables on-disk dumps (the live /debug/flightrecorder endpoint
+	// still works).
+	FlightDir string
+}
+
+// Fields is the canonical structured field set threaded through every
+// log line and span. Zero values are omitted from output; Shard is only
+// meaningful when HasShard is set, because shard index 0 is a real shard
+// and presence needs its own bit.
+type Fields struct {
+	Job      string
+	Shard    int
+	HasShard bool
+	Attempt  int
+	Backend  string
+	Trace    string
+	Err      string
+	Detail   string
+}
+
+// Event is one recorded structured event in the flight-recorder ring.
+// Shard is -1 when the event has no shard.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	Nanos   int64  `json:"t_nanos"`
+	Level   string `json:"level"`
+	Msg     string `json:"msg"`
+	Job     string `json:"job,omitempty"`
+	Shard   int    `json:"shard"`
+	Attempt int    `json:"attempt,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	Trace   string `json:"trace,omitempty"`
+	Err     string `json:"err,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Host is one node's observability state. The zero value is unused; a
+// nil *Host is the canonical disabled instance.
+type Host struct {
+	node      string
+	now       func() int64
+	log       *slog.Logger
+	flightDir string
+
+	mu        sync.Mutex
+	seq       uint64
+	events    []Event
+	evHead    int
+	evLen     int
+	evDropped uint64
+	spans     []Span
+	spHead    int
+	spLen     int
+	spDropped uint64
+}
+
+// New builds an enabled Host. Callers that want observability off pass a
+// nil *Host around instead.
+func New(o Options) *Host {
+	if o.Node == "" {
+		o.Node = "node"
+	}
+	if o.EventRing <= 0 {
+		o.EventRing = DefaultEventRing
+	}
+	if o.SpanRing <= 0 {
+		o.SpanRing = DefaultSpanRing
+	}
+	h := &Host{
+		node:      o.Node,
+		now:       o.NowNanos,
+		flightDir: o.FlightDir,
+		events:    make([]Event, o.EventRing),
+		spans:     make([]Span, o.SpanRing),
+	}
+	if o.LogWriter != nil {
+		handler := slog.NewTextHandler(o.LogWriter, &slog.HandlerOptions{Level: o.Level})
+		h.log = slog.New(handler).With(slog.String("node", o.Node))
+	}
+	return h
+}
+
+// NodeName reports the configured node name; "" when disabled.
+func (h *Host) NodeName() string {
+	if h == nil {
+		return ""
+	}
+	return h.node
+}
+
+// NowNanos reads the injected clock; 0 when disabled or clockless, so
+// `start := h.NowNanos()` is free on the disabled path.
+func (h *Host) NowNanos() int64 {
+	if h == nil || h.now == nil {
+		return 0
+	}
+	return h.now()
+}
+
+// Info records an info-level event.
+func (h *Host) Info(msg string, f Fields) {
+	if h == nil {
+		return
+	}
+	h.event(slog.LevelInfo, msg, f)
+}
+
+// Warn records a warn-level event.
+func (h *Host) Warn(msg string, f Fields) {
+	if h == nil {
+		return
+	}
+	h.event(slog.LevelWarn, msg, f)
+}
+
+// Error records an error-level event.
+func (h *Host) Error(msg string, f Fields) {
+	if h == nil {
+		return
+	}
+	h.event(slog.LevelError, msg, f)
+}
+
+func (h *Host) event(level slog.Level, msg string, f Fields) {
+	e := Event{
+		Nanos:   h.NowNanos(),
+		Level:   levelName(level),
+		Msg:     msg,
+		Job:     f.Job,
+		Shard:   -1,
+		Attempt: f.Attempt,
+		Backend: f.Backend,
+		Trace:   f.Trace,
+		Err:     f.Err,
+		Detail:  f.Detail,
+	}
+	if f.HasShard {
+		e.Shard = f.Shard
+	}
+	h.mu.Lock()
+	h.seq++
+	e.Seq = h.seq
+	if h.evLen == len(h.events) {
+		h.events[h.evHead] = e
+		h.evHead = (h.evHead + 1) % len(h.events)
+		h.evDropped++
+	} else {
+		h.events[(h.evHead+h.evLen)%len(h.events)] = e
+		h.evLen++
+	}
+	h.mu.Unlock()
+	if h.log == nil {
+		return
+	}
+	var attrs [7]slog.Attr
+	n := 0
+	if f.Job != "" {
+		attrs[n] = slog.String("job", f.Job)
+		n++
+	}
+	if f.HasShard {
+		attrs[n] = slog.Int("shard", f.Shard)
+		n++
+	}
+	if f.Attempt != 0 {
+		attrs[n] = slog.Int("attempt", f.Attempt)
+		n++
+	}
+	if f.Backend != "" {
+		attrs[n] = slog.String("backend", f.Backend)
+		n++
+	}
+	if f.Trace != "" {
+		attrs[n] = slog.String("trace", f.Trace)
+		n++
+	}
+	if f.Err != "" {
+		attrs[n] = slog.String("err", f.Err)
+		n++
+	}
+	if f.Detail != "" {
+		attrs[n] = slog.String("detail", f.Detail)
+		n++
+	}
+	h.log.LogAttrs(context.Background(), level, msg, attrs[:n]...)
+}
+
+func levelName(level slog.Level) string {
+	switch {
+	case level >= slog.LevelError:
+		return "error"
+	case level >= slog.LevelWarn:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// Events copies the current ring in arrival order plus the count of
+// events overwritten by ring wraparound.
+func (h *Host) Events() (events []Event, dropped uint64) {
+	if h == nil {
+		return nil, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Event, 0, h.evLen)
+	for i := 0; i < h.evLen; i++ {
+		out = append(out, h.events[(h.evHead+i)%len(h.events)])
+	}
+	return out, h.evDropped
+}

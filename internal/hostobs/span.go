@@ -1,0 +1,194 @@
+package hostobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Span is one completed wall-clock interval on a node (a dispatch, a
+// shard execution attempt, a retry backoff, a failover re-dispatch, a
+// journal fsync). Shard is -1 when the span has no shard.
+type Span struct {
+	Name       string `json:"name"`
+	Trace      string `json:"trace,omitempty"`
+	Job        string `json:"job,omitempty"`
+	Shard      int    `json:"shard"`
+	Attempt    int    `json:"attempt,omitempty"`
+	Backend    string `json:"backend,omitempty"`
+	Err        string `json:"err,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	StartNanos int64  `json:"start_nanos"`
+	DurNanos   int64  `json:"dur_nanos"`
+}
+
+// Span records a completed span that started at startNanos (in the
+// injected clock's domain) and ends now. The ring overwrites oldest.
+func (h *Host) Span(name string, startNanos int64, f Fields) {
+	if h == nil {
+		return
+	}
+	sp := Span{
+		Name:       name,
+		Trace:      f.Trace,
+		Job:        f.Job,
+		Shard:      -1,
+		Attempt:    f.Attempt,
+		Backend:    f.Backend,
+		Err:        f.Err,
+		Detail:     f.Detail,
+		StartNanos: startNanos,
+	}
+	if f.HasShard {
+		sp.Shard = f.Shard
+	}
+	if d := h.NowNanos() - startNanos; d > 0 {
+		sp.DurNanos = d
+	}
+	h.mu.Lock()
+	if h.spLen == len(h.spans) {
+		h.spans[h.spHead] = sp
+		h.spHead = (h.spHead + 1) % len(h.spans)
+		h.spDropped++
+	} else {
+		h.spans[(h.spHead+h.spLen)%len(h.spans)] = sp
+		h.spLen++
+	}
+	h.mu.Unlock()
+}
+
+// Spans copies, in arrival order, every recorded span whose trace ID
+// matches trace or whose job ID matches job (empty selectors match
+// nothing, so Spans("", "") is always empty).
+func (h *Host) Spans(trace, job string) []Span {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Span
+	for i := 0; i < h.spLen; i++ {
+		sp := h.spans[(h.spHead+i)%len(h.spans)]
+		if (trace != "" && sp.Trace == trace) || (job != "" && sp.Job == job) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// NodeSpans groups one node's spans inside a cross-node trace document.
+type NodeSpans struct {
+	Node  string `json:"node"`
+	Spans []Span `json:"spans"`
+}
+
+// chromeEvent mirrors internal/obs's trace_event encoding so host
+// traces and sim traces open identically in Perfetto / chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome renders a fleet's spans as one Chrome trace_event JSON
+// document: one "process" per node, one "thread" per span name (in
+// first-emission order), timestamps normalized so the earliest span
+// starts at ts 0. The envelope matches internal/obs's TraceWriter.
+func WriteChrome(w io.Writer, trace string, nodes []NodeSpans) error {
+	var t0 int64
+	first := true
+	total := 0
+	for _, n := range nodes {
+		for _, sp := range n.Spans {
+			if first || sp.StartNanos < t0 {
+				t0 = sp.StartNanos
+				first = false
+			}
+			total++
+		}
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	wrote := false
+	emit := func(e chromeEvent) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := "\n"
+		if wrote {
+			sep = ",\n"
+		}
+		wrote = true
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	}
+	for i, n := range nodes {
+		pid := i + 1
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": n.Node},
+		}); err != nil {
+			return err
+		}
+		tids := make(map[string]int, 8)
+		for _, sp := range n.Spans {
+			if _, ok := tids[sp.Name]; ok {
+				continue
+			}
+			tid := len(tids)
+			tids[sp.Name] = tid
+			if err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]string{"name": sp.Name},
+			}); err != nil {
+				return err
+			}
+		}
+		for _, sp := range n.Spans {
+			args := make(map[string]string, 6)
+			if sp.Job != "" {
+				args["job"] = sp.Job
+			}
+			if sp.Shard >= 0 {
+				args["shard"] = strconv.Itoa(sp.Shard)
+			}
+			if sp.Attempt > 0 {
+				args["attempt"] = strconv.Itoa(sp.Attempt)
+			}
+			if sp.Backend != "" {
+				args["backend"] = sp.Backend
+			}
+			if sp.Err != "" {
+				args["err"] = sp.Err
+			}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			if err := emit(chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   uint64(sp.StartNanos-t0) / 1000,
+				Dur:  uint64(sp.DurNanos) / 1000,
+				Pid:  pid,
+				Tid:  tids[sp.Name],
+				Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"wall-us\",\"nodes\":\"%d\",\"spans\":\"%d\",\"trace\":%q}}\n",
+		len(nodes), total, trace)
+	return err
+}

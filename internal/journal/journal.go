@@ -45,6 +45,13 @@ type Options struct {
 	// pass a counter) so the deterministic stack itself never reads the
 	// host clock — nothing journaled ever depends on it.
 	NowNanos func() int64
+	// Observe, when non-nil, receives one callback per committed append:
+	// the entry op ("accept", "ack", "term"), the job id, and the fsync
+	// start/duration in NowNanos's domain. It lets the daemon turn
+	// journal commits into host spans and structured logs without this
+	// package importing an observability layer; it is called outside the
+	// journal lock, after the entry is durable.
+	Observe func(op, jobID string, startNanos, durNanos int64)
 }
 
 // Journal is one journal directory. Methods are safe for concurrent use.
@@ -221,24 +228,29 @@ func (j *Journal) append(jobID string, e entry) error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	var t0, dur int64
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if _, err := f.Write(append(data, '\n')); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("journal: %w", err)
 	}
-	var t0 int64
 	if j.opt.NowNanos != nil {
 		t0 = j.opt.NowNanos()
 	}
 	if err := f.Sync(); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	if j.opt.NowNanos != nil {
-		if d := j.opt.NowNanos() - t0; d > 0 {
-			j.fsyncNanos.Add(uint64(d))
+		if dur = j.opt.NowNanos() - t0; dur > 0 {
+			j.fsyncNanos.Add(uint64(dur))
 		}
 	}
+	j.mu.Unlock()
 	j.appends.Add(1)
+	if j.opt.Observe != nil {
+		j.opt.Observe(e.Op, jobID, t0, dur)
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -195,5 +196,59 @@ func TestFaultpointInjectsAppendError(t *testing.T) {
 	faultpoint.Disarm()
 	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestObserveHookFiresPerCommittedAppend(t *testing.T) {
+	var fakeNow int64
+	var calls []string
+	j, err := Open(t.TempDir(), Options{
+		NowNanos: func() int64 { fakeNow += 1000; return fakeNow },
+		Observe: func(op, jobID string, startNanos, durNanos int64) {
+			calls = append(calls, fmt.Sprintf("%s:%s:%d", op, jobID, durNanos))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j.Close)
+	if err := j.Accept("job-0001", []byte(`{"version":1}`), SubmitOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AckShard("job-0001", 0, []byte(`{"index":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Term("job-0001", "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Each append reads the clock twice around the fsync, so every
+	// observed duration is exactly one tick.
+	want := []string{"accept:job-0001:1000", "ack:job-0001:1000", "term:job-0001:1000"}
+	if len(calls) != len(want) {
+		t.Fatalf("observe calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("observe call %d = %q, want %q", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestObserveNotCalledOnRefusedAppend(t *testing.T) {
+	t.Cleanup(faultpoint.Disarm)
+	calls := 0
+	j, err := Open(t.TempDir(), Options{
+		Observe: func(op, jobID string, startNanos, durNanos int64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j.Close)
+	faultpoint.Arm("journal.append=error:disk gone")
+	if err := j.Accept("job-0001", []byte(`{}`), SubmitOpts{}); err == nil {
+		t.Fatal("expected injected append error")
+	}
+	if calls != 0 {
+		t.Fatalf("Observe fired %d times on a refused append, want 0", calls)
 	}
 }

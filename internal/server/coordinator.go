@@ -8,11 +8,19 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/faultpoint"
+	"repro/internal/hostobs"
 	"repro/internal/sweep"
 )
+
+// mergeStallNanos is the merge-stall warning threshold: a single client
+// write+flush blocking longer than this gets a structured warn, because
+// fleet backpressure means a stalled coordinator client is stalling every
+// backend behind it.
+const mergeStallNanos = int64(100 * time.Millisecond)
 
 // Fleet coordination. A Server with Config.Backends set simulates nothing
 // itself: it accepts the same spec API, splits each job's grid into one
@@ -64,10 +72,14 @@ func (s *Server) healthy(ctx context.Context, backend string) bool {
 // runFleet executes a job by fanning its grid across the healthy backends
 // and merging the shard streams. Called from run() when Backends is set.
 func (s *Server) runFleet(ctx context.Context, j *Job, w io.Writer, rc *http.ResponseController, streamed bool) error {
+	h := s.cfg.Host
 	var live []string
 	for _, b := range s.cfg.Backends {
 		if s.healthy(ctx, b) {
 			live = append(live, b)
+			h.Info("backend probe", hostobs.Fields{Job: j.id, Trace: j.traceID, Backend: b, Detail: "healthy"})
+		} else {
+			h.Warn("backend probe", hostobs.Fields{Job: j.id, Trace: j.traceID, Backend: b, Detail: "unhealthy or draining; skipped"})
 		}
 	}
 	if len(live) == 0 {
@@ -97,7 +109,7 @@ func (s *Server) runFleet(ctx context.Context, j *Job, w io.Writer, rc *http.Res
 	}()
 	for i, sh := range shards {
 		fs := &fleetStream{
-			s: s, ctx: ctx, body: j.body, shard: sh.String(), workers: j.workers,
+			s: s, j: j, ctx: ctx, body: j.body, shard: sh.String(), workers: j.workers,
 			backends: live, next: i % len(live),
 		}
 		// Dispatch now, sequentially: header-flushing backends make this
@@ -117,6 +129,7 @@ func (s *Server) runFleet(ctx context.Context, j *Job, w io.Writer, rc *http.Res
 // backend death; it fails only when every backend has refused the shard.
 type fleetStream struct {
 	s        *Server
+	j        *Job
 	ctx      context.Context
 	body     []byte
 	shard    string
@@ -143,9 +156,15 @@ func (f *fleetStream) Read(p []byte) (int, error) {
 		}
 		f.cur.Close()
 		f.s.coordFailovers.Add(1)
+		h := f.s.cfg.Host
+		h.Warn("backend failover", hostobs.Fields{Job: f.j.id, Trace: f.j.traceID,
+			Err: err.Error(), Detail: fmt.Sprintf("shard %s died after %d bytes; re-dispatching", f.shard, f.consumed)})
+		failStart := h.NowNanos()
 		if derr := f.dispatch(); derr != nil {
 			return n, derr
 		}
+		h.Span("failover", failStart, hostobs.Fields{Trace: f.j.traceID, Job: f.j.id,
+			Err: err.Error(), Detail: "shard " + f.shard})
 		if n > 0 {
 			return n, nil
 		}
@@ -165,14 +184,18 @@ func (f *fleetStream) Close() error {
 // refusal counts as a coordinator retry; when the rotation is exhausted
 // the job fails.
 func (f *fleetStream) dispatch() error {
+	h := f.s.cfg.Host
 	var lastErr error
 	for try := 0; try < len(f.backends); try++ {
 		backend := f.backends[f.next%len(f.backends)]
 		f.next++
+		dispStart := h.NowNanos()
 		body, err := f.dispatchTo(backend)
 		if err != nil {
 			lastErr = fmt.Errorf("fleet: %s: %w", backend, err)
 			f.s.coordRetries.Add(1)
+			h.Warn("dispatch refused", hostobs.Fields{Job: f.j.id, Trace: f.j.traceID,
+				Backend: backend, Err: err.Error(), Detail: "shard " + f.shard})
 			continue
 		}
 		if f.consumed > 0 {
@@ -185,6 +208,10 @@ func (f *fleetStream) dispatch() error {
 		}
 		f.cur = body
 		f.s.coordDispatches.Add(1)
+		h.Span("dispatch", dispStart, hostobs.Fields{Trace: f.j.traceID, Job: f.j.id,
+			Backend: backend, Detail: "shard " + f.shard})
+		h.Info("shard dispatched", hostobs.Fields{Job: f.j.id, Trace: f.j.traceID,
+			Backend: backend, Detail: "shard " + f.shard})
 		return nil
 	}
 	return fmt.Errorf("fleet: shard %s: every backend refused: %w", f.shard, lastErr)
@@ -204,6 +231,10 @@ func (f *fleetStream) dispatchTo(backend string) (io.ReadCloser, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the fleet-wide trace ID: the backend's job adopts it, so
+	// its execute/retry/journal-fsync spans stitch into the coordinator's
+	// trace document.
+	req.Header.Set(traceHeader, f.j.traceID)
 	resp, err := f.s.cfg.FleetClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -245,6 +276,8 @@ type fleetSink struct {
 }
 
 func (fs *fleetSink) Write(p []byte) (int, error) {
+	h := fs.s.cfg.Host
+	writeStart := h.NowNanos()
 	if _, err := fs.w.Write(p); err != nil {
 		return 0, err
 	}
@@ -252,6 +285,12 @@ func (fs *fleetSink) Write(p []byte) (int, error) {
 		if err := fs.rc.Flush(); err != nil {
 			return 0, err
 		}
+	}
+	// Backpressure diagnosis: a client write blocking this long means the
+	// whole fleet is stalled behind the coordinator's client.
+	if d := h.NowNanos() - writeStart; d > mergeStallNanos {
+		h.Warn("merge stall", hostobs.Fields{Job: fs.j.id, Trace: fs.j.traceID,
+			Detail: "client write blocked " + time.Duration(d).String()})
 	}
 	line := append([]byte(nil), bytes.TrimSuffix(p, []byte("\n"))...)
 	j := fs.j
@@ -271,6 +310,15 @@ func (fs *fleetSink) Write(p []byte) (int, error) {
 	}
 	j.mu.Lock()
 	j.records++
+	if j.h != nil {
+		now := j.h.NowNanos()
+		j.hostBytes += uint64(len(p))
+		if j.hostFirst == 0 {
+			j.hostFirst = now
+		}
+		j.hostLast = now
+		fs.s.hostBytes.Add(uint64(len(p)))
+	}
 	if j.journaled {
 		j.archive = append(j.archive, line)
 	}

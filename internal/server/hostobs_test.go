@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/hostobs"
+	"repro/internal/journal"
+)
+
+// hostClock is a deterministic strictly-increasing shared clock for
+// multi-node hostobs tests.
+func hostClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1000) }
+}
+
+// chromeDoc decodes the hosttrace trace_event document far enough for
+// assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData"`
+}
+
+// TestHostUsageAndFlightRecorder: a hostobs-enabled single node accounts
+// exec time, allocs, and streamed bytes per job; serves a single-node
+// hosttrace document; and exposes the live flight recorder — while the
+// stream bytes stay identical to a hostobs-disabled run.
+func TestHostUsageAndFlightRecorder(t *testing.T) {
+	_, plain := newTestServer(t, Config{Workers: 2})
+	want := streamAll(t, plain, submit(t, plain, campaignSpecJSON(t), "").ID)
+
+	h := hostobs.New(hostobs.Options{Node: "node-a", NowNanos: hostClock()})
+	s, ts := newTestServer(t, Config{Workers: 2, Host: h})
+	st := submit(t, ts, campaignSpecJSON(t), "")
+	if st.TraceID != "t-"+st.ID {
+		t.Fatalf("trace_id = %q, want minted t-%s", st.TraceID, st.ID)
+	}
+	if st.HostTraceURL == "" {
+		t.Fatal("hosttrace_url missing on a hostobs-enabled node")
+	}
+	got := streamAll(t, ts, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("stream bytes differ with host observability enabled")
+	}
+
+	var done Status
+	getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID, &done)
+	u := done.Host
+	if u == nil {
+		t.Fatal("status.host missing")
+	}
+	if u.ExecNanos <= 0 || u.Allocs == 0 || u.RecordsPerSec <= 0 {
+		t.Fatalf("host usage = %+v, want positive exec/allocs/records_per_sec", u)
+	}
+	if u.BytesStreamed != uint64(len(got)) {
+		t.Fatalf("bytes_streamed = %d, want %d (the exact stream length)", u.BytesStreamed, len(got))
+	}
+	var ag Aggregates
+	getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/aggregates", &ag)
+	if ag.Host == nil || ag.Host.BytesStreamed != u.BytesStreamed {
+		t.Fatalf("aggregates.host = %+v, want the same accounting as status", ag.Host)
+	}
+	m := s.metricsSnapshot()
+	if m.Host.ExecNanosTotal == 0 || m.Host.AllocsTotal == 0 || m.Host.BytesStreamedTotal != u.BytesStreamed {
+		t.Fatalf("host metrics = %+v", m.Host)
+	}
+
+	// Single-node hosttrace: one process, execute spans, the job's trace.
+	var doc chromeDoc
+	getJSON(t, ts.URL+st.HostTraceURL, &doc)
+	if doc.OtherData["trace"] != st.TraceID {
+		t.Fatalf("hosttrace otherData = %v", doc.OtherData)
+	}
+	executes := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "execute" && e.Ph == "X" {
+			executes++
+		}
+	}
+	if executes != 8 {
+		t.Fatalf("hosttrace has %d execute spans, want 8 (one per grid point)", executes)
+	}
+
+	// Live flight recorder: the accepted-job event is in the ring.
+	var dump hostobs.FlightDump
+	getJSON(t, ts.URL+"/debug/flightrecorder", &dump)
+	if dump.Node != "node-a" {
+		t.Fatalf("flight dump node = %q", dump.Node)
+	}
+	found := false
+	for _, e := range dump.Events {
+		if e.Msg == "job accepted" && e.Job == st.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flight recorder missing the job-accepted event")
+	}
+}
+
+// TestHostTraceDisabled: without a Host, hosttrace is 404 and the debug
+// route is unregistered — the disabled daemon's surface is unchanged.
+func TestHostTraceDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	st := submit(t, ts, sweepSpecJSON(t), "")
+	if st.TraceID != "" || st.HostTraceURL != "" || st.Host != nil {
+		t.Fatalf("disabled node leaked host fields: %+v", st)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/hosttrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hosttrace on disabled node: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flightrecorder on disabled node: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHostTraceCrossNodeFailover is the acceptance criterion's in-process
+// half: a coordinator failover produces ONE Chrome trace document with
+// spans from both the coordinator and the surviving backend, and the
+// failover span is actually in it (non-vacuous: the flaky backend must
+// have tripped).
+func TestHostTraceCrossNodeFailover(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 2})
+	want := streamAll(t, single, submit(t, single, campaignSpecJSON(t), "").ID)
+
+	clock := hostClock()
+	_, realTS := newTestServer(t, Config{Workers: 2,
+		Host: hostobs.New(hostobs.Options{Node: "backend-a", NowNanos: clock})})
+	flaky := httptest.NewServer(&flakyBackend{target: realTS.URL, client: realTS.Client()})
+	t.Cleanup(flaky.Close)
+
+	coord, coordTS, _, _ := newFleet(t, 0, Config{
+		Backends: []string{flaky.URL, realTS.URL},
+		Host:     hostobs.New(hostobs.Options{Node: "coordinator", NowNanos: clock}),
+	})
+	st := submit(t, coordTS, campaignSpecJSON(t), "")
+	got := streamAll(t, coordTS, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover stream differs from single-node run")
+	}
+	if coord.metricsSnapshot().Coordinator.Failovers == 0 {
+		t.Fatal("no failover recorded — the flaky backend never tripped, test is vacuous")
+	}
+
+	var doc chromeDoc
+	getJSON(t, coordTS.URL+"/api/v1/jobs/"+st.ID+"/hosttrace", &doc)
+	pids := map[int]bool{}
+	procs := map[string]bool{}
+	spans := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.Pid] = true
+		if e.Name == "process_name" && e.Ph == "M" {
+			procs[e.Args["name"]] = true
+		}
+		if e.Ph == "X" {
+			spans[e.Name] = true
+		}
+	}
+	if len(pids) < 2 {
+		t.Fatalf("hosttrace covers %d node(s), want spans from both coordinator and surviving backend", len(pids))
+	}
+	if !procs["coordinator"] || !procs["backend-a"] {
+		t.Fatalf("hosttrace processes = %v, want coordinator and backend-a", procs)
+	}
+	for _, name := range []string{"dispatch", "failover", "execute"} {
+		if !spans[name] {
+			t.Fatalf("hosttrace span names = %v, missing %q", spans, name)
+		}
+	}
+}
+
+// TestPoisonedShardLastErrorInStatusAndSSE: poisoned shards carry their
+// last attempt's error into job status (shards[i].last_error) and into
+// the terminal SSE state event, instead of vanishing into a counter.
+func TestPoisonedShardLastErrorInStatusAndSSE(t *testing.T) {
+	t.Cleanup(faultpoint.Disarm)
+	if err := faultpoint.Arm("server.shard=error:disk offline"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, RetryMax: 2, Sleep: func(time.Duration) {}})
+	st := submit(t, ts, campaignSpecJSON(t), "")
+
+	events, err := http.Get(ts.URL + st.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+
+	streamAll(t, ts, st.ID)
+
+	var got Status
+	getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID, &got)
+	if got.State != StateDone {
+		t.Fatalf("job state = %s, want done (poisoning never fails the job)", got.State)
+	}
+	if len(got.Shards) != 8 {
+		t.Fatalf("status.shards has %d entries, want all 8 poisoned shards", len(got.Shards))
+	}
+	for i, sh := range got.Shards {
+		if sh.Index != i {
+			t.Fatalf("shards[%d].index = %d, want sorted by index", i, sh.Index)
+		}
+		if sh.Attempts != 2 || !strings.Contains(sh.LastError, "disk offline") {
+			t.Fatalf("shards[%d] = %+v, want 2 attempts and the injected error", i, sh)
+		}
+	}
+
+	var terminal *Status
+	for _, ev := range readSSE(t, events.Body) {
+		if ev.event != "state" {
+			continue
+		}
+		var s Status
+		if err := json.Unmarshal(ev.data, &s); err != nil {
+			t.Fatal(err)
+		}
+		terminal = &s
+	}
+	if terminal == nil || terminal.State != StateDone {
+		t.Fatalf("terminal SSE state event = %+v", terminal)
+	}
+	if len(terminal.Shards) != 8 || !strings.Contains(terminal.Shards[0].LastError, "disk offline") {
+		t.Fatalf("terminal SSE event shards = %+v, want the poisoned shard errors", terminal.Shards)
+	}
+}
+
+// TestHealthzReplaySummary: after a journaled restart, /healthz carries
+// the structured replay summary Restore built; a daemon that never
+// replayed reports none.
+func TestHealthzReplaySummary(t *testing.T) {
+	_, freshTS := newTestServer(t, Config{Workers: 2})
+	var fresh map[string]json.RawMessage
+	getJSON(t, freshTS.URL+"/healthz", &fresh)
+	if _, ok := fresh["replay"]; ok {
+		t.Fatal("healthz reports a replay summary without a restore")
+	}
+
+	dir := t.TempDir()
+	jn, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Workers: 2, Journal: jn})
+	id := submit(t, ts1, campaignSpecJSON(t), "").ID
+	streamAll(t, ts1, id)
+	jn.Close()
+
+	jn2, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	life2, ts2 := newTestServer(t, Config{Workers: 2, Journal: jn2})
+	if _, err := life2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	var hs healthStatus
+	getJSON(t, ts2.URL+"/healthz", &hs)
+	if hs.Status != "ok" || hs.Replay == nil {
+		t.Fatalf("healthz = %+v, want ok with a replay summary", hs)
+	}
+	want := ReplaySummary{JobsRestored: 1, JobsResumed: 0, RecordsRestored: 8, LinesDiscarded: 0}
+	if *hs.Replay != want {
+		t.Fatalf("healthz replay = %+v, want %+v", *hs.Replay, want)
+	}
+}
+
+// TestFleetSlowEventsSubscriber covers slow-SSE-subscriber drop
+// accounting behind the coordinator: a subscriber that cannot keep up
+// with the merged fleet stream loses snapshots (counted) and the fleet
+// job still completes. The depth-1 subscriber is registered directly so
+// the overflow is deterministic, not a function of socket buffer sizes;
+// a real unread HTTP subscriber rides along to prove non-stalling
+// end-to-end.
+func TestFleetSlowEventsSubscriber(t *testing.T) {
+	coord, coordTS, _, _ := newFleet(t, 2, Config{SnapshotEvery: 1})
+	st := submit(t, coordTS, sweepSpecJSON(t), "")
+
+	events, err := http.Get(coordTS.URL + st.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+
+	coord.mu.Lock()
+	j := coord.jobs[st.ID]
+	coord.mu.Unlock()
+	j.mu.Lock()
+	j.nextSub++
+	j.subs = append(j.subs, &subscriber{id: j.nextSub, ch: make(chan sseMsg, 1)})
+	j.mu.Unlock()
+
+	streamAll(t, coordTS, st.ID)
+
+	var got Status
+	getJSON(t, coordTS.URL+"/api/v1/jobs/"+st.ID, &got)
+	if got.State != StateDone {
+		t.Fatalf("fleet job state = %s, want done despite the stalled subscriber", got.State)
+	}
+	if got.Records != 24 {
+		t.Fatalf("records = %d, want 24", got.Records)
+	}
+	if coord.sseDropped.Load() == 0 {
+		t.Fatal("no SSE drops counted on the coordinator — the slow subscriber lost nothing, test is vacuous")
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/hostobs"
+)
+
+// ReplaySummary is the structured startup summary Restore builds after
+// journal replay: what was rebuilt, what resumed, and how many torn tail
+// lines the replay discarded. Logged once at startup and included in
+// /healthz detail.
+type ReplaySummary struct {
+	JobsRestored    int `json:"jobs_restored"`
+	JobsResumed     int `json:"jobs_resumed"`
+	RecordsRestored int `json:"records_restored"`
+	LinesDiscarded  int `json:"lines_discarded"`
+}
+
+// handleHostSpans serves this node's span ring filtered by ?trace= or
+// ?job= — the per-node half of the cross-node trace document. An empty
+// filter matches nothing, so the endpoint never leaks unrelated spans.
+func (s *Server) handleHostSpans(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	h := s.cfg.Host
+	spans := h.Spans(q.Get("trace"), q.Get("job"))
+	if spans == nil {
+		spans = []hostobs.Span{}
+	}
+	writeJSON(w, http.StatusOK, hostobs.NodeSpans{Node: h.NodeName(), Spans: spans})
+}
+
+// handleHostTrace renders the job's host-side spans — this node's plus
+// every reachable backend's, matched by the job's fleet-wide trace ID —
+// as one Chrome trace_event document: one "process" per node, so a
+// coordinator failover reads end-to-end in a single Perfetto view.
+func (s *Server) handleHostTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	h := s.cfg.Host
+	if h == nil {
+		httpError(w, http.StatusNotFound, "host observability is disabled on this node (start the daemon with a hostobs.Host)")
+		return
+	}
+	nodes := []hostobs.NodeSpans{{Node: h.NodeName(), Spans: h.Spans(j.traceID, j.id)}}
+	for _, backend := range s.cfg.Backends {
+		ns, err := s.fetchHostSpans(r.Context(), backend, j.traceID)
+		if err != nil {
+			// A dead backend cannot contribute spans; the surviving
+			// nodes' view is still the whole story we can tell.
+			h.Warn("hostspans fetch failed", hostobs.Fields{Job: j.id, Trace: j.traceID, Backend: backend, Err: err.Error()})
+			continue
+		}
+		if len(ns.Spans) > 0 {
+			nodes = append(nodes, ns)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	hostobs.WriteChrome(w, j.traceID, nodes)
+}
+
+// fetchHostSpans pulls one backend's spans for a trace ID.
+func (s *Server) fetchHostSpans(ctx context.Context, backend, trace string) (hostobs.NodeSpans, error) {
+	var ns hostobs.NodeSpans
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		backend+"/api/v1/hostspans?trace="+url.QueryEscape(trace), nil)
+	if err != nil {
+		return ns, err
+	}
+	resp, err := s.cfg.FleetClient.Do(req)
+	if err != nil {
+		return ns, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ns, fmt.Errorf("hostspans: backend returned %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ns); err != nil {
+		return ns, err
+	}
+	return ns, nil
+}

@@ -144,6 +144,18 @@ mpsocd_coordinator_retries_total 0
 # HELP mpsocd_coordinator_failovers_total Shards re-dispatched away from dead or draining backends.
 # TYPE mpsocd_coordinator_failovers_total counter
 mpsocd_coordinator_failovers_total 0
+# HELP mpsocd_host_exec_nanos_total Wall-clock nanoseconds executing shards (zero with host observability off).
+# TYPE mpsocd_host_exec_nanos_total counter
+mpsocd_host_exec_nanos_total 0
+# HELP mpsocd_host_allocs_total Heap objects allocated during shard execution (zero with host observability off).
+# TYPE mpsocd_host_allocs_total counter
+mpsocd_host_allocs_total 0
+# HELP mpsocd_host_bytes_streamed_total Record bytes streamed to clients (zero with host observability off).
+# TYPE mpsocd_host_bytes_streamed_total counter
+mpsocd_host_bytes_streamed_total 0
+# HELP mpsocd_build_info Build identity: constant 1 with the VCS revision and dirty flag as labels.
+# TYPE mpsocd_build_info gauge
+mpsocd_build_info{revision="unknown",dirty="false"} 1
 `
 
 func TestMetricsPrometheusGolden(t *testing.T) {

@@ -51,4 +51,13 @@ func (m Metrics) Prometheus(w io.Writer) {
 	counter("mpsocd_coordinator_dispatches_total", "Shard streams dispatched to fleet backends.", m.Coordinator.Dispatches)
 	counter("mpsocd_coordinator_retries_total", "Coordinator dispatch retries.", m.Coordinator.Retries)
 	counter("mpsocd_coordinator_failovers_total", "Shards re-dispatched away from dead or draining backends.", m.Coordinator.Failovers)
+	counter("mpsocd_host_exec_nanos_total", "Wall-clock nanoseconds executing shards (zero with host observability off).", m.Host.ExecNanosTotal)
+	counter("mpsocd_host_allocs_total", "Heap objects allocated during shard execution (zero with host observability off).", m.Host.AllocsTotal)
+	counter("mpsocd_host_bytes_streamed_total", "Record bytes streamed to clients (zero with host observability off).", m.Host.BytesStreamedTotal)
+	// build_info follows the Prometheus convention: a constant-1 gauge
+	// whose labels carry the identity (Metrics.Build.Info is its one
+	// numeric leaf, keeping the drift test's bijection exact).
+	fmt.Fprintf(w, "# HELP mpsocd_build_info Build identity: constant 1 with the VCS revision and dirty flag as labels.\n")
+	fmt.Fprintf(w, "# TYPE mpsocd_build_info gauge\n")
+	fmt.Fprintf(w, "mpsocd_build_info{revision=%q,dirty=\"%t\"} %d\n", m.Build.Revision, m.Build.Dirty, m.Build.Info)
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/hostobs"
 	"repro/internal/journal"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -34,12 +35,17 @@ func (s *Server) Restore() (resumed int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	sum := &ReplaySummary{}
+	var pending []*Job
 	for _, lg := range logs {
 		j, err := s.rebuild(lg)
 		if err != nil {
 			return resumed, fmt.Errorf("restore %s: %w", lg.ID, err)
 		}
 		s.linesDiscarded.Add(uint64(lg.Discarded))
+		sum.JobsRestored++
+		sum.RecordsRestored += len(lg.Acks)
+		sum.LinesDiscarded += lg.Discarded
 
 		s.mu.Lock()
 		s.jobs[j.id] = j
@@ -53,9 +59,21 @@ func (s *Server) Restore() (resumed int, err error) {
 		if j.state == StatePending {
 			resumed++
 			s.jobsResumed.Add(1)
-			if j.mode == "aggregate" {
-				s.startDetached(j)
-			}
+			sum.JobsResumed++
+			pending = append(pending, j)
+		}
+	}
+	s.mu.Lock()
+	s.replay = sum
+	s.mu.Unlock()
+	// The one structured startup summary: everything replay decided, in a
+	// single line, before any resumed job starts producing events.
+	s.cfg.Host.Info("journal replay complete", hostobs.Fields{
+		Detail: fmt.Sprintf("jobs_restored=%d jobs_resumed=%d records_restored=%d lines_discarded=%d",
+			sum.JobsRestored, sum.JobsResumed, sum.RecordsRestored, sum.LinesDiscarded)})
+	for _, j := range pending {
+		if j.mode == "aggregate" {
+			s.startDetached(j)
 		}
 	}
 	return resumed, nil
@@ -85,7 +103,7 @@ func (s *Server) rebuild(lg journal.JobLog) (*Job, error) {
 	// traceLimit stays zero: trace buffers are in-memory only and do not
 	// survive a restart (the journal deliberately does not persist them).
 	j := &Job{id: lg.ID, spec: sp, shard: sh, workers: min(workers, s.cfg.Workers),
-		mode: mode, journaled: true, body: lg.Spec}
+		mode: mode, journaled: true, body: lg.Spec, h: s.cfg.Host, traceID: "t-" + lg.ID}
 	switch sp.Kind {
 	case spec.KindSweep:
 		j.sweepGrid, err = sp.Sweep.Grid()

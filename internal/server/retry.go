@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/faultpoint"
+	"repro/internal/hostobs"
 )
 
 // Shard retry policy defaults: up to RetryMax attempts per shard, delays
@@ -76,18 +77,35 @@ func retryHash(jobID string, index, attempt int) uint64 {
 // registry and published on the job's /events feed. A canceled job stops
 // retrying immediately and does not count as poisoned.
 func (s *Server) executeShard(ctx context.Context, j *Job, index int, runOnce func()) error {
+	h := j.h
 	for attempt := 1; ; attempt++ {
 		actx := ctx
 		var cancel context.CancelFunc
 		if s.cfg.ShardTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, s.cfg.ShardTimeout)
 		}
+		start := h.NowNanos()
+		allocs0 := h.Allocs()
 		err := faultpoint.HitCtx(actx, "server.shard")
 		if err == nil {
 			runOnce()
 		}
 		if cancel != nil {
 			cancel()
+		}
+		h.Span("execute", start, hostobs.Fields{Trace: j.traceID, Job: j.id,
+			Shard: index, HasShard: true, Attempt: attempt, Err: errString(err)})
+		if h != nil {
+			d := h.NowNanos() - start
+			allocs := h.Allocs() - allocs0
+			if d > 0 {
+				s.hostExecNanos.Add(uint64(d))
+			}
+			s.hostAllocs.Add(allocs)
+			j.mu.Lock()
+			j.hostExecNanos += d
+			j.hostAllocs += allocs
+			j.mu.Unlock()
 		}
 		if err == nil {
 			return nil
@@ -97,13 +115,32 @@ func (s *Server) executeShard(ctx context.Context, j *Job, index int, runOnce fu
 		}
 		if attempt >= s.cfg.RetryMax {
 			s.shardsPoisoned.Add(1)
+			h.Error("shard poisoned", hostobs.Fields{Trace: j.traceID, Job: j.id,
+				Shard: index, HasShard: true, Attempt: attempt, Err: err.Error()})
+			j.mu.Lock()
+			j.shardErrs = append(j.shardErrs, ShardInfo{Index: index, Attempts: attempt, LastError: err.Error()})
+			j.mu.Unlock()
 			s.publishShard(j, "poison", index, attempt, err)
 			return err
 		}
 		s.shardRetries.Add(1)
+		h.Warn("shard retry", hostobs.Fields{Trace: j.traceID, Job: j.id,
+			Shard: index, HasShard: true, Attempt: attempt, Err: err.Error()})
 		s.publishShard(j, "retry", index, attempt, err)
+		backoffStart := h.NowNanos()
 		s.cfg.Sleep(Backoff(j.id, index, attempt, s.cfg.RetryBase, s.cfg.RetryCap))
+		h.Span("retry", backoffStart, hostobs.Fields{Trace: j.traceID, Job: j.id,
+			Shard: index, HasShard: true, Attempt: attempt})
 	}
+}
+
+// errString is Err for Fields: "" for nil, so the success path builds
+// field sets without touching the error.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // shardEvent is the /events payload for "retry" and "poison" events.

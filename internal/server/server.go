@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/campaign"
+	"repro/internal/hostobs"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -92,11 +94,24 @@ type Config struct {
 	// FleetClient is the coordinator's HTTP client (injectable for tests).
 	// Defaults to http.DefaultClient.
 	FleetClient *http.Client
+	// Host is the node's host-observability layer: structured logs to
+	// stderr, wall-clock spans, the flight recorder. nil disables all of
+	// it — the disabled path costs zero allocations (hostobs methods are
+	// nil-receiver-safe no-ops) and nothing host-time-dependent exists,
+	// which is the configuration every determinism test runs with.
+	Host *hostobs.Host
+	// Build identifies the binary for the build_info metric. The zero
+	// value renders as revision "unknown".
+	Build hostobs.BuildInfo
 }
 
 // maxTraceLimit caps the per-run event buffer a client may request with
 // ?trace=N, bounding per-job trace memory.
 const maxTraceLimit = 1 << 20
+
+// traceHeader carries the fleet-wide host trace ID from the coordinator
+// to its backends, so every node's spans land in one trace document.
+const traceHeader = "X-Mpsoc-Trace"
 
 // sseBuf is the per-subscriber channel depth. A subscriber that falls
 // further behind than this loses messages (counted in the sse_dropped
@@ -155,6 +170,14 @@ type Job struct {
 	// comparing resumed output against an uninterrupted run.
 	archive [][]byte
 
+	// h mirrors Config.Host (nil when host observability is off) and
+	// traceID is the job's fleet-wide trace: minted by the first node
+	// that accepts the spec, adopted from the X-Mpsoc-Trace header when
+	// a coordinator dispatched it, so spans recorded on different nodes
+	// stitch into one document.
+	h       *hostobs.Host
+	traceID string
+
 	mu      sync.Mutex
 	state   string
 	errMsg  string
@@ -164,6 +187,18 @@ type Job struct {
 	traces  []runTrace
 	subs    []*subscriber
 	nextSub int
+	// Host resource accounting (hostobs-enabled nodes only): wall-clock
+	// nanoseconds executing this job's shards, heap objects allocated
+	// during them, record bytes streamed, and the first/last stream
+	// timestamps that records/s derives from.
+	hostExecNanos int64
+	hostAllocs    uint64
+	hostBytes     uint64
+	hostFirst     int64
+	hostLast      int64
+	// shardErrs carries poisoned shards' last attempt errors into job
+	// status (shards[i].last_error) and the terminal SSE event.
+	shardErrs []ShardInfo
 }
 
 // gridSize is the job's total grid point count (whole grid, pre-shard).
@@ -206,6 +241,12 @@ type Server struct {
 	coordRetries    atomic.Uint64
 	coordFailovers  atomic.Uint64
 
+	// Host resource counters (zero unless Config.Host is set): totals of
+	// the per-job accounting.
+	hostExecNanos atomic.Uint64
+	hostAllocs    atomic.Uint64
+	hostBytes     atomic.Uint64
+
 	// draining flips /healthz to 503 once shutdown begins so routers stop
 	// sending work; jobs canceled while draining skip the terminal journal
 	// entry and stay resumable.
@@ -221,6 +262,9 @@ type Server struct {
 	jobs   map[string]*Job
 	order  []string // insertion order: deterministic listings, no map-range
 	nextID int
+	// replay is the startup summary Restore built from the journal (nil
+	// until Restore runs); /healthz includes it as detail.
+	replay *ReplaySummary
 }
 
 // New builds a Server. The zero Config selects defaults.
@@ -280,6 +324,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/aggregates", s.handleAggregates)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/hosttrace", s.handleHostTrace)
+	mux.HandleFunc("GET /api/v1/hostspans", s.handleHostSpans)
+	if s.cfg.Host != nil {
+		mux.HandleFunc("GET /debug/flightrecorder", s.cfg.Host.ServeFlight)
+	}
 	return mux
 }
 
@@ -317,10 +366,37 @@ type Status struct {
 	Records  uint64 `json:"records"`
 	Error    string `json:"error,omitempty"`
 
+	// TraceID is the fleet-wide host trace ID (hostobs-enabled nodes
+	// only); Shards carries poisoned shards' last attempt errors (sorted
+	// by index, present whenever any shard was poisoned); Host is the
+	// node's resource accounting for this job.
+	TraceID string      `json:"trace_id,omitempty"`
+	Shards  []ShardInfo `json:"shards,omitempty"`
+	Host    *HostUsage  `json:"host,omitempty"`
+
 	StreamURL     string `json:"stream_url"`
 	AggregatesURL string `json:"aggregates_url"`
 	EventsURL     string `json:"events_url"`
 	TraceURL      string `json:"trace_url,omitempty"`
+	HostTraceURL  string `json:"hosttrace_url,omitempty"`
+}
+
+// ShardInfo is one poisoned shard's terminal record in job status: the
+// grid index, how many attempts it burned, and the last attempt's error.
+type ShardInfo struct {
+	Index     int    `json:"index"`
+	Attempts  int    `json:"attempts"`
+	LastError string `json:"last_error"`
+}
+
+// HostUsage is per-job host resource accounting (hostobs-enabled nodes
+// only): wall-clock shard execution time, heap objects allocated during
+// shard execution, record bytes streamed, and streaming throughput.
+type HostUsage struct {
+	ExecNanos     int64   `json:"exec_nanos"`
+	Allocs        uint64  `json:"allocs"`
+	BytesStreamed uint64  `json:"bytes_streamed"`
+	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
 // statusLocked builds the Status; j.mu must be held.
@@ -341,7 +417,25 @@ func (j *Job) statusLocked() Status {
 	if j.traceLimit > 0 {
 		st.TraceURL = "/api/v1/jobs/" + j.id + "/trace"
 	}
+	if len(j.shardErrs) > 0 {
+		st.Shards = append([]ShardInfo(nil), j.shardErrs...)
+		sort.Slice(st.Shards, func(a, b int) bool { return st.Shards[a].Index < st.Shards[b].Index })
+	}
+	if j.h != nil {
+		st.TraceID = j.traceID
+		st.HostTraceURL = "/api/v1/jobs/" + j.id + "/hosttrace"
+		st.Host = j.hostUsageLocked()
+	}
 	return st
+}
+
+// hostUsageLocked snapshots the job's host accounting; j.mu must be held.
+func (j *Job) hostUsageLocked() *HostUsage {
+	u := &HostUsage{ExecNanos: j.hostExecNanos, Allocs: j.hostAllocs, BytesStreamed: j.hostBytes}
+	if j.records > 0 && j.hostLast > j.hostFirst {
+		u.RecordsPerSec = float64(j.records) / (float64(j.hostLast-j.hostFirst) / 1e9)
+	}
+	return u
 }
 
 func (j *Job) status() Status {
@@ -412,7 +506,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		traceLimit = min(n, maxTraceLimit)
 	}
 
-	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending, traceLimit: traceLimit, mode: mode, body: body}
+	j := &Job{spec: sp, shard: sh, workers: workers, state: StatePending, traceLimit: traceLimit, mode: mode, body: body, h: s.cfg.Host}
 	// Grids build here so the spec's semantic reach (unknown scenario
 	// names and the like) is also a 400, not a stream-time failure.
 	switch sp.Kind {
@@ -438,6 +532,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	// Adopt the coordinator's trace ID when this submit is a dispatched
+	// shard; mint one otherwise, so every job's spans stitch fleet-wide.
+	if j.traceID = r.Header.Get(traceHeader); j.traceID == "" {
+		j.traceID = "t-" + j.id
+	}
 
 	// Durability point: once Accept returns, a crash anywhere after this
 	// line leaves a journal from which Restore rebuilds (and resumes) the
@@ -453,6 +552,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.journaled = true
 	}
 
+	if h := s.cfg.Host; h != nil {
+		h.Info("job accepted", hostobs.Fields{Job: j.id, Trace: j.traceID,
+			Detail: fmt.Sprintf("kind=%s grid=%d shard=%s workers=%d mode=%s", sp.Kind, j.gridSize(), j.shard, j.workers, mode)})
+	}
 	if mode == "aggregate" {
 		s.startDetached(j)
 	}
@@ -481,6 +584,7 @@ func (s *Server) startDetached(j *Job) {
 	j.state = StateRunning
 	s.publishLocked(j, "state", mustJSON(j.statusLocked()))
 	j.mu.Unlock()
+	j.h.Info("job started", hostobs.Fields{Job: j.id, Trace: j.traceID, Detail: "mode=aggregate (detached)"})
 	s.detached.Add(1)
 	go func() {
 		defer s.detached.Done()
@@ -558,6 +662,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j.state = StateRunning
 	s.publishLocked(j, "state", mustJSON(j.statusLocked()))
 	j.mu.Unlock()
+	j.h.Info("stream claimed", hostobs.Fields{Job: j.id, Trace: j.traceID})
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -595,6 +700,15 @@ func (s *Server) run(ctx context.Context, j *Job, w io.Writer, rc *http.Response
 		j.mu.Lock()
 		add()
 		j.records++
+		if j.h != nil {
+			now := j.h.NowNanos()
+			j.hostBytes += uint64(len(line) + 1)
+			if j.hostFirst == 0 {
+				j.hostFirst = now
+			}
+			j.hostLast = now
+			s.hostBytes.Add(uint64(len(line) + 1))
+		}
 		// Journaled jobs archive every emitted line (in emission order) so a
 		// terminal job's stream can be replayed byte-identically — by a
 		// reconnecting client or the chaos gate.
@@ -748,6 +862,18 @@ func (s *Server) finish(j *Job, ctx context.Context, err error) {
 	if j.journaled && !(j.state == StateCanceled && s.draining.Load()) {
 		s.cfg.Journal.Term(j.id, j.state, j.errMsg)
 	}
+	if h := j.h; h != nil {
+		f := hostobs.Fields{Job: j.id, Trace: j.traceID, Err: j.errMsg,
+			Detail: fmt.Sprintf("records=%d", j.records)}
+		switch j.state {
+		case StateDone:
+			h.Info("job done", f)
+		case StateCanceled:
+			h.Warn("job canceled", f)
+		default:
+			h.Error("job failed", f)
+		}
+	}
 	// Terminal fan-out: the final aggregate snapshot, the terminal state,
 	// then close every subscriber channel so /events handlers end their
 	// streams. Later subscribers get an immediate replay instead.
@@ -792,11 +918,19 @@ type Aggregates struct {
 	// offline over the job's JSONL stream yields byte-identical JSON
 	// (gated by make serve-determinism).
 	Aggregates any `json:"aggregates"`
+	// Host is the per-job host resource accounting (hostobs-enabled
+	// nodes only). It rides next to — never inside — the Aggregates
+	// field, which is the only part the serve-determinism gate compares,
+	// so host timing can never leak into the byte-identity contract.
+	Host *HostUsage `json:"host,omitempty"`
 }
 
 // aggregatesLocked builds the payload; j.mu must be held.
 func (j *Job) aggregatesLocked() Aggregates {
 	out := Aggregates{ID: j.id, State: j.state, Records: j.records}
+	if j.h != nil {
+		out.Host = j.hostUsageLocked()
+	}
 	if j.campaignGrid != nil {
 		out.Aggregates = j.camp.Snapshot()
 	} else {
@@ -918,15 +1052,25 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	tw.Close()
 }
 
+// healthStatus is the /healthz body: the probe verdict plus, after a
+// journaled restart, the replay summary (what Restore rebuilt).
+type healthStatus struct {
+	Status string         `json:"status"`
+	Replay *ReplaySummary `json:"replay,omitempty"`
+}
+
 // handleHealthz is the readiness probe: 200 while accepting work, 503 once
 // draining so load balancers and the fleet coordinator stop routing new
 // shards here while in-flight streams finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	replay := s.replay
+	s.mu.Unlock()
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, healthStatus{Status: "draining", Replay: replay})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthStatus{Status: "ok", Replay: replay})
 }
 
 // handleLivez is the liveness probe: 200 until the process exits, draining
@@ -938,7 +1082,10 @@ func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 // BeginDrain flips /healthz to 503. Call it before http.Server.Shutdown;
 // jobs canceled after this point skip their terminal journal entry and
 // stay resumable.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.cfg.Host.Warn("drain begun", hostobs.Fields{Detail: "healthz=503; in-flight streams finishing"})
+}
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -1006,6 +1153,23 @@ type Metrics struct {
 		Retries    uint64 `json:"retries"`
 		Failovers  uint64 `json:"failovers"`
 	} `json:"coordinator"`
+	// Host covers host resource accounting (zero unless the daemon runs
+	// with host observability enabled): wall-clock shard execution time,
+	// heap objects allocated during shard execution, record bytes
+	// streamed to clients.
+	Host struct {
+		ExecNanosTotal     uint64 `json:"exec_nanos_total"`
+		AllocsTotal        uint64 `json:"allocs_total"`
+		BytesStreamedTotal uint64 `json:"bytes_streamed_total"`
+	} `json:"host"`
+	// Build identifies the binary: Info is the constant-1 gauge value
+	// (Prometheus build_info convention); revision and dirty ride as
+	// labels in the text exposition and as fields here.
+	Build struct {
+		Revision string `json:"revision"`
+		Dirty    bool   `json:"dirty"`
+		Info     int    `json:"info"`
+	} `json:"build"`
 }
 
 // metricsSnapshot gathers the registry from the live counters.
@@ -1056,6 +1220,15 @@ func (s *Server) metricsSnapshot() Metrics {
 	m.Coordinator.Dispatches = s.coordDispatches.Load()
 	m.Coordinator.Retries = s.coordRetries.Load()
 	m.Coordinator.Failovers = s.coordFailovers.Load()
+	m.Host.ExecNanosTotal = s.hostExecNanos.Load()
+	m.Host.AllocsTotal = s.hostAllocs.Load()
+	m.Host.BytesStreamedTotal = s.hostBytes.Load()
+	m.Build.Revision = s.cfg.Build.Revision
+	if m.Build.Revision == "" {
+		m.Build.Revision = "unknown"
+	}
+	m.Build.Dirty = s.cfg.Build.Dirty
+	m.Build.Info = 1
 	return m
 }
 

@@ -16,6 +16,15 @@
 // have exited 137 with the faultpoint's stderr marker, so a refactor that
 // silently stops arming faultpoints fails the gate instead of passing it
 // hollowly.
+//
+// The gate also proves the host-observability post-mortem story against
+// real processes: the crashed daemon must leave a flight-recorder dump
+// next to its journal whose event ring contains the armed faultpoint,
+// the restarted daemon must serve a pprof CPU profile on -debug-addr,
+// and the coordinator's /hosttrace for the failed-over job must be one
+// Chrome trace document holding spans from both the coordinator and the
+// surviving backend. Dump, profile and trace are copied into
+// build/chaos-artifacts for CI upload.
 package main
 
 import (
@@ -44,12 +53,19 @@ func main() {
 	fmt.Println("chaos: OK (crash-resume and fleet-failover streams byte-identical)")
 }
 
+// artifactsDir receives the post-mortem evidence (flight dump, pprof
+// profile, cross-node host trace) for CI to upload.
+const artifactsDir = "build/chaos-artifacts"
+
 func run() error {
 	tmp, err := os.MkdirTemp("", "mpsocd-chaos-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(tmp)
+	if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+		return err
+	}
 
 	bin := filepath.Join(tmp, "mpsocd")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/mpsocd")
@@ -144,10 +160,18 @@ func crashResume(tmp, bin string) error {
 	if !strings.Contains(stderr, "faultpoint: crash at journal.ack") {
 		return fmt.Errorf("no faultpoint crash marker on stderr — the gate is vacuous\nstderr: %s", stderr)
 	}
+	// The dying process's last act: a flight-recorder dump next to the
+	// journal, with the armed faultpoint in its event ring — the readable
+	// post-mortem the runbook walks through.
+	if err := checkFlightDump(jdir); err != nil {
+		return err
+	}
 
-	// Life 2: same journal, no faultpoints. Boot replays the journal and
-	// restarts the interrupted aggregate job detached.
-	d2 := daemon(bin, []string{"-addr", addr, "-workers", "2", "-journal", jdir}, "")
+	// Life 2: same journal, no faultpoints, debug listener up so the gate
+	// can prove the pprof surface works on a real resumed daemon.
+	dbgAddr := freeAddr()
+	d2 := daemon(bin, []string{"-addr", addr, "-workers", "2", "-journal", jdir,
+		"-debug-addr", dbgAddr}, "")
 	if err := d2.start(); err != nil {
 		return err
 	}
@@ -172,8 +196,58 @@ func crashResume(tmp, bin string) error {
 	if !strings.Contains(string(metrics), "mpsocd_journal_jobs_resumed_total 1") {
 		return fmt.Errorf("journal resume not recorded in metrics — recovery path is vacuous")
 	}
+	// A short CPU profile off the debug listener: proves -debug-addr wires
+	// net/http/pprof on a live daemon, and gives CI a profile artifact.
+	profile, err := get("http://" + dbgAddr + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		return fmt.Errorf("pprof profile from -debug-addr: %w", err)
+	}
+	if len(profile) == 0 {
+		return fmt.Errorf("pprof CPU profile is empty")
+	}
+	if err := os.WriteFile(filepath.Join(artifactsDir, "resume-cpu.pprof"), profile, 0o644); err != nil {
+		return err
+	}
 	d2.terminate()
 	return nil
+}
+
+// checkFlightDump asserts the crashed daemon dumped its flight recorder
+// into the journal directory and that the dump's event ring holds the
+// armed faultpoint, then copies it into the artifacts directory.
+func checkFlightDump(jdir string) error {
+	dumps, err := filepath.Glob(filepath.Join(jdir, "flight-*.json"))
+	if err != nil {
+		return err
+	}
+	if len(dumps) != 1 {
+		return fmt.Errorf("found %d flight dumps in %s, want exactly 1 from the crashed life", len(dumps), jdir)
+	}
+	data, err := os.ReadFile(dumps[0])
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Node   string `json:"node"`
+		PID    int    `json:"pid"`
+		Events []struct {
+			Msg string `json:"msg"`
+			Err string `json:"err"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("flight dump %s is not valid JSON: %w", dumps[0], err)
+	}
+	found := false
+	for _, e := range dump.Events {
+		if e.Msg == "faultpoint crash" && e.Err == "journal.ack" {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("flight dump %s lacks the faultpoint-crash event for journal.ack — post-mortem is vacuous", dumps[0])
+	}
+	return os.WriteFile(filepath.Join(artifactsDir, filepath.Base(dumps[0])), data, 0o644)
 }
 
 func fleetFailover(tmp, bin string) error {
@@ -230,9 +304,54 @@ func fleetFailover(tmp, bin string) error {
 			strings.Contains(string(metrics), "mpsocd_coordinator_retries_total 0\n") {
 		return fmt.Errorf("no failover or dispatch retry recorded:\n%s", metrics)
 	}
+	// Cross-node host trace: the coordinator assembles ONE Chrome trace
+	// document for the job from its own spans plus the surviving backend's
+	// (the dead backend is skipped, not fatal). It must actually span two
+	// processes and contain the failover evidence.
+	if err := checkHostTrace("http://"+addrC, st.ID); err != nil {
+		return err
+	}
 	a.terminate()
 	coord.terminate()
 	return nil
+}
+
+// checkHostTrace fetches the coordinator's merged host trace for the job
+// and asserts it is non-vacuous: spans from at least two nodes (the
+// coordinator and the surviving backend) and the failover + execute span
+// names present. The document is saved as a CI artifact.
+func checkHostTrace(base, jobID string) error {
+	doc, err := get(base + "/api/v1/jobs/" + jobID + "/hosttrace")
+	if err != nil {
+		return fmt.Errorf("hosttrace: %w", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		return fmt.Errorf("hosttrace is not valid trace_event JSON: %w", err)
+	}
+	pids := map[int]bool{}
+	spans := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		pids[e.Pid] = true
+		if e.Ph == "X" {
+			spans[e.Name] = true
+		}
+	}
+	if len(pids) < 2 {
+		return fmt.Errorf("hosttrace covers %d process(es), want spans from both coordinator and surviving backend", len(pids))
+	}
+	for _, name := range []string{"failover", "execute"} {
+		if !spans[name] {
+			return fmt.Errorf("hosttrace lacks a %q span — cross-node trace is vacuous (have %v)", name, spans)
+		}
+	}
+	return os.WriteFile(filepath.Join(artifactsDir, "failover-hosttrace.json"), doc, 0o644)
 }
 
 // --- process and HTTP plumbing ---

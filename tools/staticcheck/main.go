@@ -20,6 +20,13 @@
 //     deterministic output order — and even those sites carry an
 //     allowlist justification.
 //
+//   - host-import: the simulation stack must not import log/slog or
+//     internal/hostobs. Host observability (wall-clock spans, structured
+//     logs, resource accounting) belongs to the daemon-side packages
+//     (internal/server, internal/journal, internal/faultpoint,
+//     internal/hostobs); a sim package that logs host state is one step
+//     from leaking host time into result bytes.
+//
 // Findings are suppressed by tools/staticcheck/allowlist.txt; every entry
 // names (file, check, enclosing function) and carries a one-line
 // justification. Unused entries are errors, so the list cannot rot.
@@ -304,12 +311,23 @@ func (a *analyzer) analyzePackage(dir string) ([]finding, error) {
 		})
 	}
 
+	hostSide := hostSidePackage(filepath.ToSlash(rel))
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			switch strings.Trim(imp.Path.Value, `"`) {
 			case "math/rand", "math/rand/v2":
 				add(imp.Pos(), "wallclock", "-",
 					"math/rand import in the deterministic stack; use the engine-seeded RNG in internal/sim")
+			case "log/slog":
+				if !hostSide {
+					add(imp.Pos(), "host-import", "-",
+						"log/slog import in the deterministic sim stack; host logging lives at the daemon edge (internal/hostobs)")
+				}
+			case a.module + "/internal/hostobs":
+				if !hostSide {
+					add(imp.Pos(), "host-import", "-",
+						"internal/hostobs import in the deterministic sim stack; host observability is daemon-side only")
+				}
 			}
 		}
 		for _, decl := range f.Decls {
@@ -348,6 +366,26 @@ func (a *analyzer) analyzePackage(dir string) ([]finding, error) {
 		return findings[i].line < findings[j].line
 	})
 	return findings, nil
+}
+
+// hostSidePackage reports whether the package at slash-relative path rel
+// is allowed to import the host observability layer: the daemon-side
+// packages that sit between the deterministic core and the host
+// (internal/server, internal/journal, internal/faultpoint) plus hostobs
+// itself. Everything else under internal/ is sim stack and must stay
+// host-blind; trees outside internal/ (cmd, tools) are not scanned as sim
+// stack and are exempt by construction.
+func hostSidePackage(rel string) bool {
+	sub, ok := strings.CutPrefix(rel, "internal/")
+	if !ok {
+		return true
+	}
+	seg, _, _ := strings.Cut(sub, "/")
+	switch seg {
+	case "server", "journal", "faultpoint", "hostobs":
+		return true
+	}
+	return false
 }
 
 // funcName renders a FuncDecl as Recv.Name for methods, Name otherwise —

@@ -170,6 +170,59 @@ func (p Plain) Walk() {
 	}
 }
 
+// TestHostImportRule pins the observability boundary: sim-stack packages
+// under internal/ must not import log/slog or the module's
+// internal/hostobs, while the daemon-side packages (server, journal,
+// faultpoint, hostobs and their subpackages) may.
+func TestHostImportRule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/hostobs/hostobs.go": `package hostobs
+
+import "log/slog"
+
+// L is the daemon-side logger; hostobs itself owns the slog dependency.
+var L = slog.Default()
+
+func Note(msg string) { L.Info(msg) }
+`,
+		"internal/engine/engine.go": `package engine
+
+import (
+	"log/slog"
+
+	"example.com/m/internal/hostobs"
+)
+
+func Tick() {
+	slog.Info("tick")
+	hostobs.Note("tick")
+}
+`,
+		"internal/server/server.go": `package server
+
+import "example.com/m/internal/hostobs"
+
+func Start() { hostobs.Note("up") }
+`,
+	})
+	code, out := runOn(t, root)
+	if code != 1 {
+		t.Fatalf("expected failure, got code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"internal/engine/engine.go:4: host-import: log/slog",
+		"internal/engine/engine.go:6: host-import: internal/hostobs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The daemon-side packages own these imports — no findings there.
+	if strings.Contains(out, "hostobs/hostobs.go") || strings.Contains(out, "server/server.go") {
+		t.Errorf("false positive in a host-side package:\n%s", out)
+	}
+}
+
 // TestRepoIsClean runs the real gate over this repository: every hazard
 // in internal/... must be justified in the committed allowlist. This is
 // the same invariant `make staticcheck` enforces in CI.
